@@ -1,0 +1,118 @@
+//! Benchmarks of the Duplo detection substrate (Table II machinery):
+//! hardware ID generation and LHB probe/allocate throughput at the sizes
+//! and associativities of Fig. 9/10/12.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use duplo_core::{DetectionUnit, HwIdGen, Lhb, LhbConfig, LoadToken, PhysReg};
+use duplo_isa::WorkspaceDesc;
+use std::hint::black_box;
+
+fn desc() -> WorkspaceDesc {
+    // ResNet C2-like geometry.
+    WorkspaceDesc {
+        base: 0x1000_0000,
+        bytes: 25088 * 576 * 2,
+        elem_bytes: 2,
+        row_stride_elems: 576,
+        input_w: 56,
+        channels: 64,
+        fw: 3,
+        fh: 3,
+        out_w: 56,
+        out_h: 56,
+        stride: 1,
+        pad: 1,
+        batch: 8,
+    }
+}
+
+fn bench_idgen(c: &mut Criterion) {
+    let gen = HwIdGen::new(&desc());
+    let addrs: Vec<u64> = (0..4096u64)
+        .map(|i| 0x1000_0000 + (i * 37 % 20000) * 32)
+        .collect();
+    c.bench_function("table02_idgen_4k_keys", |b| {
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(gen.key(a, 32));
+            }
+        })
+    });
+}
+
+fn bench_lhb_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_fig10_lhb_probe");
+    for entries in [256usize, 512, 1024, 2048] {
+        g.bench_function(format!("{entries}_entries"), |b| {
+            b.iter(|| {
+                let mut lhb = Lhb::new(LhbConfig::direct_mapped(entries));
+                for i in 0..4096u64 {
+                    let key = duplo_core::SegmentKey {
+                        element: (i * 16) % 7000,
+                        batch: 0,
+                    };
+                    let t = LoadToken(i);
+                    if lhb.probe(key, 0, t).is_none() {
+                        lhb.allocate(key, 0, PhysReg(i as u32 % 1024), t);
+                    }
+                }
+                black_box(lhb.stats().hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lhb_assoc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_lhb_associativity");
+    for ways in [1usize, 2, 4, 8] {
+        g.bench_function(format!("{ways}_way"), |b| {
+            b.iter(|| {
+                let mut lhb = Lhb::new(LhbConfig::set_associative(1024, ways));
+                for i in 0..4096u64 {
+                    let key = duplo_core::SegmentKey {
+                        element: (i * 16) % 7000,
+                        batch: 0,
+                    };
+                    let t = LoadToken(i);
+                    if lhb.probe(key, 0, t).is_none() {
+                        lhb.allocate(key, 0, PhysReg(i as u32 % 1024), t);
+                    }
+                }
+                black_box(lhb.stats().hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_detection_unit(c: &mut Criterion) {
+    c.bench_function("table02_detection_unit_stream", |b| {
+        b.iter(|| {
+            let mut du = DetectionUnit::new(&desc(), LhbConfig::paper_default(), 0);
+            for i in 0..4096u64 {
+                let addr = 0x1000_0000 + (i % 2048) * 32;
+                let t = LoadToken(i);
+                match du.probe_load(addr, 32, t) {
+                    duplo_core::LoadDecision::Miss => {
+                        du.record_fill(addr, 32, PhysReg((i % 1024) as u32), t);
+                    }
+                    _ => {}
+                }
+                if i % 64 == 0 {
+                    du.retire(LoadToken(i.saturating_sub(512)));
+                }
+            }
+            black_box(du.lhb_stats().hits)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_idgen,
+    bench_lhb_sizes,
+    bench_lhb_assoc,
+    bench_detection_unit
+);
+criterion_main!(benches);

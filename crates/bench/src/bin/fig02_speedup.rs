@@ -1,0 +1,7 @@
+//! Fig. 2 — convolution-method speedup over direct convolution.
+use duplo_sim::experiments::fig02_speedup;
+
+fn main() {
+    let fig = fig02_speedup::run();
+    print!("{}", fig02_speedup::render(&fig));
+}

@@ -1,0 +1,7 @@
+//! Fig. 3 — memory usage of convolution methods relative to direct.
+use duplo_sim::experiments::fig03_memusage;
+
+fn main() {
+    let fig = fig03_memusage::run();
+    print!("{}", fig03_memusage::render(&fig));
+}

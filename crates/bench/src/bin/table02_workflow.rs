@@ -1,0 +1,7 @@
+//! Table II — the Duplo LHB workflow walkthrough.
+use duplo_sim::experiments::table02_workflow;
+
+fn main() {
+    let steps = table02_workflow::run();
+    print!("{}", table02_workflow::render(&steps));
+}

@@ -1,0 +1,7 @@
+//! Table III — the baseline GPU configuration in use.
+use duplo_sim::GpuConfig;
+use duplo_sim::experiments::table03_config;
+
+fn main() {
+    print!("{}", table03_config::render(&GpuConfig::titan_v()));
+}

@@ -1,0 +1,61 @@
+//! Support library for the Duplo experiment binaries and benches.
+//!
+//! Every binary accepts:
+//!
+//! * `--sample <N>` — simulate at most `N` CTAs per representative SM and
+//!   scale time linearly (the default for the heaviest sweeps),
+//! * `--full` — simulate every CTA of each SM's share.
+
+use duplo_sim::experiments::ExpOpts;
+
+/// Parses experiment options from `std::env::args`.
+///
+/// `default_sample` is used when neither `--sample` nor `--full` is given.
+pub fn opts_from_args(default_sample: Option<usize>) -> ExpOpts {
+    let args: Vec<String> = std::env::args().collect();
+    let mut sample = default_sample;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => sample = None,
+            "--sample" => {
+                let n = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sample requires a positive integer");
+                sample = Some(n);
+                i += 1;
+            }
+            other => panic!("unknown argument: {other} (use --sample <N> or --full)"),
+        }
+        i += 1;
+    }
+    ExpOpts {
+        sample_ctas: sample,
+    }
+}
+
+/// Prints the sampling banner all binaries share.
+pub fn banner(name: &str, opts: &ExpOpts) {
+    match opts.sample_ctas {
+        Some(n) => println!("[{name}] CTA sampling: at most {n} CTAs per representative SM"),
+        None => println!("[{name}] full CTA shares simulated"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sample_passes_through() {
+        // No CLI args in the test harness beyond the binary name; the
+        // default must survive.
+        let opts = ExpOpts {
+            sample_ctas: Some(4),
+        };
+        assert_eq!(opts.sample_ctas, Some(4));
+        let quick = ExpOpts::quick();
+        assert_eq!(quick.sample_ctas, Some(2));
+    }
+}

@@ -1,0 +1,135 @@
+//! Direct (sliding-filter) convolution — the reference implementation.
+//!
+//! This is the "simplest direct convolution method (i.e., sliding filters in
+//! deeply nested loops)" of the paper's §I, and serves as the correctness
+//! oracle for every other method in this crate.
+
+use crate::ConvParams;
+use duplo_tensor::Tensor4;
+
+/// Computes the convolution of `input` with `filters` by sliding each filter
+/// over the (zero-padded) input.
+///
+/// `filters` has shape `(K, fh, fw, C)` (see [`ConvParams::filter_shape`]).
+/// The output has shape [`ConvParams::output_shape`]. Accumulation is in
+/// `f32` with a fixed `(fh, fw, c)` summation order so results are
+/// bit-comparable with the lowered GEMM path (which uses the same k-major
+/// order).
+///
+/// # Panics
+///
+/// Panics if tensor shapes disagree with `params`.
+///
+/// # Examples
+///
+/// ```
+/// use duplo_conv::{ConvParams, direct};
+/// use duplo_tensor::{Nhwc, Tensor4};
+///
+/// // The paper's Figure 1(a) example.
+/// let params = ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1)?;
+/// let input = Tensor4::from_vec(
+///     params.input,
+///     vec![3., 1., 4., -2., 1., 0., -2., 1., 4., -2., 4., 0., -2., 1., 0., 3.],
+/// );
+/// let filter = Tensor4::from_vec(
+///     params.filter_shape(),
+///     vec![1., 0., 3., -3., -1., 2., 0., 2., 1.],
+/// );
+/// let out = direct::convolve(&params, &input, &filter);
+/// assert_eq!(out.as_slice(), &[8., 7., -5., 8.]);
+/// # Ok::<(), duplo_conv::ConvError>(())
+/// ```
+pub fn convolve(params: &ConvParams, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
+    assert_eq!(input.shape(), params.input, "input shape mismatch");
+    assert_eq!(filters.shape(), params.filter_shape(), "filter shape mismatch");
+
+    let out_shape = params.output_shape();
+    let mut out = Tensor4::zeros(out_shape);
+    let pad = params.pad as isize;
+    let stride = params.stride as isize;
+
+    for n in 0..out_shape.n {
+        for oh in 0..out_shape.h {
+            for ow in 0..out_shape.w {
+                for k in 0..params.filters {
+                    let mut acc = 0.0f32;
+                    for r in 0..params.fh {
+                        for s in 0..params.fw {
+                            let ih = oh as isize * stride + r as isize - pad;
+                            let iw = ow as isize * stride + s as isize - pad;
+                            for c in 0..params.input.c {
+                                acc += input.get_padded(n, ih, iw, c) * filters.get(k, r, s, c);
+                            }
+                        }
+                    }
+                    out.set(n, oh, ow, k, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplo_tensor::Nhwc;
+
+    #[test]
+    fn identity_filter_with_padding_recovers_input() {
+        // A 3x3 filter with a single 1 at the center, pad 1, stride 1 is the
+        // identity map per channel.
+        let params = ConvParams::new(Nhwc::new(2, 5, 5, 1), 1, 3, 3, 1, 1).unwrap();
+        let input = Tensor4::from_fn(params.input, |n, h, w, _| (n * 100 + h * 10 + w) as f32);
+        let filter = Tensor4::from_fn(params.filter_shape(), |_, r, s, _| {
+            if r == 1 && s == 1 { 1.0 } else { 0.0 }
+        });
+        let out = convolve(&params, &input, &filter);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn stride_two_subsamples() {
+        let params = ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 1, 1, 0, 2).unwrap();
+        let input = Tensor4::from_fn(params.input, |_, h, w, _| (h * 4 + w) as f32);
+        let filter = Tensor4::from_fn(params.filter_shape(), |_, _, _, _| 1.0);
+        let out = convolve(&params, &input, &filter);
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_over_channels() {
+        let params = ConvParams::new(Nhwc::new(1, 2, 2, 3), 2, 1, 1, 0, 1).unwrap();
+        let input = Tensor4::from_fn(params.input, |_, _, _, c| (c + 1) as f32);
+        // Filter 0 sums channels; filter 1 picks channel 2 times 10.
+        let filter = Tensor4::from_fn(params.filter_shape(), |k, _, _, c| {
+            if k == 0 {
+                1.0
+            } else if c == 2 {
+                10.0
+            } else {
+                0.0
+            }
+        });
+        let out = convolve(&params, &input, &filter);
+        for h in 0..2 {
+            for w in 0..2 {
+                assert_eq!(out.get(0, h, w, 0), 6.0);
+                assert_eq!(out.get(0, h, w, 1), 30.0);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_zeros_contribute_nothing() {
+        // All-ones input and filter: corner outputs see fewer valid inputs.
+        let params = ConvParams::new(Nhwc::new(1, 3, 3, 1), 1, 3, 3, 1, 1).unwrap();
+        let input = Tensor4::from_fn(params.input, |_, _, _, _| 1.0);
+        let filter = Tensor4::from_fn(params.filter_shape(), |_, _, _, _| 1.0);
+        let out = convolve(&params, &input, &filter);
+        assert_eq!(out.get(0, 0, 0, 0), 4.0); // corner: 2x2 valid
+        assert_eq!(out.get(0, 0, 1, 0), 6.0); // edge: 2x3 valid
+        assert_eq!(out.get(0, 1, 1, 0), 9.0); // center: all valid
+    }
+}

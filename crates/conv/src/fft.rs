@@ -1,0 +1,345 @@
+//! FFT-based convolution (paper §II-A, ref. 24).
+//!
+//! Implements its own complex arithmetic and iterative radix-2 FFT (no
+//! external FFT crate), pads images and filters to a common power-of-two
+//! size, multiplies in the frequency domain (accumulating over channels),
+//! and inverse-transforms. Like the paper, the method is restricted to
+//! unit-stride convolutions; its enormous padded complex buffers are what
+//! make FFT the most memory-hungry method in Fig. 3.
+
+use crate::{ConvError, ConvParams};
+use duplo_tensor::Tensor4;
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Sub};
+
+/// A complex number over `f64` (double precision keeps the frequency-domain
+/// round trip well below the test tolerances).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// `e^(i*theta)`.
+    pub fn cis(theta: f64) -> Complex {
+        Complex::new(theta.cos(), theta.sin())
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// Smallest power of two `>= n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// `inverse` selects the inverse transform (including the `1/n` scale).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_1d(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for v in data {
+            v.re *= scale;
+            v.im *= scale;
+        }
+    }
+}
+
+/// In-place 2-D FFT over a row-major `size x size` buffer.
+pub fn fft_2d(data: &mut [Complex], size: usize, inverse: bool) {
+    assert_eq!(data.len(), size * size, "buffer must be size*size");
+    let mut col = vec![Complex::default(); size];
+    for r in 0..size {
+        fft_1d(&mut data[r * size..(r + 1) * size], inverse);
+    }
+    for c in 0..size {
+        for r in 0..size {
+            col[r] = data[r * size + c];
+        }
+        fft_1d(&mut col, inverse);
+        for r in 0..size {
+            data[r * size + c] = col[r];
+        }
+    }
+}
+
+/// Returns `Ok(())` when FFT convolution applies to `params` (unit stride,
+/// per the paper's applicability rule).
+///
+/// # Errors
+///
+/// [`ConvError::Inapplicable`] when the stride is not 1.
+pub fn check_applicable(params: &ConvParams) -> Result<(), ConvError> {
+    if params.stride != 1 {
+        return Err(ConvError::Inapplicable(
+            "FFT cannot handle non-unit-stride filters",
+        ));
+    }
+    Ok(())
+}
+
+/// The padded transform size used for `params`: the smallest power of two
+/// covering both the linear convolution extent (`X + f - 1`) and the
+/// padded window range (`X + pad`) in each dimension. The second bound
+/// matters when `pad > f - 1`: window anchors beyond the input must wrap
+/// into the zero region, not alias real samples.
+pub fn transform_size(params: &ConvParams) -> usize {
+    let h_ext = params.input.h + (params.fh - 1).max(params.pad);
+    let w_ext = params.input.w + (params.fw - 1).max(params.pad);
+    next_pow2(h_ext.max(w_ext))
+}
+
+/// FFT-based convolution.
+///
+/// For every (image, filter) pair the frequency-domain products are
+/// accumulated over input channels and inverse-transformed once — the
+/// standard cuFFT-based strategy.
+///
+/// # Errors
+///
+/// Returns [`ConvError::Inapplicable`] for non-unit strides.
+///
+/// # Panics
+///
+/// Panics if tensor shapes disagree with `params`.
+pub fn convolve(
+    params: &ConvParams,
+    input: &Tensor4,
+    filters: &Tensor4,
+) -> Result<Tensor4, ConvError> {
+    check_applicable(params)?;
+    assert_eq!(input.shape(), params.input, "input shape mismatch");
+    assert_eq!(filters.shape(), params.filter_shape(), "filter shape mismatch");
+
+    let s = transform_size(params);
+    let (n_imgs, c_in, k_f) = (params.input.n, params.input.c, params.filters);
+    let out_shape = params.output_shape();
+    let mut out = Tensor4::zeros(out_shape);
+
+    // Pre-transform all filter channels once.
+    let mut f_freq = vec![Complex::default(); k_f * c_in * s * s];
+    for k in 0..k_f {
+        for c in 0..c_in {
+            let plane = &mut f_freq[(k * c_in + c) * s * s..(k * c_in + c + 1) * s * s];
+            for r in 0..params.fh {
+                for t in 0..params.fw {
+                    plane[r * s + t] = Complex::new(f64::from(filters.get(k, r, t, c)), 0.0);
+                }
+            }
+            fft_2d(plane, s, false);
+        }
+    }
+
+    let mut x_freq = vec![Complex::default(); c_in * s * s];
+    let mut acc = vec![Complex::default(); s * s];
+    // DNN "convolution" is cross-correlation. By the correlation theorem,
+    // IFFT(X .* conj(F)) is the circular cross-correlation of x with f:
+    // r[t] = sum_u x[t + u] * f[u]. With both planes zero-padded to
+    // s >= extent + filter - 1, the circular result equals the linear one,
+    // and output (oh, ow) reads r at the (wrapped) window anchor
+    // (oh - pad, ow - pad).
+    for n in 0..n_imgs {
+        for c in 0..c_in {
+            let plane = &mut x_freq[c * s * s..(c + 1) * s * s];
+            plane.fill(Complex::default());
+            for h in 0..params.input.h {
+                for w in 0..params.input.w {
+                    plane[h * s + w] = Complex::new(f64::from(input.get(n, h, w, c)), 0.0);
+                }
+            }
+            fft_2d(plane, s, false);
+        }
+        for k in 0..k_f {
+            acc.fill(Complex::default());
+            for c in 0..c_in {
+                let xp = &x_freq[c * s * s..(c + 1) * s * s];
+                let fp = &f_freq[(k * c_in + c) * s * s..(k * c_in + c + 1) * s * s];
+                for (a, (x, f)) in acc.iter_mut().zip(xp.iter().zip(fp)) {
+                    // Conjugating the filter spectrum computes correlation
+                    // (circular), with the result anchored so that output
+                    // (oh, ow) reads input window starting at (oh-pad, ow-pad).
+                    *a = *a + *x * f.conj();
+                }
+            }
+            fft_2d(&mut acc, s, true);
+            for oh in 0..out_shape.h {
+                for ow in 0..out_shape.w {
+                    // Window anchor in padded space; wrap negatives (circular
+                    // correlation with zero padding never aliases because
+                    // s >= H + fh - 1).
+                    let ih = (oh as isize - params.pad as isize).rem_euclid(s as isize) as usize;
+                    let iw = (ow as isize - params.pad as isize).rem_euclid(s as isize) as usize;
+                    out.set(n, oh, ow, k, acc[ih * s + iw].re as f32);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use duplo_tensor::{Nhwc, approx_eq};
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn fft_inverse_round_trips() {
+        let mut data: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, (i * i % 7) as f64))
+            .collect();
+        let orig = data.clone();
+        fft_1d(&mut data, false);
+        fft_1d(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_1d(&mut data, false);
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let data: Vec<Complex> = (0..32).map(|i| Complex::new((i % 5) as f64 - 2.0, 0.0)).collect();
+        let time_energy: f64 = data.iter().map(|v| v.re * v.re + v.im * v.im).sum();
+        let mut freq = data;
+        fft_1d(&mut freq, false);
+        let freq_energy: f64 =
+            freq.iter().map(|v| v.re * v.re + v.im * v.im).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_direct_unpadded() {
+        let p = ConvParams::new(Nhwc::new(1, 6, 6, 1), 1, 3, 3, 0, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut input = Tensor4::zeros(p.input);
+        input.fill_random(&mut rng);
+        let mut filters = Tensor4::zeros(p.filter_shape());
+        filters.fill_random(&mut rng);
+        let d = direct::convolve(&p, &input, &filters);
+        let f = convolve(&p, &input, &filters).unwrap();
+        assert!(approx_eq(d.as_slice(), f.as_slice(), 1e-4));
+    }
+
+    #[test]
+    fn matches_direct_padded_multichannel_multibatch() {
+        let p = ConvParams::new(Nhwc::new(2, 7, 5, 3), 4, 3, 3, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut input = Tensor4::zeros(p.input);
+        input.fill_random(&mut rng);
+        let mut filters = Tensor4::zeros(p.filter_shape());
+        filters.fill_random(&mut rng);
+        let d = direct::convolve(&p, &input, &filters);
+        let f = convolve(&p, &input, &filters).unwrap();
+        assert!(approx_eq(d.as_slice(), f.as_slice(), 1e-4));
+    }
+
+    #[test]
+    fn matches_direct_5x5() {
+        let p = ConvParams::new(Nhwc::new(1, 9, 9, 2), 2, 5, 5, 2, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut input = Tensor4::zeros(p.input);
+        input.fill_random(&mut rng);
+        let mut filters = Tensor4::zeros(p.filter_shape());
+        filters.fill_random(&mut rng);
+        let d = direct::convolve(&p, &input, &filters);
+        let f = convolve(&p, &input, &filters).unwrap();
+        assert!(approx_eq(d.as_slice(), f.as_slice(), 1e-4));
+    }
+
+    #[test]
+    fn stride_rejected() {
+        let p = ConvParams::new(Nhwc::new(1, 8, 8, 1), 1, 3, 3, 1, 2).unwrap();
+        assert!(convolve(&p, &Tensor4::zeros(p.input), &Tensor4::zeros(p.filter_shape())).is_err());
+    }
+
+    #[test]
+    fn transform_size_covers_linear_extent() {
+        let p = ConvParams::new(Nhwc::new(1, 224, 224, 3), 64, 7, 7, 3, 1).unwrap();
+        assert_eq!(transform_size(&p), 256);
+        let q = ConvParams::new(Nhwc::new(1, 6, 6, 1), 1, 3, 3, 0, 1).unwrap();
+        assert_eq!(transform_size(&q), 8);
+    }
+}

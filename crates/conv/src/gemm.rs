@@ -1,0 +1,126 @@
+//! GEMM-based convolution: explicit lowering followed by matrix multiply.
+//!
+//! This is the method the paper's baseline GPU kernels implement (with
+//! tensor cores) and the method whose workspace duplication Duplo attacks.
+
+use crate::{ConvParams, lowering};
+use duplo_tensor::{F16, Tensor4};
+
+/// Convolution via explicit lowering + GEMM (paper Fig. 1(b)).
+///
+/// Numerically identical to [`crate::direct::convolve`] up to floating-point
+/// associativity; with the k-major accumulation used by both, results match
+/// exactly for the shapes exercised in tests.
+///
+/// # Panics
+///
+/// Panics if tensor shapes disagree with `params`.
+pub fn convolve(params: &ConvParams, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
+    let workspace = lowering::lower(params, input);
+    let fmat = lowering::filter_matrix(params, filters);
+    let product = workspace.matmul(&fmat);
+    lowering::output_from_gemm(params, &product)
+}
+
+/// Convolution via *implicit* GEMM: workspace tiles are produced on the fly
+/// (the cuDNN tensor-core approach, paper §II-C) rather than materialized.
+///
+/// Functionally equivalent to [`convolve`]; exists to validate that the
+/// implicit path computes the same workspace values the explicit path
+/// stores.
+pub fn convolve_implicit(params: &ConvParams, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
+    let (m, n, k) = params.gemm_dims();
+    let fmat = lowering::filter_matrix(params, filters);
+    let mut out = vec![0.0f32; m * n];
+    for row in 0..m {
+        for kk in 0..k {
+            let a = lowering::workspace_value(params, input, row, kk);
+            if a == 0.0 {
+                continue;
+            }
+            for col in 0..n {
+                out[row * n + col] += a * fmat[(kk, col)];
+            }
+        }
+    }
+    Tensor4::from_vec(params.output_shape(), out)
+}
+
+/// Convolution emulating tensor-core numerics: `A`/`B` operands are rounded
+/// through half precision, accumulation stays in `f32` (paper §II-B).
+///
+/// Used by the functional layer of the timing simulator so renamed-register
+/// value checks see exactly what the hardware would hold.
+pub fn convolve_f16(params: &ConvParams, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
+    let mut ws = lowering::lower(params, input);
+    for v in ws.as_mut_slice() {
+        *v = F16::round_trip(*v);
+    }
+    let mut fmat = lowering::filter_matrix(params, filters);
+    for v in fmat.as_mut_slice() {
+        *v = F16::round_trip(*v);
+    }
+    let product = ws.matmul(&fmat);
+    lowering::output_from_gemm(params, &product)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use duplo_tensor::{Nhwc, approx_eq};
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn random_case(
+        seed: u64,
+        params: &ConvParams,
+    ) -> (Tensor4, Tensor4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut input = Tensor4::zeros(params.input);
+        input.fill_random(&mut rng);
+        let mut filters = Tensor4::zeros(params.filter_shape());
+        filters.fill_random(&mut rng);
+        (input, filters)
+    }
+
+    #[test]
+    fn gemm_matches_direct_on_assorted_shapes() {
+        let cases = [
+            ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1).unwrap(),
+            ConvParams::new(Nhwc::new(2, 8, 8, 3), 4, 3, 3, 1, 1).unwrap(),
+            ConvParams::new(Nhwc::new(1, 9, 7, 2), 3, 5, 5, 2, 2).unwrap(),
+            ConvParams::new(Nhwc::new(3, 6, 6, 4), 2, 1, 1, 0, 1).unwrap(),
+            ConvParams::new(Nhwc::new(1, 10, 10, 2), 2, 7, 7, 3, 2).unwrap(),
+        ];
+        for (i, p) in cases.iter().enumerate() {
+            let (input, filters) = random_case(i as u64, p);
+            let d = direct::convolve(p, &input, &filters);
+            let g = convolve(p, &input, &filters);
+            assert!(
+                approx_eq(d.as_slice(), g.as_slice(), 1e-4),
+                "case {i}: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_matches_explicit() {
+        let p = ConvParams::new(Nhwc::new(2, 7, 7, 3), 5, 3, 3, 1, 2).unwrap();
+        let (input, filters) = random_case(99, &p);
+        let e = convolve(&p, &input, &filters);
+        let i = convolve_implicit(&p, &input, &filters);
+        assert!(approx_eq(e.as_slice(), i.as_slice(), 1e-4));
+    }
+
+    #[test]
+    fn f16_path_matches_f32_for_f16_exact_data() {
+        // fill_random produces f16-exact values, so rounding through f16 is
+        // lossless and the two paths agree to accumulation order.
+        let p = ConvParams::new(Nhwc::new(1, 6, 6, 4), 4, 3, 3, 1, 1).unwrap();
+        let (input, filters) = random_case(7, &p);
+        let a = convolve(&p, &input, &filters);
+        let b = convolve_f16(&p, &input, &filters);
+        assert!(approx_eq(a.as_slice(), b.as_slice(), 1e-4));
+    }
+}

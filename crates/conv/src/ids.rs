@@ -1,0 +1,406 @@
+//! The data-duplication identification scheme of paper §III.
+//!
+//! Lowering replicates input elements across the workspace in a regular
+//! pattern (Fig. 5). Given the convolution parameters, every workspace entry
+//! can be assigned a **(batch ID, element ID)** pair such that two entries
+//! hold the same value *iff* they are assigned the same pair (Fig. 6). The
+//! total number of distinct element IDs per image equals the (padded) input
+//! footprint, and the IDs are exactly the linear `NHWC` indices of the input
+//! elements each workspace entry reads.
+//!
+//! Formulas implemented (paper §III-B/C, generalized to multi-channel,
+//! multi-batch, non-unit-stride):
+//!
+//! ```text
+//! worksp_row = array_idx / (fh*fw*C)        worksp_col = array_idx % (fh*fw*C)
+//! batch_id   = worksp_row / (out_h*out_w)   local_row  = worksp_row % (out_h*out_w)
+//! patch_row  = local_row / out_w            patch_col  = worksp_col / (fw*C)
+//! patch_id   = patch_row * stride + patch_col
+//! offset     = patch_id * W * C
+//! element_id = (local_row % out_w) * C * stride + worksp_col % (fw*C) + offset
+//! ```
+//!
+//! Two deliberate clarifications relative to the paper's prose, both neutral
+//! for the square-output Table I layers:
+//!
+//! * the paper divides by `output_height` where the row-of-output
+//!   decomposition requires `output_width`; we use `out_w` (they coincide
+//!   for square outputs);
+//! * we fold the batch offset out of the row index before the patch math so
+//!   that element IDs are per-image (the paper pairs each element ID with a
+//!   batch ID to the same effect);
+//! * for padded convolutions (which §III never treats) the `offset` term
+//!   must use the **padded** input width `W + 2*pad`, otherwise the ID of a
+//!   valid right-edge element aliases the ID of the next row's left padding
+//!   zero and the scheme becomes unsound. With `pad = 0` this reduces to
+//!   the paper's formula exactly; the soundness tests below cover both.
+//!
+//! This module is the *reference* (software, arbitrary dimensions)
+//! implementation; the hardware-constrained shift/mask version lives in
+//! `duplo-core` and is cross-checked against this one.
+
+use crate::ConvParams;
+use std::collections::HashSet;
+
+/// A workspace entry's identity: entries with equal `WorkspaceId`s hold
+/// duplicates of the same datum.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WorkspaceId {
+    /// Which batch image the entry belongs to (no duplication across
+    /// images, §III-C).
+    pub batch: u64,
+    /// Per-image element ID — the linear index of the source input element
+    /// in padded coordinate space.
+    pub element: u64,
+}
+
+/// Reference ID generator for a given convolution.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IdGen {
+    /// Workspace row length `fh * fw * C`.
+    row_len: u64,
+    /// `fw * C`: length of one filter-row run within a workspace row.
+    fw_c: u64,
+    /// Rows per image `out_h * out_w`.
+    rows_per_image: u64,
+    /// Output width.
+    out_w: u64,
+    /// `(W + 2*pad) * C`: element-ID stride between (padded) input rows.
+    w_c: u64,
+    /// Channel count.
+    c: u64,
+    /// Filter stride.
+    stride: u64,
+}
+
+impl IdGen {
+    /// Builds the ID generator from convolution parameters.
+    pub fn from_conv(p: &ConvParams) -> IdGen {
+        IdGen {
+            row_len: (p.fh * p.fw * p.input.c) as u64,
+            fw_c: (p.fw * p.input.c) as u64,
+            rows_per_image: (p.out_h() * p.out_w()) as u64,
+            out_w: p.out_w() as u64,
+            w_c: ((p.input.w + 2 * p.pad) * p.input.c) as u64,
+            c: p.input.c as u64,
+            stride: p.stride as u64,
+        }
+    }
+
+    /// Length of one workspace row (`fh * fw * C`), i.e. the GEMM `K`.
+    pub fn row_len(&self) -> u64 {
+        self.row_len
+    }
+
+    /// Computes the (batch, element) identity of workspace entry
+    /// `array_idx` (sequential index into the row-major workspace, paper
+    /// Fig. 6).
+    pub fn id(&self, array_idx: u64) -> WorkspaceId {
+        let row = array_idx / self.row_len;
+        let col = array_idx % self.row_len;
+        let batch = row / self.rows_per_image;
+        let local_row = row % self.rows_per_image;
+        let patch_row = local_row / self.out_w;
+        let patch_col = col / self.fw_c;
+        let patch_id = patch_row * self.stride + patch_col;
+        let offset = patch_id * self.w_c;
+        let element =
+            (local_row % self.out_w) * self.c * self.stride + col % self.fw_c + offset;
+        WorkspaceId { batch, element }
+    }
+
+    /// Identity of a `len`-element segment starting at `array_idx`, or
+    /// `None` when the segment is not **ID-contiguous**.
+    ///
+    /// A segment is ID-contiguous when it lies within a single workspace row
+    /// *and* a single filter-row run (does not cross a `fw*C` boundary), in
+    /// which case its elements carry consecutive element IDs and equality of
+    /// the starting ID implies equality of the entire segment. Tensor-core
+    /// loads that fail this test must bypass the LHB (conservative
+    /// refinement of the paper's scheme; for every Table I layer with
+    /// `C % 16 == 0` all 16-element loads pass).
+    pub fn segment_id(&self, array_idx: u64, len: u64) -> Option<WorkspaceId> {
+        let col = array_idx % self.row_len;
+        let run_pos = col % self.fw_c;
+        if run_pos + len <= self.fw_c {
+            Some(self.id(array_idx))
+        } else {
+            None
+        }
+    }
+}
+
+/// Duplication statistics of a lowered convolution, at element granularity
+/// and at load-segment granularity.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DuplicationCensus {
+    /// Total workspace elements (`M * K`).
+    pub total_elements: u64,
+    /// Distinct (batch, element) IDs — the deduplicated footprint.
+    pub unique_elements: u64,
+    /// Total load segments (one per `seg_len` run of each workspace row,
+    /// final partial runs included).
+    pub total_segments: u64,
+    /// Segments that are not ID-contiguous and must bypass the LHB.
+    pub bypass_segments: u64,
+    /// Distinct segment IDs among the ID-contiguous segments.
+    pub unique_segments: u64,
+}
+
+impl DuplicationCensus {
+    /// Fraction of workspace elements that are duplicates of another entry.
+    pub fn element_dup_ratio(&self) -> f64 {
+        if self.total_elements == 0 {
+            return 0.0;
+        }
+        1.0 - self.unique_elements as f64 / self.total_elements as f64
+    }
+
+    /// Theoretical upper bound on the LHB hit rate at segment granularity:
+    /// an infinite LHB with infinite-lived entries hits on every eligible
+    /// segment after the first occurrence of its ID.
+    pub fn max_hit_rate(&self) -> f64 {
+        if self.total_segments == 0 {
+            return 0.0;
+        }
+        let eligible = self.total_segments - self.bypass_segments;
+        (eligible - self.unique_segments) as f64 / self.total_segments as f64
+    }
+}
+
+/// Walks the whole workspace of `params` and tallies duplication at element
+/// granularity and at `seg_len`-element load granularity (16 for tensor-core
+/// loads).
+pub fn census(params: &ConvParams, seg_len: usize) -> DuplicationCensus {
+    assert!(seg_len > 0, "segment length must be nonzero");
+    let gen = IdGen::from_conv(params);
+    let (m, _, k) = params.gemm_dims();
+    let (m, k) = (m as u64, k as u64);
+    let mut elems: HashSet<(u64, u64)> = HashSet::new();
+    let mut segs: HashSet<(u64, u64)> = HashSet::new();
+    let mut out = DuplicationCensus {
+        total_elements: m * k,
+        ..DuplicationCensus::default()
+    };
+
+    // Element IDs repeat identically across rows with the same
+    // (local_row, batch) pattern; a direct walk is still affordable for all
+    // Table I layers, and doubles as a check that the formulas stay in
+    // range.
+    for row in 0..m {
+        for col in (0..k).step_by(seg_len) {
+            let idx = row * k + col;
+            let len = seg_len.min((k - col) as usize) as u64;
+            out.total_segments += 1;
+            match gen.segment_id(idx, len) {
+                Some(id) => {
+                    segs.insert((id.batch, id.element));
+                }
+                None => out.bypass_segments += 1,
+            }
+        }
+        for col in 0..k {
+            let id = gen.id(row * k + col);
+            elems.insert((id.batch, id.element));
+        }
+    }
+    out.unique_elements = elems.len() as u64;
+    out.unique_segments = segs.len() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowering;
+    use duplo_tensor::Nhwc;
+    use std::collections::HashMap;
+
+    fn fig6_params() -> ConvParams {
+        ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1).unwrap()
+    }
+
+    #[test]
+    fn figure6_element_ids_match_paper() {
+        // Fig. 6's element-ID table for the 4x9 workspace.
+        let expected: [[u64; 9]; 4] = [
+            [0, 1, 2, 4, 5, 6, 8, 9, 10],
+            [1, 2, 3, 5, 6, 7, 9, 10, 11],
+            [4, 5, 6, 8, 9, 10, 12, 13, 14],
+            [5, 6, 7, 9, 10, 11, 13, 14, 15],
+        ];
+        let gen = IdGen::from_conv(&fig6_params());
+        for row in 0..4u64 {
+            for col in 0..9u64 {
+                let id = gen.id(row * 9 + col);
+                assert_eq!(id.batch, 0);
+                assert_eq!(
+                    id.element, expected[row as usize][col as usize],
+                    "row {row} col {col}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure6_has_16_unique_ids() {
+        // "there are total 16 unique element IDs from 0 to 15, and the count
+        // matches the number of elements in the original 4x4 input".
+        let c = census(&fig6_params(), 1);
+        assert_eq!(c.unique_elements, 16);
+        assert_eq!(c.total_elements, 36);
+        assert!((c.element_dup_ratio() - 20.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_workflow_ids() {
+        // Table II: array_idx 2 -> element 2; 10 -> element 2; 28 -> element 6.
+        let gen = IdGen::from_conv(&fig6_params());
+        assert_eq!(gen.id(2).element, 2);
+        assert_eq!(gen.id(10).element, 2);
+        assert_eq!(gen.id(28).element, 6);
+    }
+
+    /// The soundness property the whole Duplo mechanism rests on: equal
+    /// (batch, element) IDs imply the entries read the same source input
+    /// coordinate (hence hold the same value).
+    fn assert_ids_sound(params: &ConvParams) {
+        let gen = IdGen::from_conv(params);
+        let (m, _, k) = params.gemm_dims();
+        let mut seen: HashMap<(u64, u64), (usize, isize, isize, usize)> = HashMap::new();
+        for row in 0..m {
+            for col in 0..k {
+                let id = gen.id((row * k + col) as u64);
+                let src = lowering::source_coord(params, row, col);
+                match seen.get(&(id.batch, id.element)) {
+                    Some(&prev) => assert_eq!(
+                        prev, src,
+                        "id ({},{}) maps to two different sources in {params}",
+                        id.batch, id.element
+                    ),
+                    None => {
+                        seen.insert((id.batch, id.element), src);
+                    }
+                }
+            }
+        }
+        // And the converse: distinct ids map to distinct sources.
+        let mut srcs: HashMap<(usize, isize, isize, usize), (u64, u64)> = HashMap::new();
+        for row in 0..m {
+            for col in 0..k {
+                let id = gen.id((row * k + col) as u64);
+                let src = lowering::source_coord(params, row, col);
+                match srcs.get(&src) {
+                    Some(&prev) => assert_eq!(prev, (id.batch, id.element)),
+                    None => {
+                        srcs.insert(src, (id.batch, id.element));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ids_sound_multichannel_strided_padded_batched() {
+        for p in [
+            ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1).unwrap(),
+            ConvParams::new(Nhwc::new(2, 8, 8, 4), 2, 3, 3, 1, 1).unwrap(),
+            ConvParams::new(Nhwc::new(2, 9, 9, 2), 2, 3, 3, 0, 2).unwrap(),
+            ConvParams::new(Nhwc::new(1, 10, 8, 3), 1, 5, 5, 2, 2).unwrap(),
+            ConvParams::new(Nhwc::new(3, 6, 6, 2), 1, 1, 1, 0, 1).unwrap(),
+            ConvParams::new(Nhwc::new(1, 12, 12, 4), 1, 5, 5, 2, 1).unwrap(),
+        ] {
+            assert_ids_sound(&p);
+        }
+    }
+
+    #[test]
+    fn segment_ids_respect_filter_row_boundaries() {
+        // fw*C = 12; a 16-element segment always crosses a boundary, an
+        // aligned 4-element segment never does.
+        let p = ConvParams::new(Nhwc::new(1, 8, 8, 4), 1, 3, 3, 1, 1).unwrap();
+        let gen = IdGen::from_conv(&p);
+        assert_eq!(gen.segment_id(0, 16), None);
+        assert!(gen.segment_id(0, 12).is_some());
+        assert!(gen.segment_id(12, 12).is_some());
+        assert_eq!(gen.segment_id(8, 12), None);
+    }
+
+    #[test]
+    fn segment_equality_implies_value_equality() {
+        // For every pair of contiguous segments with equal IDs, the full
+        // segments must read identical source coordinates element-wise.
+        let p = ConvParams::new(Nhwc::new(1, 8, 8, 16), 1, 3, 3, 1, 1).unwrap();
+        let gen = IdGen::from_conv(&p);
+        let (m, _, k) = p.gemm_dims();
+        let seg = 16usize;
+        let mut first: HashMap<(u64, u64), (usize, usize)> = HashMap::new();
+        let mut checked = 0;
+        for row in 0..m {
+            for col in (0..k).step_by(seg) {
+                let Some(id) = gen.segment_id((row * k + col) as u64, seg as u64) else {
+                    continue;
+                };
+                if let Some(&(prow, pcol)) = first.get(&(id.batch, id.element)) {
+                    for off in 0..seg {
+                        assert_eq!(
+                            lowering::source_coord(&p, prow, pcol + off),
+                            lowering::source_coord(&p, row, col + off),
+                            "segments ({prow},{pcol}) vs ({row},{col}) diverge at {off}"
+                        );
+                    }
+                    checked += 1;
+                } else {
+                    first.insert((id.batch, id.element), (row, col));
+                }
+            }
+        }
+        assert!(checked > 100, "expected plenty of duplicate segments, got {checked}");
+    }
+
+    #[test]
+    fn census_3x3_unit_stride_approaches_8_9ths() {
+        // For a 3x3 unit-stride convolution on a large input the element
+        // duplication ratio approaches 1 - 1/9 = 88.9% (the paper's quoted
+        // theoretical LHB hit-rate limit).
+        let p = ConvParams::new(Nhwc::new(1, 64, 64, 1), 1, 3, 3, 1, 1).unwrap();
+        let c = census(&p, 1);
+        let ratio = c.element_dup_ratio();
+        assert!(
+            (ratio - 8.0 / 9.0).abs() < 0.02,
+            "expected ~0.889, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn no_duplication_across_batches() {
+        let single = census(
+            &ConvParams::new(Nhwc::new(1, 8, 8, 2), 1, 3, 3, 1, 1).unwrap(),
+            1,
+        );
+        let batched = census(
+            &ConvParams::new(Nhwc::new(4, 8, 8, 2), 1, 3, 3, 1, 1).unwrap(),
+            1,
+        );
+        assert_eq!(batched.unique_elements, 4 * single.unique_elements);
+        assert_eq!(batched.total_elements, 4 * single.total_elements);
+    }
+
+    #[test]
+    fn stride_reduces_duplication() {
+        let s1 = census(
+            &ConvParams::new(Nhwc::new(1, 16, 16, 2), 1, 3, 3, 1, 1).unwrap(),
+            1,
+        );
+        let s2 = census(
+            &ConvParams::new(Nhwc::new(1, 16, 16, 2), 1, 3, 3, 1, 2).unwrap(),
+            1,
+        );
+        assert!(
+            s2.element_dup_ratio() < s1.element_dup_ratio(),
+            "stride 2 ({}) must duplicate less than stride 1 ({})",
+            s2.element_dup_ratio(),
+            s1.element_dup_ratio()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Convolution algorithms and lowering machinery for the Duplo reproduction.
+//!
+//! This crate implements every convolution method the paper compares
+//! (§II-A, Fig. 2/3) plus the data-duplication identification math that the
+//! Duplo detection unit is built on (§III):
+//!
+//! * [`direct`] — the sliding-filter reference (and the correctness oracle
+//!   for every other method),
+//! * [`lowering`] — im2col expansion of an `NHWC` input into a workspace
+//!   matrix, the transformation that creates data duplication,
+//! * [`gemm`] — GEMM-based convolution (explicit workspace x filter matrix),
+//! * [`winograd`] — Winograd `F(2x2, 3x3)` convolution for unit-stride 3x3
+//!   filters,
+//! * [`fft`] — FFT-based convolution (own complex/radix-2 FFT substrate),
+//! * [`transposed`] — transposed ("TC") convolution used by the GAN layers,
+//!   via zero-insertion upsampling,
+//! * [`ids`] — the patch/element/batch ID scheme of §III that assigns equal
+//!   IDs to equal-valued workspace entries, plus a duplication census,
+//! * [`memuse`] — the analytic memory-usage model behind Fig. 3,
+//! * [`layers`] — the Table I layer catalog (ResNet, GAN, YOLO).
+//!
+//! # Examples
+//!
+//! ```
+//! use duplo_conv::{ConvParams, direct, gemm};
+//! use duplo_tensor::{Nhwc, Tensor4};
+//!
+//! let params = ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1)?;
+//! let input = Tensor4::from_fn(params.input, |_, h, w, _| (h * 4 + w) as f32);
+//! let filters = Tensor4::from_fn(params.filter_shape(), |_, _, _, _| 1.0);
+//! let a = direct::convolve(&params, &input, &filters);
+//! let b = gemm::convolve(&params, &input, &filters);
+//! assert_eq!(a.as_slice(), b.as_slice());
+//! # Ok::<(), duplo_conv::ConvError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod direct;
+pub mod fft;
+pub mod gemm;
+pub mod ids;
+pub mod layers;
+pub mod lowering;
+pub mod memuse;
+pub mod transposed;
+pub mod winograd;
+
+mod params;
+
+pub use params::{ConvError, ConvParams};

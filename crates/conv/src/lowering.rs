@@ -1,0 +1,215 @@
+//! Lowering (im2col): expanding an `NHWC` input into a workspace matrix.
+//!
+//! Lowering transforms the deeply-nested convolution loops into a single
+//! matrix multiplication (paper Fig. 1(b) and Fig. 4). The workspace has one
+//! row per output position `(n, oh, ow)` and one column per filter tap
+//! `(r, s, c)` with the channel innermost — the `NHWC`-mandated order for
+//! tensor cores. Expanding the input in this way is exactly what creates the
+//! duplicate data that Duplo eliminates.
+
+use crate::ConvParams;
+use duplo_tensor::{Matrix, Tensor4};
+
+/// Decomposed coordinates of one workspace entry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct WorkspaceCoord {
+    /// Batch image.
+    pub n: usize,
+    /// Output row.
+    pub oh: usize,
+    /// Output column.
+    pub ow: usize,
+    /// Filter row.
+    pub r: usize,
+    /// Filter column.
+    pub s: usize,
+    /// Input channel.
+    pub c: usize,
+}
+
+/// Maps a workspace (row, col) pair to its decomposed coordinates.
+///
+/// `row = (n * out_h + oh) * out_w + ow`, `col = (r * fw + s) * C + c`.
+pub fn coord(params: &ConvParams, row: usize, col: usize) -> WorkspaceCoord {
+    let (oh_all, ow_all) = (params.out_h(), params.out_w());
+    let ow = row % ow_all;
+    let oh = (row / ow_all) % oh_all;
+    let n = row / (ow_all * oh_all);
+    let c = col % params.input.c;
+    let rest = col / params.input.c;
+    let s = rest % params.fw;
+    let r = rest / params.fw;
+    WorkspaceCoord { n, oh, ow, r, s, c }
+}
+
+/// The input-tensor coordinate a workspace entry reads, in padded space.
+/// Returns `(n, ih, iw, c)` where `ih`/`iw` may be negative or out of range
+/// (zero padding).
+pub fn source_coord(params: &ConvParams, row: usize, col: usize) -> (usize, isize, isize, usize) {
+    let w = coord(params, row, col);
+    let ih = (w.oh * params.stride + w.r) as isize - params.pad as isize;
+    let iw = (w.ow * params.stride + w.s) as isize - params.pad as isize;
+    (w.n, ih, iw, w.c)
+}
+
+/// The value a workspace entry holds, computed on the fly (the functional
+/// core of *implicit* GEMM, which never materializes the workspace).
+pub fn workspace_value(params: &ConvParams, input: &Tensor4, row: usize, col: usize) -> f32 {
+    let (n, ih, iw, c) = source_coord(params, row, col);
+    input.get_padded(n, ih, iw, c)
+}
+
+/// Materializes the full workspace matrix (explicit lowering).
+///
+/// # Panics
+///
+/// Panics if `input` does not match `params.input`.
+///
+/// # Examples
+///
+/// ```
+/// use duplo_conv::{ConvParams, lowering};
+/// use duplo_tensor::{Nhwc, Tensor4};
+///
+/// let params = ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1)?;
+/// let input = Tensor4::from_vec(
+///     params.input,
+///     vec![3., 1., 4., -2., 1., 0., -2., 1., 4., -2., 4., 0., -2., 1., 0., 3.],
+/// );
+/// let ws = lowering::lower(&params, &input);
+/// // First row of the paper's Figure 1(b) workspace.
+/// assert_eq!(ws.row(0), &[3., 1., 4., 1., 0., -2., 4., -2., 4.]);
+/// # Ok::<(), duplo_conv::ConvError>(())
+/// ```
+pub fn lower(params: &ConvParams, input: &Tensor4) -> Matrix {
+    assert_eq!(input.shape(), params.input, "input shape mismatch");
+    let (m, _, k) = params.gemm_dims();
+    Matrix::from_fn(m, k, |row, col| workspace_value(params, input, row, col))
+}
+
+/// Builds the `K x N` filter matrix (matrix `B` in `D = A*B + C`):
+/// `B[(r*fw+s)*C + c, k] = filters[k, r, s, c]`.
+///
+/// # Panics
+///
+/// Panics if `filters` does not match `params.filter_shape()`.
+pub fn filter_matrix(params: &ConvParams, filters: &Tensor4) -> Matrix {
+    assert_eq!(filters.shape(), params.filter_shape(), "filter shape mismatch");
+    let (_, n, k) = params.gemm_dims();
+    Matrix::from_fn(k, n, |col, kf| {
+        let c = col % params.input.c;
+        let rest = col / params.input.c;
+        let s = rest % params.fw;
+        let r = rest / params.fw;
+        filters.get(kf, r, s, c)
+    })
+}
+
+/// Reshapes the `M x N` GEMM output back into the `NHWC` output tensor.
+pub fn output_from_gemm(params: &ConvParams, product: &Matrix) -> Tensor4 {
+    let shape = params.output_shape();
+    let (m, n, _) = params.gemm_dims();
+    assert_eq!(product.rows(), m, "GEMM output rows mismatch");
+    assert_eq!(product.cols(), n, "GEMM output cols mismatch");
+    Tensor4::from_vec(shape, product.as_slice().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplo_tensor::Nhwc;
+
+    fn fig1_params() -> ConvParams {
+        ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1).unwrap()
+    }
+
+    fn fig1_input(params: &ConvParams) -> Tensor4 {
+        Tensor4::from_vec(
+            params.input,
+            vec![
+                3., 1., 4., -2., 1., 0., -2., 1., 4., -2., 4., 0., -2., 1., 0., 3.,
+            ],
+        )
+    }
+
+    #[test]
+    fn figure1_workspace_matches_paper() {
+        let params = fig1_params();
+        let ws = lower(&params, &fig1_input(&params));
+        let expected: [[f32; 9]; 4] = [
+            [3., 1., 4., 1., 0., -2., 4., -2., 4.],
+            [1., 4., -2., 0., -2., 1., -2., 4., 0.],
+            [1., 0., -2., 4., -2., 4., -2., 1., 0.],
+            [0., -2., 1., -2., 4., 0., 1., 0., 3.],
+        ];
+        for (r, want) in expected.iter().enumerate() {
+            assert_eq!(ws.row(r), want, "workspace row {r}");
+        }
+    }
+
+    #[test]
+    fn figure5_duplicate_patches() {
+        // Fig. 5: workspace rows 0 and 2 share the patch [1, 0, -2] (columns
+        // 3..6 of row 0 equal columns 0..3 of row 2).
+        let params = fig1_params();
+        let ws = lower(&params, &fig1_input(&params));
+        assert_eq!(&ws.row(0)[3..6], &ws.row(2)[0..3]);
+        assert_eq!(&ws.row(1)[3..6], &ws.row(3)[0..3]);
+    }
+
+    #[test]
+    fn implicit_and_explicit_lowering_agree() {
+        let params = ConvParams::new(Nhwc::new(2, 6, 5, 3), 4, 3, 3, 1, 2).unwrap();
+        let input = Tensor4::from_fn(params.input, |n, h, w, c| {
+            (n * 1000 + h * 100 + w * 10 + c) as f32
+        });
+        let ws = lower(&params, &input);
+        let (m, _, k) = params.gemm_dims();
+        for row in 0..m {
+            for col in 0..k {
+                assert_eq!(
+                    ws[(row, col)],
+                    workspace_value(&params, &input, row, col),
+                    "row {row} col {col}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padded_entries_are_zero() {
+        let params = ConvParams::new(Nhwc::new(1, 3, 3, 1), 1, 3, 3, 1, 1).unwrap();
+        let input = Tensor4::from_fn(params.input, |_, _, _, _| 5.0);
+        let ws = lower(&params, &input);
+        // Row 0 is output (0,0): filter anchored at (-1,-1); tap (0,0) reads
+        // padding.
+        assert_eq!(ws[(0, 0)], 0.0);
+        // Tap (1,1) reads input (0,0).
+        assert_eq!(ws[(0, 4)], 5.0);
+    }
+
+    #[test]
+    fn channel_is_innermost_in_columns() {
+        let params = ConvParams::new(Nhwc::new(1, 3, 3, 2), 1, 2, 2, 0, 1).unwrap();
+        let input = Tensor4::from_fn(params.input, |_, h, w, c| (h * 100 + w * 10 + c) as f32);
+        let ws = lower(&params, &input);
+        // Row 0 = output (0,0). Columns: (r,s,c) = (0,0,0),(0,0,1),(0,1,0)...
+        assert_eq!(ws[(0, 0)], 0.0); // input (0,0,0)
+        assert_eq!(ws[(0, 1)], 1.0); // input (0,0,1)
+        assert_eq!(ws[(0, 2)], 10.0); // input (0,1,0)
+        assert_eq!(ws[(0, 4)], 100.0); // (r,s,c)=(1,0,0) -> input (1,0,0)
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let params = ConvParams::new(Nhwc::new(2, 8, 8, 4), 8, 3, 3, 1, 2).unwrap();
+        let (m, _, k) = params.gemm_dims();
+        for row in [0, 1, m / 2, m - 1] {
+            for col in [0, 1, k / 2, k - 1] {
+                let w = coord(&params, row, col);
+                assert_eq!((w.n * params.out_h() + w.oh) * params.out_w() + w.ow, row);
+                assert_eq!((w.r * params.fw + w.s) * params.input.c + w.c, col);
+            }
+        }
+    }
+}

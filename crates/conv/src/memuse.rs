@@ -1,0 +1,208 @@
+//! Analytic memory-usage model behind the paper's Fig. 3.
+//!
+//! Fig. 3 reports each convolution method's memory footprint relative to
+//! direct convolution, measured on real hardware. The footprints are fully
+//! determined by the layer geometry, so this module reproduces them exactly
+//! analytically:
+//!
+//! * every method keeps the framework's `f32` master copies of input,
+//!   filters and output;
+//! * tensor-core methods additionally keep `f16` operand copies;
+//! * explicit GEMM materializes the lowered workspace in global memory;
+//!   implicit GEMM (the cuDNN tensor-core path measured in Fig. 3) stages
+//!   workspace tiles through shared memory and adds no global footprint;
+//! * Winograd keeps transformed filter/input/product tiles (`U`, `V`, `M`);
+//! * FFT keeps padded complex spectra for inputs, filters and products —
+//!   by far the largest buffers.
+
+use crate::{ConvParams, fft, winograd};
+
+/// The convolution methods compared in Fig. 2 and Fig. 3.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ConvMethod {
+    /// Sliding-filter direct convolution (the 1x reference).
+    Direct,
+    /// Explicit-workspace GEMM on CUDA cores (`GEMM` bars).
+    Gemm,
+    /// Implicit GEMM on tensor cores (`GEMM_TC` bars; the cuDNN path).
+    GemmTc,
+    /// Explicit-workspace GEMM on tensor cores — the paper's §V baseline
+    /// that Duplo modifies (not a Fig. 3 bar, provided for completeness).
+    ExplicitGemmTc,
+    /// Winograd `F(2x2, 3x3)` on CUDA cores.
+    Winograd,
+    /// Winograd with tensor-core batched GEMM (`Winograd_TC` bars).
+    WinogradTc,
+    /// FFT-based convolution.
+    Fft,
+}
+
+impl ConvMethod {
+    /// All Fig. 2/3 methods, in the paper's legend order.
+    pub const FIG_METHODS: [ConvMethod; 5] = [
+        ConvMethod::Gemm,
+        ConvMethod::Winograd,
+        ConvMethod::Fft,
+        ConvMethod::GemmTc,
+        ConvMethod::WinogradTc,
+    ];
+
+    /// Short label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConvMethod::Direct => "Direct",
+            ConvMethod::Gemm => "GEMM",
+            ConvMethod::GemmTc => "GEMM_TC",
+            ConvMethod::ExplicitGemmTc => "GEMM_TC_explicit",
+            ConvMethod::Winograd => "Winograd",
+            ConvMethod::WinogradTc => "Winograd_TC",
+            ConvMethod::Fft => "FFT",
+        }
+    }
+
+    /// Whether the method applies to the given convolution (paper rules:
+    /// Winograd needs unit stride and 3x3 filters; FFT needs unit stride).
+    pub fn applicable(&self, params: &ConvParams) -> bool {
+        match self {
+            ConvMethod::Winograd | ConvMethod::WinogradTc => {
+                winograd::check_applicable(params).is_ok()
+            }
+            ConvMethod::Fft => fft::check_applicable(params).is_ok(),
+            _ => true,
+        }
+    }
+}
+
+const F32: u64 = 4;
+const F16B: u64 = 2;
+
+/// Number of Winograd 2x2 output tiles for `params`.
+fn winograd_tiles(params: &ConvParams) -> u64 {
+    let th = params.out_h().div_ceil(2) as u64;
+    let tw = params.out_w().div_ceil(2) as u64;
+    params.input.n as u64 * th * tw
+}
+
+/// Total bytes of global memory the method uses for `params`.
+///
+/// Returns `None` when the method is inapplicable (the missing bars in
+/// Fig. 3).
+pub fn bytes_used(method: ConvMethod, params: &ConvParams) -> Option<u64> {
+    if !method.applicable(params) {
+        return None;
+    }
+    let input = params.input.len() as u64;
+    let filters = params.filter_shape().len() as u64;
+    let output = params.output_shape().len() as u64;
+    let base = (input + filters + output) * F32;
+    let ws = params.workspace_len() as u64;
+
+    Some(match method {
+        ConvMethod::Direct => base,
+        ConvMethod::Gemm => base + ws * F32,
+        // Implicit GEMM: f16 operand copies of input and filters; workspace
+        // tiles live in shared memory only.
+        ConvMethod::GemmTc => base + (input + filters) * F16B,
+        // Explicit tensor-core GEMM: f16 workspace + f16 filter matrix.
+        ConvMethod::ExplicitGemmTc => base + (ws + filters) * F16B,
+        ConvMethod::Winograd | ConvMethod::WinogradTc => {
+            let tiles = winograd_tiles(params);
+            let c = params.input.c as u64;
+            let k = params.filters as u64;
+            // U: 16 per (filter, channel); V: 16 per (tile, channel);
+            // M: 16 per (tile, filter).
+            let elems = 16 * (k * c + tiles * c + tiles * k);
+            let word = if method == ConvMethod::WinogradTc { F16B } else { F32 };
+            base + elems * word
+        }
+        ConvMethod::Fft => {
+            let s = fft::transform_size(params) as u64;
+            let n = params.input.n as u64;
+            let c = params.input.c as u64;
+            let k = params.filters as u64;
+            // Complex (2 floats) spectra: per-image-channel input planes,
+            // per-filter-channel planes, per-(image, filter) accumulators.
+            let planes = n * c + k * c + n * k;
+            base + planes * s * s * 2 * F32
+        }
+    })
+}
+
+/// Memory usage of `method` relative to direct convolution (the Fig. 3
+/// y-axis). `None` when inapplicable.
+pub fn relative_usage(method: ConvMethod, params: &ConvParams) -> Option<f64> {
+    let direct = bytes_used(ConvMethod::Direct, params).expect("direct always applies");
+    bytes_used(method, params).map(|b| b as f64 / direct as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers;
+    use duplo_tensor::Nhwc;
+
+    #[test]
+    fn direct_is_the_unit_reference() {
+        let p = ConvParams::new(Nhwc::new(8, 56, 56, 64), 64, 3, 3, 1, 1).unwrap();
+        assert_eq!(relative_usage(ConvMethod::Direct, &p), Some(1.0));
+    }
+
+    #[test]
+    fn explicit_gemm_dominated_by_workspace_expansion() {
+        // ResNet C2: K = 576, so the workspace is 9x the input; relative
+        // usage must land near (base + 9*input*4) / base.
+        let p = ConvParams::new(Nhwc::new(8, 56, 56, 64), 64, 3, 3, 1, 1).unwrap();
+        let r = relative_usage(ConvMethod::Gemm, &p).unwrap();
+        assert!(r > 4.0 && r < 8.0, "got {r}");
+    }
+
+    #[test]
+    fn fig3_ordering_fft_largest_implicit_tc_smallest() {
+        // Averaged over applicable Table I layers, the paper's ordering is
+        // FFT > Winograd > GEMM > GEMM_TC (53.5x > 12.2x > 9.7x > 1.1x).
+        let mut sums = std::collections::HashMap::new();
+        let mut counts = std::collections::HashMap::new();
+        for layer in layers::all_layers() {
+            let p = layer.lowered();
+            for m in [ConvMethod::Gemm, ConvMethod::GemmTc, ConvMethod::Winograd, ConvMethod::Fft]
+            {
+                if let Some(r) = relative_usage(m, &p) {
+                    *sums.entry(m.label()).or_insert(0.0) += r.ln();
+                    *counts.entry(m.label()).or_insert(0u32) += 1;
+                }
+            }
+        }
+        let gmean = |l: &str| (sums[l] / counts[l] as f64).exp();
+        let (gemm, tc, wino, fft) = (
+            gmean("GEMM"),
+            gmean("GEMM_TC"),
+            gmean("Winograd"),
+            gmean("FFT"),
+        );
+        assert!(fft > wino, "FFT {fft} must exceed Winograd {wino}");
+        assert!(fft > gemm, "FFT {fft} must exceed GEMM {gemm}");
+        assert!(gemm > tc, "GEMM {gemm} must exceed implicit GEMM_TC {tc}");
+        assert!(tc < 2.0, "implicit GEMM_TC should be near 1x, got {tc}");
+    }
+
+    #[test]
+    fn inapplicable_methods_have_no_bar() {
+        // GAN layers are all stride 2: no Winograd or FFT bars (Fig. 2/3).
+        let gan_c1 = ConvParams::new(Nhwc::new(8, 64, 64, 3), 64, 5, 5, 2, 2).unwrap();
+        assert_eq!(bytes_used(ConvMethod::Winograd, &gan_c1), None);
+        assert_eq!(bytes_used(ConvMethod::Fft, &gan_c1), None);
+        assert!(bytes_used(ConvMethod::Gemm, &gan_c1).is_some());
+    }
+
+    #[test]
+    fn implicit_gemm_uses_less_than_explicit_tc() {
+        // §II-C: "the implicit GEMM uses 8.8x less global memory space than
+        // the explicit method" — at minimum, strictly less.
+        for layer in layers::all_layers() {
+            let p = layer.lowered();
+            let imp = bytes_used(ConvMethod::GemmTc, &p).unwrap();
+            let exp = bytes_used(ConvMethod::ExplicitGemmTc, &p).unwrap();
+            assert!(imp < exp, "{}: implicit {imp} !< explicit {exp}", layer.qualified_name());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Convolution parameters and derived geometry.
+
+use duplo_tensor::Nhwc;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when convolution parameters are inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvError {
+    /// The filter (minus padding) does not fit inside the input.
+    FilterTooLarge {
+        /// Effective input extent (dimension + 2*pad).
+        padded: usize,
+        /// Filter extent along the same axis.
+        filter: usize,
+    },
+    /// Stride of zero was requested.
+    ZeroStride,
+    /// Filter channel count must equal the input channel count.
+    ChannelMismatch {
+        /// Input channels.
+        input: usize,
+        /// Filter channels.
+        filter: usize,
+    },
+    /// A method-specific applicability failure (e.g. Winograd with stride 2).
+    Inapplicable(&'static str),
+}
+
+impl fmt::Display for ConvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvError::FilterTooLarge { padded, filter } => write!(
+                f,
+                "filter extent {filter} exceeds padded input extent {padded}"
+            ),
+            ConvError::ZeroStride => write!(f, "stride must be nonzero"),
+            ConvError::ChannelMismatch { input, filter } => write!(
+                f,
+                "filter channels {filter} do not match input channels {input}"
+            ),
+            ConvError::Inapplicable(msg) => write!(f, "method not applicable: {msg}"),
+        }
+    }
+}
+
+impl Error for ConvError {}
+
+/// Full description of a convolutional layer (paper Table I row).
+///
+/// A convolution maps an `NHWC` input through `k` filters of spatial size
+/// `fh x fw` (each spanning all input channels) with symmetric zero padding
+/// `pad` and stride `stride`.
+///
+/// # Examples
+///
+/// ```
+/// use duplo_conv::ConvParams;
+/// use duplo_tensor::Nhwc;
+///
+/// // ResNet C2: 8x56x56x64 input, 64 3x3 filters, pad 1, stride 1.
+/// let p = ConvParams::new(Nhwc::new(8, 56, 56, 64), 64, 3, 3, 1, 1)?;
+/// assert_eq!(p.output_shape(), Nhwc::new(8, 56, 56, 64));
+/// let (m, n, k) = p.gemm_dims();
+/// assert_eq!((m, n, k), (8 * 56 * 56, 64, 3 * 3 * 64));
+/// # Ok::<(), duplo_conv::ConvError>(())
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConvParams {
+    /// Input tensor shape (N, H, W, C).
+    pub input: Nhwc,
+    /// Number of filters (output channels).
+    pub filters: usize,
+    /// Filter height.
+    pub fh: usize,
+    /// Filter width.
+    pub fw: usize,
+    /// Symmetric zero padding on each spatial border.
+    pub pad: usize,
+    /// Stride along both spatial axes.
+    pub stride: usize,
+}
+
+impl ConvParams {
+    /// Creates and validates convolution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::ZeroStride`] for a zero stride and
+    /// [`ConvError::FilterTooLarge`] when the filter does not fit inside the
+    /// padded input.
+    pub fn new(
+        input: Nhwc,
+        filters: usize,
+        fh: usize,
+        fw: usize,
+        pad: usize,
+        stride: usize,
+    ) -> Result<ConvParams, ConvError> {
+        if stride == 0 {
+            return Err(ConvError::ZeroStride);
+        }
+        let ph = input.h + 2 * pad;
+        let pw = input.w + 2 * pad;
+        if fh > ph {
+            return Err(ConvError::FilterTooLarge { padded: ph, filter: fh });
+        }
+        if fw > pw {
+            return Err(ConvError::FilterTooLarge { padded: pw, filter: fw });
+        }
+        assert!(filters > 0 && fh > 0 && fw > 0, "filter dims must be nonzero");
+        Ok(ConvParams {
+            input,
+            filters,
+            fh,
+            fw,
+            pad,
+            stride,
+        })
+    }
+
+    /// Output height: `(H + 2*pad - fh) / stride + 1`.
+    pub fn out_h(&self) -> usize {
+        (self.input.h + 2 * self.pad - self.fh) / self.stride + 1
+    }
+
+    /// Output width: `(W + 2*pad - fw) / stride + 1`.
+    pub fn out_w(&self) -> usize {
+        (self.input.w + 2 * self.pad - self.fw) / self.stride + 1
+    }
+
+    /// Shape of the convolution output (N, out_h, out_w, filters).
+    pub fn output_shape(&self) -> Nhwc {
+        Nhwc::new(self.input.n, self.out_h(), self.out_w(), self.filters)
+    }
+
+    /// Shape of the filter bank as an `NHWC` tensor: (filters, fh, fw, C).
+    pub fn filter_shape(&self) -> Nhwc {
+        Nhwc::new(self.filters, self.fh, self.fw, self.input.c)
+    }
+
+    /// GEMM dimensions `(M, N, K)` of the lowered convolution:
+    /// `M = N*out_h*out_w` workspace rows, `N = filters`,
+    /// `K = fh*fw*C` workspace columns.
+    pub fn gemm_dims(&self) -> (usize, usize, usize) {
+        (
+            self.input.n * self.out_h() * self.out_w(),
+            self.filters,
+            self.fh * self.fw * self.input.c,
+        )
+    }
+
+    /// Number of workspace elements created by lowering (`M * K`).
+    pub fn workspace_len(&self) -> usize {
+        let (m, _, k) = self.gemm_dims();
+        m * k
+    }
+
+    /// Multiply-accumulate count of the convolution (same for direct and
+    /// GEMM-based evaluation).
+    pub fn macs(&self) -> u64 {
+        let (m, n, k) = self.gemm_dims();
+        m as u64 * n as u64 * k as u64
+    }
+
+    /// Returns the same convolution with a different batch size (Fig. 13
+    /// batch sweeps).
+    pub fn with_batch(&self, n: usize) -> ConvParams {
+        ConvParams {
+            input: self.input.with_batch(n),
+            ..*self
+        }
+    }
+
+    /// Expansion factor of the workspace over the raw input
+    /// (`workspace_len / input.len()`), the source of data duplication.
+    pub fn expansion_factor(&self) -> f64 {
+        self.workspace_len() as f64 / self.input.len() as f64
+    }
+}
+
+impl fmt::Display for ConvParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in {} * {}x{}x{}x{} pad {} stride {}",
+            self.input, self.filters, self.fh, self.fw, self.input.c, self.pad, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_c1_geometry_matches_table1() {
+        // C1: 8x224x224x3, 64 7x7 filters, pad 3, stride 2 -> 8x112x112x64.
+        let p = ConvParams::new(Nhwc::new(8, 224, 224, 3), 64, 7, 7, 3, 2).unwrap();
+        assert_eq!(p.output_shape(), Nhwc::new(8, 112, 112, 64));
+        assert_eq!(p.gemm_dims(), (8 * 112 * 112, 64, 7 * 7 * 3));
+    }
+
+    #[test]
+    fn paper_figure1_geometry() {
+        // 4x4 input, 3x3 filter, no pad, stride 1 -> 2x2 output, 4x9 workspace.
+        let p = ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1).unwrap();
+        assert_eq!(p.out_h(), 2);
+        assert_eq!(p.out_w(), 2);
+        assert_eq!(p.gemm_dims(), (4, 1, 9));
+        assert_eq!(p.workspace_len(), 36);
+        assert!((p.expansion_factor() - 36.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        assert_eq!(
+            ConvParams::new(Nhwc::new(1, 2, 2, 1), 1, 3, 3, 0, 1),
+            Err(ConvError::FilterTooLarge { padded: 2, filter: 3 })
+        );
+        assert_eq!(
+            ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 0),
+            Err(ConvError::ZeroStride)
+        );
+    }
+
+    #[test]
+    fn padding_makes_large_filters_fit() {
+        assert!(ConvParams::new(Nhwc::new(1, 2, 2, 1), 1, 3, 3, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn strided_output_dims() {
+        // ResNet C3: 56x56, 3x3, pad 0, stride 2 -> 27x27.
+        let p = ConvParams::new(Nhwc::new(8, 56, 56, 64), 128, 3, 3, 0, 2).unwrap();
+        assert_eq!(p.out_h(), 27);
+        assert_eq!(p.out_w(), 27);
+    }
+}

@@ -1,0 +1,265 @@
+//! Transposed convolution ("TC" layers of the GAN generator).
+//!
+//! The paper lowers transposed convolutions the same way cuDNN does:
+//! "transposed convolution ... upsamples input data by inserting zeros
+//! before performing a convolution" (§II-A). We therefore convert every TC
+//! layer into an equivalent *unit-stride* convolution over a zero-inserted
+//! input, and that equivalent convolution is what gets lowered to GEMM —
+//! with all the workspace duplication a unit-stride 5x5 filter implies
+//! (which is why the GAN TC layers enjoy large Duplo gains in Fig. 9).
+//!
+//! Geometry follows the DCGAN convention (`out = in * stride` for the
+//! `stride = 2, 5x5, pad 2` layers of Table I): the zero-inserted image has
+//! `stride - 1` zeros after *every* input element (including the last), and
+//! the equivalent convolution uses padding `fh - 1 - pad`.
+
+use crate::{ConvError, ConvParams, direct};
+use duplo_tensor::{Nhwc, Tensor4};
+use std::fmt;
+
+/// Parameters of a transposed convolutional layer (Table I "TC" rows).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TransposedConvParams {
+    /// Input tensor shape.
+    pub input: Nhwc,
+    /// Number of filters (output channels).
+    pub filters: usize,
+    /// Filter height.
+    pub fh: usize,
+    /// Filter width.
+    pub fw: usize,
+    /// Padding parameter of the transposed convolution.
+    pub pad: usize,
+    /// Upsampling stride.
+    pub stride: usize,
+}
+
+impl TransposedConvParams {
+    /// Creates and validates transposed-convolution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::ZeroStride`] for zero stride and
+    /// [`ConvError::Inapplicable`] when `pad >= fh` (the equivalent
+    /// convolution would need negative padding).
+    pub fn new(
+        input: Nhwc,
+        filters: usize,
+        fh: usize,
+        fw: usize,
+        pad: usize,
+        stride: usize,
+    ) -> Result<TransposedConvParams, ConvError> {
+        if stride == 0 {
+            return Err(ConvError::ZeroStride);
+        }
+        if pad + 1 > fh || pad + 1 > fw {
+            return Err(ConvError::Inapplicable(
+                "transposed conv requires pad < filter extent",
+            ));
+        }
+        Ok(TransposedConvParams {
+            input,
+            filters,
+            fh,
+            fw,
+            pad,
+            stride,
+        })
+    }
+
+    /// Shape of the zero-inserted (upsampled) image: `H*stride x W*stride`.
+    pub fn upsampled_shape(&self) -> Nhwc {
+        Nhwc::new(
+            self.input.n,
+            self.input.h * self.stride,
+            self.input.w * self.stride,
+            self.input.c,
+        )
+    }
+
+    /// The equivalent unit-stride convolution over the zero-inserted input.
+    /// This is the convolution that actually gets lowered to GEMM.
+    pub fn equivalent_conv(&self) -> ConvParams {
+        ConvParams::new(
+            self.upsampled_shape(),
+            self.filters,
+            self.fh,
+            self.fw,
+            self.fh - 1 - self.pad,
+            1,
+        )
+        .expect("equivalent conv of a validated transposed conv is valid")
+    }
+
+    /// Output shape: `N x (H*stride + fh - 1 - 2*pad) x ... x filters`.
+    pub fn output_shape(&self) -> Nhwc {
+        self.equivalent_conv().output_shape()
+    }
+
+    /// Returns the same layer with a different batch size.
+    pub fn with_batch(&self, n: usize) -> TransposedConvParams {
+        TransposedConvParams {
+            input: self.input.with_batch(n),
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for TransposedConvParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transposed in {} * {}x{}x{}x{} pad {} stride {}",
+            self.input, self.filters, self.fh, self.fw, self.input.c, self.pad, self.stride
+        )
+    }
+}
+
+/// Produces the zero-inserted (upsampled) tensor: element `(n, h, w, c)` of
+/// the input lands at `(n, h*stride, w*stride, c)`; all other entries are
+/// zero.
+pub fn upsample(params: &TransposedConvParams, input: &Tensor4) -> Tensor4 {
+    assert_eq!(input.shape(), params.input, "input shape mismatch");
+    let mut up = Tensor4::zeros(params.upsampled_shape());
+    for n in 0..params.input.n {
+        for h in 0..params.input.h {
+            for w in 0..params.input.w {
+                for c in 0..params.input.c {
+                    up.set(n, h * params.stride, w * params.stride, c, input.get(n, h, w, c));
+                }
+            }
+        }
+    }
+    up
+}
+
+/// Transposed convolution via the lowering path: zero-insert, then run the
+/// equivalent unit-stride convolution (gather form).
+pub fn convolve(params: &TransposedConvParams, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
+    let up = upsample(params, input);
+    direct::convolve(&params.equivalent_conv(), &up, filters)
+}
+
+/// Independent scatter-form reference: every input element scatters its
+/// contribution `in * filter[r][s]` to the output.
+///
+/// The scatter form uses the *flipped* filter relative to the gather form;
+/// this function performs the flip internally so that it computes the same
+/// function as [`convolve`], giving an independent cross-check of the
+/// zero-insertion lowering.
+pub fn convolve_scatter(
+    params: &TransposedConvParams,
+    input: &Tensor4,
+    filters: &Tensor4,
+) -> Tensor4 {
+    assert_eq!(input.shape(), params.input, "input shape mismatch");
+    assert_eq!(
+        filters.shape(),
+        Nhwc::new(params.filters, params.fh, params.fw, params.input.c),
+        "filter shape mismatch"
+    );
+    let out_shape = params.output_shape();
+    let mut out = Tensor4::zeros(out_shape);
+    let eq_pad = (params.fh - 1 - params.pad) as isize;
+    for n in 0..params.input.n {
+        for ih in 0..params.input.h {
+            for iw in 0..params.input.w {
+                for r in 0..params.fh {
+                    for s in 0..params.fw {
+                        // Gather: out[oh] reads up[oh + r - eq_pad]; the
+                        // upsampled nonzero at ih*stride is read when
+                        // oh = ih*stride - r + eq_pad.
+                        let oh = ih as isize * params.stride as isize - r as isize + eq_pad;
+                        let ow = iw as isize * params.stride as isize - s as isize
+                            + (params.fw - 1 - params.pad) as isize;
+                        if oh < 0
+                            || ow < 0
+                            || oh as usize >= out_shape.h
+                            || ow as usize >= out_shape.w
+                        {
+                            continue;
+                        }
+                        for k in 0..params.filters {
+                            let mut acc = 0.0;
+                            for c in 0..params.input.c {
+                                acc += input.get(n, ih, iw, c) * filters.get(k, r, s, c);
+                            }
+                            let cur = out.get(n, oh as usize, ow as usize, k);
+                            out.set(n, oh as usize, ow as usize, k, cur + acc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplo_tensor::approx_eq;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn gan_tc1_geometry() {
+        let p = TransposedConvParams::new(Nhwc::new(8, 4, 4, 512), 256, 5, 5, 2, 2).unwrap();
+        assert_eq!(p.upsampled_shape(), Nhwc::new(8, 8, 8, 512));
+        assert_eq!(p.output_shape(), Nhwc::new(8, 8, 8, 256));
+        let eq = p.equivalent_conv();
+        assert_eq!(eq.stride, 1);
+        assert_eq!(eq.pad, 2);
+    }
+
+    #[test]
+    fn upsample_places_values_on_stride_grid() {
+        let p = TransposedConvParams::new(Nhwc::new(1, 2, 2, 1), 1, 3, 3, 1, 2).unwrap();
+        let input = Tensor4::from_vec(p.input, vec![1.0, 2.0, 3.0, 4.0]);
+        let up = upsample(&p, &input);
+        assert_eq!(up.shape(), Nhwc::new(1, 4, 4, 1));
+        assert_eq!(up.get(0, 0, 0, 0), 1.0);
+        assert_eq!(up.get(0, 0, 2, 0), 2.0);
+        assert_eq!(up.get(0, 2, 0, 0), 3.0);
+        assert_eq!(up.get(0, 2, 2, 0), 4.0);
+        assert_eq!(up.get(0, 1, 1, 0), 0.0);
+        assert_eq!(up.as_slice().iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn scatter_matches_gather_lowering() {
+        let cases = [
+            TransposedConvParams::new(Nhwc::new(1, 4, 4, 2), 3, 5, 5, 2, 2).unwrap(),
+            TransposedConvParams::new(Nhwc::new(2, 3, 5, 1), 2, 3, 3, 1, 2).unwrap(),
+            TransposedConvParams::new(Nhwc::new(1, 6, 6, 3), 2, 3, 3, 0, 1).unwrap(),
+        ];
+        for (i, p) in cases.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(i as u64);
+            let mut input = Tensor4::zeros(p.input);
+            input.fill_random(&mut rng);
+            let mut filters =
+                Tensor4::zeros(Nhwc::new(p.filters, p.fh, p.fw, p.input.c));
+            filters.fill_random(&mut rng);
+            let a = convolve(p, &input, &filters);
+            let b = convolve_scatter(p, &input, &filters);
+            assert!(approx_eq(a.as_slice(), b.as_slice(), 1e-4), "case {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn invalid_pad_rejected() {
+        assert!(matches!(
+            TransposedConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 3, 2),
+            Err(ConvError::Inapplicable(_))
+        ));
+    }
+
+    #[test]
+    fn all_gan_tc_layers_double_spatial_dims() {
+        for (h, c, k) in [(4, 512, 256), (8, 256, 128), (16, 128, 64), (32, 64, 3)] {
+            let p = TransposedConvParams::new(Nhwc::new(8, h, h, c), k, 5, 5, 2, 2).unwrap();
+            assert_eq!(p.output_shape().h, 2 * h, "TC layer {h} must upsample 2x");
+        }
+    }
+}

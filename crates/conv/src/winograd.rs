@@ -1,0 +1,247 @@
+//! Winograd `F(2x2, 3x3)` convolution (paper §II-A, ref. 18).
+//!
+//! The Winograd algorithm trades multiplications for additions by
+//! transforming 4x4 input tiles and 3x3 filters into a 4x4 "Winograd
+//! domain", multiplying element-wise, and inverse-transforming 2x2 output
+//! tiles. It applies only to unit-stride convolutions with specific filter
+//! sizes — the applicability limits the paper uses to argue for accelerating
+//! GEMM-based convolution instead (missing bars in Fig. 2/3).
+
+use crate::{ConvError, ConvParams};
+use duplo_tensor::Tensor4;
+
+/// Returns `Ok(())` when Winograd `F(2x2, 3x3)` applies to `params`:
+/// unit stride and a 3x3 filter.
+///
+/// # Errors
+///
+/// [`ConvError::Inapplicable`] explains which constraint failed.
+pub fn check_applicable(params: &ConvParams) -> Result<(), ConvError> {
+    if params.stride != 1 {
+        return Err(ConvError::Inapplicable(
+            "Winograd cannot handle non-unit-stride filters",
+        ));
+    }
+    if params.fh != 3 || params.fw != 3 {
+        return Err(ConvError::Inapplicable(
+            "Winograd F(2x2,3x3) requires a 3x3 filter",
+        ));
+    }
+    Ok(())
+}
+
+/// 4x4 filter transform `U = G g G^T` for one 3x3 filter channel.
+fn filter_transform(g: &[[f32; 3]; 3]) -> [[f32; 4]; 4] {
+    // G = [[1,0,0],[1/2,1/2,1/2],[1/2,-1/2,1/2],[0,0,1]]
+    let mut tmp = [[0.0f32; 3]; 4];
+    for col in 0..3 {
+        tmp[0][col] = g[0][col];
+        tmp[1][col] = 0.5 * (g[0][col] + g[1][col] + g[2][col]);
+        tmp[2][col] = 0.5 * (g[0][col] - g[1][col] + g[2][col]);
+        tmp[3][col] = g[2][col];
+    }
+    let mut u = [[0.0f32; 4]; 4];
+    for row in 0..4 {
+        u[row][0] = tmp[row][0];
+        u[row][1] = 0.5 * (tmp[row][0] + tmp[row][1] + tmp[row][2]);
+        u[row][2] = 0.5 * (tmp[row][0] - tmp[row][1] + tmp[row][2]);
+        u[row][3] = tmp[row][2];
+    }
+    u
+}
+
+/// 4x4 input transform `V = B^T d B`.
+fn input_transform(d: &[[f32; 4]; 4]) -> [[f32; 4]; 4] {
+    // B^T = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]
+    let mut tmp = [[0.0f32; 4]; 4];
+    for col in 0..4 {
+        tmp[0][col] = d[0][col] - d[2][col];
+        tmp[1][col] = d[1][col] + d[2][col];
+        tmp[2][col] = d[2][col] - d[1][col];
+        tmp[3][col] = d[1][col] - d[3][col];
+    }
+    let mut v = [[0.0f32; 4]; 4];
+    for row in 0..4 {
+        v[row][0] = tmp[row][0] - tmp[row][2];
+        v[row][1] = tmp[row][1] + tmp[row][2];
+        v[row][2] = tmp[row][2] - tmp[row][1];
+        v[row][3] = tmp[row][1] - tmp[row][3];
+    }
+    v
+}
+
+/// 2x2 output transform `Y = A^T m A`.
+fn output_transform(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
+    // A^T = [[1,1,1,0],[0,1,-1,-1]]
+    let mut tmp = [[0.0f32; 4]; 2];
+    for col in 0..4 {
+        tmp[0][col] = m[0][col] + m[1][col] + m[2][col];
+        tmp[1][col] = m[1][col] - m[2][col] - m[3][col];
+    }
+    let mut y = [[0.0f32; 2]; 2];
+    for row in 0..2 {
+        y[row][0] = tmp[row][0] + tmp[row][1] + tmp[row][2];
+        y[row][1] = tmp[row][1] - tmp[row][2] - tmp[row][3];
+    }
+    y
+}
+
+/// Winograd `F(2x2, 3x3)` convolution.
+///
+/// # Errors
+///
+/// Returns [`ConvError::Inapplicable`] when [`check_applicable`] fails —
+/// these are exactly the missing bars in the paper's Fig. 2/3.
+///
+/// # Panics
+///
+/// Panics if tensor shapes disagree with `params`.
+pub fn convolve(
+    params: &ConvParams,
+    input: &Tensor4,
+    filters: &Tensor4,
+) -> Result<Tensor4, ConvError> {
+    check_applicable(params)?;
+    assert_eq!(input.shape(), params.input, "input shape mismatch");
+    assert_eq!(filters.shape(), params.filter_shape(), "filter shape mismatch");
+
+    let out_shape = params.output_shape();
+    let mut out = Tensor4::zeros(out_shape);
+    let pad = params.pad as isize;
+
+    // Pre-transform every (filter, channel) pair once.
+    let mut u_all = vec![[[0.0f32; 4]; 4]; params.filters * params.input.c];
+    for k in 0..params.filters {
+        for c in 0..params.input.c {
+            let mut g = [[0.0f32; 3]; 3];
+            for (r, grow) in g.iter_mut().enumerate() {
+                for (s, gv) in grow.iter_mut().enumerate() {
+                    *gv = filters.get(k, r, s, c);
+                }
+            }
+            u_all[k * params.input.c + c] = filter_transform(&g);
+        }
+    }
+
+    for n in 0..out_shape.n {
+        for th in (0..out_shape.h).step_by(2) {
+            for tw in (0..out_shape.w).step_by(2) {
+                // Accumulate the Winograd-domain product over channels for
+                // all filters of this tile.
+                let mut m_acc = vec![[[0.0f32; 4]; 4]; params.filters];
+                for c in 0..params.input.c {
+                    let mut d = [[0.0f32; 4]; 4];
+                    for (i, drow) in d.iter_mut().enumerate() {
+                        for (j, dv) in drow.iter_mut().enumerate() {
+                            let ih = th as isize + i as isize - pad;
+                            let iw = tw as isize + j as isize - pad;
+                            *dv = input.get_padded(n, ih, iw, c);
+                        }
+                    }
+                    let v = input_transform(&d);
+                    for k in 0..params.filters {
+                        let u = &u_all[k * params.input.c + c];
+                        let m = &mut m_acc[k];
+                        for i in 0..4 {
+                            for j in 0..4 {
+                                m[i][j] += u[i][j] * v[i][j];
+                            }
+                        }
+                    }
+                }
+                for (k, m) in m_acc.iter().enumerate() {
+                    let y = output_transform(m);
+                    for (i, yrow) in y.iter().enumerate() {
+                        for (j, &yv) in yrow.iter().enumerate() {
+                            let (oh, ow) = (th + i, tw + j);
+                            if oh < out_shape.h && ow < out_shape.w {
+                                out.set(n, oh, ow, k, yv);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiplication count of Winograd versus direct evaluation for one output
+/// tile: 16 multiplies per 4 outputs per channel instead of 36 — the 2.25x
+/// arithmetic reduction the Fig. 2 cost model uses.
+pub fn mul_reduction_factor() -> f64 {
+    36.0 / 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use duplo_tensor::{Nhwc, approx_eq};
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn matches_direct_on_even_output() {
+        let p = ConvParams::new(Nhwc::new(2, 6, 6, 3), 4, 3, 3, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut input = Tensor4::zeros(p.input);
+        input.fill_random(&mut rng);
+        let mut filters = Tensor4::zeros(p.filter_shape());
+        filters.fill_random(&mut rng);
+        let d = direct::convolve(&p, &input, &filters);
+        let w = convolve(&p, &input, &filters).unwrap();
+        assert!(approx_eq(d.as_slice(), w.as_slice(), 1e-3));
+    }
+
+    #[test]
+    fn matches_direct_on_odd_output() {
+        // 7x7 output: the final tile row/col is partial.
+        let p = ConvParams::new(Nhwc::new(1, 7, 7, 2), 3, 3, 3, 1, 1).unwrap();
+        assert_eq!(p.out_h(), 7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut input = Tensor4::zeros(p.input);
+        input.fill_random(&mut rng);
+        let mut filters = Tensor4::zeros(p.filter_shape());
+        filters.fill_random(&mut rng);
+        let d = direct::convolve(&p, &input, &filters);
+        let w = convolve(&p, &input, &filters).unwrap();
+        assert!(approx_eq(d.as_slice(), w.as_slice(), 1e-3));
+    }
+
+    #[test]
+    fn matches_direct_without_padding() {
+        let p = ConvParams::new(Nhwc::new(1, 8, 10, 1), 1, 3, 3, 0, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut input = Tensor4::zeros(p.input);
+        input.fill_random(&mut rng);
+        let mut filters = Tensor4::zeros(p.filter_shape());
+        filters.fill_random(&mut rng);
+        let d = direct::convolve(&p, &input, &filters);
+        let w = convolve(&p, &input, &filters).unwrap();
+        assert!(approx_eq(d.as_slice(), w.as_slice(), 1e-3));
+    }
+
+    #[test]
+    fn strided_and_nonsquare_filters_rejected() {
+        let strided = ConvParams::new(Nhwc::new(1, 8, 8, 1), 1, 3, 3, 1, 2).unwrap();
+        assert!(convolve(
+            &strided,
+            &Tensor4::zeros(strided.input),
+            &Tensor4::zeros(strided.filter_shape())
+        )
+        .is_err());
+        let five = ConvParams::new(Nhwc::new(1, 8, 8, 1), 1, 5, 5, 2, 1).unwrap();
+        assert!(check_applicable(&five).is_err());
+    }
+
+    #[test]
+    fn filter_transform_of_identity_tap() {
+        // A center-tap filter transforms to B^T-ish pattern; verify one
+        // known value: all-ones filter, U[0][0] = g[0][0] = 1.
+        let g = [[1.0; 3]; 3];
+        let u = filter_transform(&g);
+        assert_eq!(u[0][0], 1.0);
+        assert_eq!(u[1][1], 2.25);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the convolution substrate: every alternative
+//! convolution algorithm must agree with the direct reference on arbitrary
+//! valid shapes, and the §III identification math must stay sound.
+
+use duplo_conv::{ConvParams, direct, fft, gemm, ids, lowering, winograd};
+use duplo_tensor::{Nhwc, Tensor4, approx_eq};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn random_pair(p: &ConvParams, seed: u64) -> (Tensor4, Tensor4) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut input = Tensor4::zeros(p.input);
+    input.fill_random(&mut rng);
+    let mut filters = Tensor4::zeros(p.filter_shape());
+    filters.fill_random(&mut rng);
+    (input, filters)
+}
+
+prop_compose! {
+    fn arb_conv()(
+        n in 1usize..3,
+        h in 3usize..10,
+        w in 3usize..10,
+        c in 1usize..5,
+        k in 1usize..5,
+        f in prop::sample::select(vec![1usize, 3, 5]),
+        pad in 0usize..3,
+        stride in 1usize..3,
+    ) -> Option<ConvParams> {
+        if h + 2 * pad < f || w + 2 * pad < f {
+            return None;
+        }
+        ConvParams::new(Nhwc::new(n, h, w, c), k, f, f, pad, stride).ok()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gemm_equals_direct(conv in arb_conv(), seed in 0u64..1000) {
+        prop_assume!(conv.is_some());
+        let p = conv.unwrap();
+        let (input, filters) = random_pair(&p, seed);
+        let d = direct::convolve(&p, &input, &filters);
+        let g = gemm::convolve(&p, &input, &filters);
+        prop_assert!(approx_eq(d.as_slice(), g.as_slice(), 1e-3), "{p}");
+    }
+
+    #[test]
+    fn implicit_equals_explicit(conv in arb_conv(), seed in 0u64..1000) {
+        prop_assume!(conv.is_some());
+        let p = conv.unwrap();
+        let (input, filters) = random_pair(&p, seed);
+        let e = gemm::convolve(&p, &input, &filters);
+        let i = gemm::convolve_implicit(&p, &input, &filters);
+        prop_assert!(approx_eq(e.as_slice(), i.as_slice(), 1e-3), "{p}");
+    }
+
+    #[test]
+    fn winograd_equals_direct_when_applicable(conv in arb_conv(), seed in 0u64..1000) {
+        prop_assume!(conv.is_some());
+        let p = conv.unwrap();
+        prop_assume!(winograd::check_applicable(&p).is_ok());
+        let (input, filters) = random_pair(&p, seed);
+        let d = direct::convolve(&p, &input, &filters);
+        let w = winograd::convolve(&p, &input, &filters).unwrap();
+        prop_assert!(approx_eq(d.as_slice(), w.as_slice(), 1e-2), "{p}");
+    }
+
+    #[test]
+    fn fft_equals_direct_when_applicable(conv in arb_conv(), seed in 0u64..1000) {
+        prop_assume!(conv.is_some());
+        let p = conv.unwrap();
+        prop_assume!(fft::check_applicable(&p).is_ok());
+        let (input, filters) = random_pair(&p, seed);
+        let d = direct::convolve(&p, &input, &filters);
+        let f = fft::convolve(&p, &input, &filters).unwrap();
+        prop_assert!(approx_eq(d.as_slice(), f.as_slice(), 1e-2), "{p}");
+    }
+
+    /// Equal (batch, element) IDs imply equal workspace values, for
+    /// arbitrary valid convolutions and arbitrary input data.
+    #[test]
+    fn equal_ids_imply_equal_values(conv in arb_conv(), seed in 0u64..1000) {
+        prop_assume!(conv.is_some());
+        let p = conv.unwrap();
+        let (input, _) = random_pair(&p, seed);
+        let ws = lowering::lower(&p, &input);
+        let gen = ids::IdGen::from_conv(&p);
+        let (m, _, k) = p.gemm_dims();
+        let mut seen = std::collections::HashMap::new();
+        for row in 0..m {
+            for col in 0..k {
+                let id = gen.id((row * k + col) as u64);
+                let v = ws[(row, col)];
+                if let Some(&prev) = seen.get(&(id.batch, id.element)) {
+                    let prev: f32 = prev;
+                    prop_assert_eq!(prev, v, "{} at ({}, {})", p, row, col);
+                } else {
+                    seen.insert((id.batch, id.element), v);
+                }
+            }
+        }
+        // The number of distinct IDs never exceeds the padded footprint.
+        let padded = p.input.n
+            * (p.input.h + 2 * p.pad)
+            * (p.input.w + 2 * p.pad)
+            * p.input.c;
+        prop_assert!(seen.len() <= padded, "{}: {} ids > {} padded", p, seen.len(), padded);
+    }
+
+    /// The census is internally consistent and batch-linear.
+    #[test]
+    fn census_invariants(conv in arb_conv()) {
+        prop_assume!(conv.is_some());
+        let p = conv.unwrap();
+        let c = ids::census(&p, 16);
+        prop_assert!(c.unique_elements <= c.total_elements);
+        prop_assert!(c.unique_segments + c.bypass_segments <= c.total_segments);
+        prop_assert!((0.0..=1.0).contains(&c.element_dup_ratio()));
+        prop_assert!((0.0..=1.0).contains(&c.max_hit_rate()));
+    }
+
+    /// Lowered GEMM output equals direct output element-for-element when
+    /// reshaped (layout invariant of output_from_gemm).
+    #[test]
+    fn output_reshape_is_layout_faithful(conv in arb_conv(), seed in 0u64..1000) {
+        prop_assume!(conv.is_some());
+        let p = conv.unwrap();
+        let (input, filters) = random_pair(&p, seed);
+        let d = direct::convolve(&p, &input, &filters);
+        let ws = lowering::lower(&p, &input);
+        let fm = lowering::filter_matrix(&p, &filters);
+        let prod = ws.matmul(&fm);
+        let out = lowering::output_from_gemm(&p, &prod);
+        let shape = p.output_shape();
+        for n in 0..shape.n {
+            for oh in [0, shape.h - 1] {
+                for ow in [0, shape.w - 1] {
+                    for k in 0..shape.c {
+                        let got: f32 = out.get(n, oh, ow, k);
+                        let want = d.get(n, oh, ow, k);
+                        prop_assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0));
+                    }
+                }
+            }
+        }
+    }
+}

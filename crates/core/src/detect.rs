@@ -1,0 +1,270 @@
+//! The Duplo detection unit (paper Fig. 8): ID generator + LHB, attached to
+//! the SM load-store unit.
+
+use crate::{HwIdGen, Lhb, LhbConfig, LoadToken, PhysReg, SegmentKey};
+use duplo_isa::WorkspaceDesc;
+
+/// The decision the detection unit returns for one tensor-core load
+/// row-segment.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LoadDecision {
+    /// The address is outside the workspace (or the segment crosses a
+    /// filter-row boundary): Duplo is not involved, the load proceeds
+    /// normally without an LHB lookup.
+    Bypass,
+    /// Duplicate found: rename the destination to `preg` and cancel the
+    /// memory request (it is "immediately served" after the detection
+    /// latency).
+    Hit {
+        /// Physical register already holding the duplicate data.
+        preg: PhysReg,
+    },
+    /// Workspace load with no live duplicate: proceed to L1; the caller
+    /// must report the destination physical register via
+    /// [`DetectionUnit::record_fill`] so the new entry can serve later
+    /// loads.
+    Miss,
+}
+
+/// Aggregate detection-unit statistics.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct DetectStats {
+    /// Workspace-region load segments probed against the LHB.
+    pub workspace_loads: u64,
+    /// Load segments outside the workspace region.
+    pub non_workspace_loads: u64,
+    /// Segments bypassed for crossing a filter-row boundary.
+    pub boundary_bypasses: u64,
+    /// Loads eliminated (LHB hits).
+    pub eliminated: u64,
+}
+
+impl DetectStats {
+    /// Fraction of workspace load segments eliminated by renaming.
+    pub fn elimination_rate(&self) -> f64 {
+        let total = self.workspace_loads + self.boundary_bypasses;
+        if total == 0 {
+            0.0
+        } else {
+            self.eliminated as f64 / total as f64
+        }
+    }
+}
+
+/// The detection unit: programmed at kernel launch with the convolution
+/// descriptor, probed by the LDST unit on every tensor-core load.
+#[derive(Clone, Debug)]
+pub struct DetectionUnit {
+    idgen: HwIdGen,
+    lhb: Lhb,
+    pid: u16,
+    addr_match_only: bool,
+    /// ID-generation + LHB access latency in cycles (paper assumes 2; a
+    /// 3-cycle assumption cost only ~0.9% performance).
+    pub latency: u32,
+    stats: DetectStats,
+}
+
+impl DetectionUnit {
+    /// Programs a detection unit for a kernel whose workspace is described
+    /// by `desc` (this models the §IV-A wake-up-and-program step at kernel
+    /// launch).
+    pub fn new(desc: &WorkspaceDesc, config: LhbConfig, pid: u16) -> DetectionUnit {
+        DetectionUnit {
+            idgen: HwIdGen::new(desc),
+            lhb: Lhb::new(config),
+            pid,
+            addr_match_only: config.addr_match_only,
+            latency: 2,
+            stats: DetectStats::default(),
+        }
+    }
+
+    /// Probes one load row-segment (`bytes` contiguous bytes at `addr`).
+    ///
+    /// On [`LoadDecision::Hit`] the LHB entry is relayed to `token`; the
+    /// caller renames the destination and must later call
+    /// [`DetectionUnit::retire`] with `token`. On [`LoadDecision::Miss`]
+    /// the caller sends the request to L1 and calls
+    /// [`DetectionUnit::record_fill`].
+    pub fn probe_load(&mut self, addr: u64, bytes: u64, token: LoadToken) -> LoadDecision {
+        if !self.idgen.in_workspace(addr) {
+            self.stats.non_workspace_loads += 1;
+            return LoadDecision::Bypass;
+        }
+        let Some(key) = self.key_for(addr, bytes) else {
+            self.stats.boundary_bypasses += 1;
+            return LoadDecision::Bypass;
+        };
+        self.stats.workspace_loads += 1;
+        match self.lhb.probe(key, self.pid, token) {
+            Some(preg) => {
+                self.stats.eliminated += 1;
+                LoadDecision::Hit { preg }
+            }
+            None => LoadDecision::Miss,
+        }
+    }
+
+    /// Records that the missed load `token` will place the segment at
+    /// `addr` into physical register `preg` (entry allocation, Table II).
+    /// Returns the physical register of a displaced entry, if any, so the
+    /// caller can drop the LHB's reference to it.
+    pub fn record_fill(
+        &mut self,
+        addr: u64,
+        bytes: u64,
+        preg: PhysReg,
+        token: LoadToken,
+    ) -> Option<PhysReg> {
+        match self.key_for(addr, bytes) {
+            Some(key) => self.lhb.allocate(key, self.pid, preg, token),
+            // No entry was created: hand the reference straight back.
+            None => Some(preg),
+        }
+    }
+
+    /// Entry key for an address: the Duplo (batch, element) identity, or —
+    /// in WIR comparison mode — the raw address (same-address reuse only).
+    fn key_for(&self, addr: u64, bytes: u64) -> Option<SegmentKey> {
+        if self.addr_match_only {
+            return Some(SegmentKey {
+                batch: 0,
+                element: addr,
+            });
+        }
+        self.idgen.key(addr, bytes)
+    }
+
+    /// Releases the entry owned by `token` at load retirement; returns the
+    /// physical register the entry referenced, if an entry was released.
+    pub fn retire(&mut self, token: LoadToken) -> Option<PhysReg> {
+        self.lhb.retire(token)
+    }
+
+    /// Handles a store: invalidates any entry covering the stored segment.
+    /// Returns the physical registers of invalidated entries.
+    pub fn store(&mut self, addr: u64, bytes: u64) -> Vec<PhysReg> {
+        let mut released = Vec::new();
+        if !self.idgen.in_workspace(addr) {
+            return released;
+        }
+        // Conservative per-element invalidation across the stored range.
+        let elem = 2u64;
+        let mut a = addr;
+        while a < addr + bytes {
+            if let Some(key) = self.key_for(a, elem) {
+                if let Some(p) = self.lhb.store_invalidate(key, self.pid) {
+                    released.push(p);
+                }
+            }
+            a += elem;
+        }
+        released
+    }
+
+    /// Detection-unit statistics.
+    pub fn stats(&self) -> DetectStats {
+        self.stats
+    }
+
+    /// LHB statistics (hits, misses, evictions).
+    pub fn lhb_stats(&self) -> crate::LhbStats {
+        self.lhb.stats()
+    }
+
+    /// The segment key for an address, exposed for the functional
+    /// value-equality checks in the simulator's soundness mode.
+    pub fn key_of(&self, addr: u64, bytes: u64) -> Option<SegmentKey> {
+        self.idgen.key(addr, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig6_desc() -> WorkspaceDesc {
+        WorkspaceDesc {
+            base: 0x1000,
+            bytes: 36 * 2,
+            elem_bytes: 2,
+            row_stride_elems: 9,
+            input_w: 4,
+            channels: 1,
+            fw: 3,
+            fh: 3,
+            out_w: 2,
+            out_h: 2,
+            stride: 1,
+            pad: 0,
+            batch: 1,
+        }
+    }
+
+    /// Full Table II walkthrough: the paper's worked example of the Duplo
+    /// workflow, at the granularity the paper uses (one element per load).
+    #[test]
+    fn table2_full_workflow() {
+        let mut du = DetectionUnit::new(&fig6_desc(), LhbConfig::direct_mapped(1024), 0);
+        let addr_of = |array_idx: u64| 0x1000 + array_idx * 2;
+
+        // Inst 1: wmma.load.a [%r23] -> array_idx 2, element 2: miss,
+        // allocate, rename %r4 -> %p2.
+        let t1 = LoadToken(1);
+        assert_eq!(du.probe_load(addr_of(2), 2, t1), LoadDecision::Miss);
+        du.record_fill(addr_of(2), 2, PhysReg(2), t1);
+
+        // Inst 2: wmma.load.b [%r21] outside the workspace: bypass.
+        assert_eq!(du.probe_load(0x80_0000, 2, LoadToken(2)), LoadDecision::Bypass);
+
+        // Inst 3: wmma.load.a [%r14] -> array_idx 10, element 2: hit,
+        // register reuse (%r3 -> %p2).
+        let t3 = LoadToken(3);
+        assert_eq!(
+            du.probe_load(addr_of(10), 2, t3),
+            LoadDecision::Hit { preg: PhysReg(2) }
+        );
+
+        // Inst 4: array_idx 28, element 6: miss (different tag), entry
+        // replacement in the paper's 4-entry view; with 1024 entries it is a
+        // plain allocation.
+        let t4 = LoadToken(4);
+        assert_eq!(du.probe_load(addr_of(28), 2, t4), LoadDecision::Miss);
+        du.record_fill(addr_of(28), 2, PhysReg(6), t4);
+
+        let s = du.stats();
+        assert_eq!(s.workspace_loads, 3);
+        assert_eq!(s.non_workspace_loads, 1);
+        assert_eq!(s.eliminated, 1);
+    }
+
+    #[test]
+    fn store_invalidates_covering_entry() {
+        let mut du = DetectionUnit::new(&fig6_desc(), LhbConfig::direct_mapped(64), 0);
+        let t = LoadToken(1);
+        assert_eq!(du.probe_load(0x1000, 2, t), LoadDecision::Miss);
+        du.record_fill(0x1000, 2, PhysReg(0), t);
+        // A store to the duplicate location (array_idx 0 -> element 0).
+        du.store(0x1000, 2);
+        assert_eq!(du.probe_load(0x1000, 2, LoadToken(2)), LoadDecision::Miss);
+        assert_eq!(du.lhb_stats().store_invalidations, 1);
+    }
+
+    #[test]
+    fn retirement_closes_the_reuse_window() {
+        let mut du = DetectionUnit::new(&fig6_desc(), LhbConfig::direct_mapped(64), 0);
+        let t1 = LoadToken(1);
+        du.probe_load(0x1000 + 2 * 2, 2, t1);
+        du.record_fill(0x1000 + 2 * 2, 2, PhysReg(2), t1);
+        du.retire(t1);
+        // array_idx 10 has the same element ID but the entry is gone.
+        assert_eq!(du.probe_load(0x1000 + 10 * 2, 2, LoadToken(2)), LoadDecision::Miss);
+    }
+
+    #[test]
+    fn default_latency_is_two_cycles() {
+        let du = DetectionUnit::new(&fig6_desc(), LhbConfig::paper_default(), 0);
+        assert_eq!(du.latency, 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Hardware ID generator (paper §IV-A).
+//!
+//! Translates tensor-core-load byte addresses inside the workspace region
+//! into *(batch ID, element ID)* pairs. The paper mandates power-of-two
+//! convolution parameters so that the divide/modulo chain of §III reduces
+//! to shifts and masks, with small-divisor logic for the (odd, small) filter
+//! extents [10]. This model implements that fast path and falls back to
+//! exact integer arithmetic for non-power-of-two dims (several Table I
+//! layers have `W = 224` or `C = 3`), reporting through
+//! [`HwIdGen::is_shift_mask_only`] whether the hardware fast path suffices.
+
+use duplo_isa::WorkspaceDesc;
+
+/// A workspace load segment's identity as the detection unit sees it:
+/// the LHB tag/index material.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SegmentKey {
+    /// Batch image ID (10 bits in hardware, up to 1,024 images).
+    pub batch: u64,
+    /// Element ID of the segment's first element (32 bits in hardware,
+    /// covering a 4 GB workspace).
+    pub element: u64,
+}
+
+/// Either a power-of-two (shift/mask) divisor or an arbitrary one handled
+/// by the fallback divider.
+#[derive(Copy, Clone, Debug)]
+enum Divisor {
+    Shift(u32),
+    Exact(u64),
+}
+
+impl Divisor {
+    fn new(d: u64) -> Divisor {
+        assert!(d > 0, "divisor must be nonzero");
+        if d.is_power_of_two() {
+            Divisor::Shift(d.trailing_zeros())
+        } else {
+            Divisor::Exact(d)
+        }
+    }
+
+    #[inline]
+    fn div(self, x: u64) -> u64 {
+        match self {
+            Divisor::Shift(s) => x >> s,
+            Divisor::Exact(d) => x / d,
+        }
+    }
+
+    #[inline]
+    fn rem(self, x: u64) -> u64 {
+        match self {
+            Divisor::Shift(s) => x & ((1u64 << s) - 1),
+            Divisor::Exact(d) => x % d,
+        }
+    }
+
+    fn value(self) -> u64 {
+        match self {
+            Divisor::Shift(s) => 1u64 << s,
+            Divisor::Exact(d) => d,
+        }
+    }
+
+    fn is_shift(self) -> bool {
+        matches!(self, Divisor::Shift(_))
+    }
+}
+
+/// The programmed ID generator: built from the 32-byte compile-time
+/// convolution descriptor at kernel launch.
+#[derive(Clone, Debug)]
+pub struct HwIdGen {
+    base: u64,
+    bytes: u64,
+    elem_bytes: u64,
+    /// Layout pitch of a workspace row in elements (>= logical length).
+    row_stride: Divisor,
+    /// Logical row length `fh * fw * C`; columns beyond it are tile padding.
+    row_len: u64,
+    /// `fw * C` — one filter-row run.
+    fw_c: Divisor,
+    /// `out_h * out_w` — workspace rows per batch image.
+    rows_per_image: Divisor,
+    /// Output width.
+    out_w: Divisor,
+    /// `(W + 2*pad) * C` — element-ID stride between padded input rows.
+    w_c: u64,
+    /// Channel count `C`.
+    c: u64,
+    /// Filter stride.
+    stride: u64,
+}
+
+impl HwIdGen {
+    /// Programs the generator from a workspace descriptor.
+    pub fn new(desc: &WorkspaceDesc) -> HwIdGen {
+        let c = u64::from(desc.channels);
+        let padded_w = u64::from(desc.input_w) + 2 * u64::from(desc.pad);
+        HwIdGen {
+            base: desc.base,
+            bytes: desc.bytes,
+            elem_bytes: u64::from(desc.elem_bytes),
+            row_stride: Divisor::new(u64::from(desc.row_stride_elems).max(desc.row_len())),
+            row_len: desc.row_len(),
+            fw_c: Divisor::new(u64::from(desc.fw) * c),
+            rows_per_image: Divisor::new(u64::from(desc.out_w) * u64::from(desc.out_h)),
+            out_w: Divisor::new(u64::from(desc.out_w)),
+            w_c: padded_w * c,
+            c,
+            stride: u64::from(desc.stride),
+        }
+    }
+
+    /// Whether every divide/modulo in the ID calculation is a pure
+    /// shift/mask — i.e. whether the simplified hardware of §IV-A suffices
+    /// without the small-divisor fallback logic.
+    pub fn is_shift_mask_only(&self) -> bool {
+        self.row_stride.is_shift()
+            && self.fw_c.is_shift()
+            && self.rows_per_image.is_shift()
+            && self.out_w.is_shift()
+    }
+
+    /// Whether `addr` falls inside the workspace region (the detection
+    /// unit's first check; non-workspace loads bypass Duplo entirely).
+    pub fn in_workspace(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.bytes
+    }
+
+    /// Computes the key of a `bytes`-byte load segment starting at byte
+    /// address `addr`.
+    ///
+    /// Returns `None` (bypass) when the address is outside the workspace or
+    /// the segment is not ID-contiguous (crosses a `fw*C` filter-row
+    /// boundary — see `duplo_conv::ids` for why contiguity is required for
+    /// soundness at segment granularity).
+    pub fn key(&self, addr: u64, bytes: u64) -> Option<SegmentKey> {
+        if !self.in_workspace(addr) {
+            return None;
+        }
+        let array_idx = (addr - self.base) / self.elem_bytes;
+        let len = bytes / self.elem_bytes;
+        let col = self.row_stride.rem(array_idx);
+        if col >= self.row_len {
+            // Tile-padding columns: zeros, not workspace data.
+            return None;
+        }
+        let run_pos = self.fw_c.rem(col);
+        if run_pos + len > self.fw_c.value() {
+            return None;
+        }
+        let row = self.row_stride.div(array_idx);
+        let batch = self.rows_per_image.div(row);
+        let local_row = self.rows_per_image.rem(row);
+        let patch_row = self.out_w.div(local_row);
+        let patch_col = self.fw_c.div(col);
+        let patch_id = patch_row * self.stride + patch_col;
+        let offset = patch_id * self.w_c;
+        let element = self.out_w.rem(local_row) * self.c * self.stride + run_pos + offset;
+        Some(SegmentKey { batch, element })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig6_desc() -> WorkspaceDesc {
+        // 4x4 single-channel input, 3x3 filter, pad 0, stride 1, batch 1,
+        // half-precision workspace at base 0x1000.
+        WorkspaceDesc {
+            base: 0x1000,
+            bytes: 36 * 2,
+            elem_bytes: 2,
+            row_stride_elems: 9,
+            input_w: 4,
+            channels: 1,
+            fw: 3,
+            fh: 3,
+            out_w: 2,
+            out_h: 2,
+            stride: 1,
+            pad: 0,
+            batch: 1,
+        }
+    }
+
+    #[test]
+    fn figure6_element_ids() {
+        let gen = HwIdGen::new(&fig6_desc());
+        let expected: [[u64; 9]; 4] = [
+            [0, 1, 2, 4, 5, 6, 8, 9, 10],
+            [1, 2, 3, 5, 6, 7, 9, 10, 11],
+            [4, 5, 6, 8, 9, 10, 12, 13, 14],
+            [5, 6, 7, 9, 10, 11, 13, 14, 15],
+        ];
+        for row in 0..4u64 {
+            for col in 0..9u64 {
+                let addr = 0x1000 + (row * 9 + col) * 2;
+                let key = gen.key(addr, 2).expect("single element is contiguous");
+                assert_eq!(key.batch, 0);
+                assert_eq!(key.element, expected[row as usize][col as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_workflow_keys() {
+        // Table II: array_idx 2 and 10 share element ID 2; 28 has 6.
+        let gen = HwIdGen::new(&fig6_desc());
+        let key_of = |idx: u64| gen.key(0x1000 + idx * 2, 2).unwrap().element;
+        assert_eq!(key_of(2), 2);
+        assert_eq!(key_of(10), 2);
+        assert_eq!(key_of(28), 6);
+    }
+
+    #[test]
+    fn out_of_workspace_bypasses() {
+        let gen = HwIdGen::new(&fig6_desc());
+        assert_eq!(gen.key(0x0FFE, 2), None);
+        assert_eq!(gen.key(0x1000 + 36 * 2, 2), None);
+        assert!(gen.in_workspace(0x1000));
+    }
+
+    #[test]
+    fn boundary_crossing_segment_bypasses() {
+        // fw*C = 3 elements; a 2-element segment starting at run position 2
+        // crosses the filter-row boundary.
+        let gen = HwIdGen::new(&fig6_desc());
+        assert!(gen.key(0x1000, 4).is_some()); // elements 0..2 within run
+        assert_eq!(gen.key(0x1000 + 2 * 2, 4), None); // elements 2..4 cross
+    }
+
+    #[test]
+    fn shift_mask_detection() {
+        let pow2 = WorkspaceDesc {
+            base: 0,
+            bytes: 1 << 20,
+            elem_bytes: 2,
+            row_stride_elems: 4 * 4 * 16,
+            input_w: 64,
+            channels: 16,
+            fw: 4,
+            fh: 4,
+            out_w: 64,
+            out_h: 64,
+            stride: 1,
+            pad: 0,
+            batch: 8,
+        };
+        assert!(HwIdGen::new(&pow2).is_shift_mask_only());
+        assert!(!HwIdGen::new(&fig6_desc()).is_shift_mask_only());
+    }
+}

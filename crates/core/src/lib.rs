@@ -1,0 +1,51 @@
+//! The Duplo detection unit — the paper's primary contribution (§IV).
+//!
+//! Duplo eliminates redundant tensor-core loads of duplicated workspace
+//! data. The mechanism has three parts, all implemented here:
+//!
+//! * [`HwIdGen`] — the **ID generator** (§IV-A): translates the memory
+//!   address of a tensor-core load into a *(batch ID, element ID)* pair
+//!   using the compile-time convolution descriptor
+//!   ([`duplo_isa::WorkspaceDesc`]). In hardware all divisions/modulos are
+//!   shift-and-mask (power-of-two dims) plus small-divisor logic for filter
+//!   extents; this model mirrors that with a fast shift/mask path and an
+//!   exact fallback.
+//! * [`Lhb`] — the **load history buffer** (§IV-B): a small direct-mapped
+//!   (optionally set-associative, or unbounded "oracle") buffer mapping
+//!   recently loaded workspace segments to the physical warp register that
+//!   holds them.
+//! * [`DetectionUnit`] — the glue the LDST unit talks to (§IV-C, Fig. 8):
+//!   probe on every tensor-core load, allocate on miss, relay/rename on
+//!   hit, release on load retirement, invalidate on stores.
+//!
+//! The `duplo-sm` crate wires a `DetectionUnit` into the SM's load-store
+//! pipeline and performs the warp-register renaming a hit triggers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detect;
+mod idgen;
+mod lhb;
+
+pub use detect::{DetectStats, DetectionUnit, LoadDecision};
+pub use idgen::{HwIdGen, SegmentKey};
+pub use lhb::{Lhb, LhbConfig, LhbStats};
+
+use std::fmt;
+
+/// A physical fragment register in the SM register file (the `%p<n>`
+/// registers of the paper's Table II).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PhysReg(pub u32);
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%p{}", self.0)
+    }
+}
+
+/// A unique token identifying one in-flight tensor-core load (used to tie
+/// LHB entry lifetime to load retirement, §IV-B).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LoadToken(pub u64);

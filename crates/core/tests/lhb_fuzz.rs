@@ -1,0 +1,114 @@
+//! Randomized stress tests of the LHB: arbitrary interleavings of probes,
+//! allocations, retirements and store invalidations must preserve the
+//! buffer's invariants and never lose or duplicate a physical-register
+//! reference.
+
+use duplo_core::{Lhb, LhbConfig, LoadToken, PhysReg, SegmentKey};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+enum Action {
+    ProbeOrAlloc { element: u64, batch: u64 },
+    Retire { token_ix: usize },
+    Store { element: u64, batch: u64 },
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u64..64, 0u64..2).prop_map(|(element, batch)| Action::ProbeOrAlloc { element, batch }),
+        (0usize..512).prop_map(|token_ix| Action::Retire { token_ix }),
+        (0u64..64, 0u64..2).prop_map(|(element, batch)| Action::Store { element, batch }),
+    ]
+}
+
+fn run_fuzz(config: LhbConfig, actions: &[Action]) {
+    let mut lhb = Lhb::new(config);
+    let mut next_token = 0u64;
+    let mut next_preg = 0u32;
+    // Track which pregs the LHB currently references: every release path
+    // (conflict, retire, store) must hand back exactly the pregs we gave.
+    let mut lhb_owned: HashSet<u32> = HashSet::new();
+    let mut tokens: Vec<LoadToken> = Vec::new();
+
+    for a in actions {
+        match a {
+            Action::ProbeOrAlloc { element, batch } => {
+                let key = SegmentKey {
+                    element: *element,
+                    batch: *batch,
+                };
+                next_token += 1;
+                let t = LoadToken(next_token);
+                tokens.push(t);
+                match lhb.probe(key, 0, t) {
+                    Some(preg) => {
+                        assert!(
+                            lhb_owned.contains(&preg.0),
+                            "hit returned a register the LHB does not own"
+                        );
+                    }
+                    None => {
+                        let preg = PhysReg(next_preg);
+                        next_preg += 1;
+                        if let Some(evicted) = lhb.allocate(key, 0, preg, t) {
+                            assert!(
+                                lhb_owned.remove(&evicted.0),
+                                "evicted register was not owned"
+                            );
+                        }
+                        assert!(lhb_owned.insert(preg.0), "double-own on allocate");
+                    }
+                }
+            }
+            Action::Retire { token_ix } => {
+                if let Some(&t) = tokens.get(*token_ix) {
+                    if let Some(released) = lhb.retire(t) {
+                        assert!(lhb_owned.remove(&released.0), "released unowned register");
+                    }
+                }
+            }
+            Action::Store { element, batch } => {
+                let key = SegmentKey {
+                    element: *element,
+                    batch: *batch,
+                };
+                if let Some(released) = lhb.store_invalidate(key, 0) {
+                    assert!(lhb_owned.remove(&released.0), "invalidated unowned register");
+                }
+            }
+        }
+        assert_eq!(
+            lhb.occupancy(),
+            lhb_owned.len(),
+            "occupancy must equal outstanding references"
+        );
+        if !config.oracle {
+            assert!(lhb.occupancy() <= config.entries);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn direct_mapped_invariants(actions in prop::collection::vec(arb_action(), 1..300)) {
+        run_fuzz(LhbConfig::direct_mapped(16), &actions);
+    }
+
+    #[test]
+    fn set_associative_invariants(actions in prop::collection::vec(arb_action(), 1..300)) {
+        run_fuzz(LhbConfig::set_associative(16, 4), &actions);
+    }
+
+    #[test]
+    fn oracle_invariants(actions in prop::collection::vec(arb_action(), 1..300)) {
+        run_fuzz(LhbConfig::oracle(), &actions);
+    }
+
+    #[test]
+    fn wir_invariants(actions in prop::collection::vec(arb_action(), 1..300)) {
+        run_fuzz(LhbConfig::wir(16), &actions);
+    }
+}

@@ -1,0 +1,212 @@
+//! Event-based energy and area model (paper §V-H).
+//!
+//! The paper assesses Duplo with McPAT (paper ref. 21) and reports, for on-chip
+//! components (register file, caches, detection unit) plus DRAM traffic, a
+//! 34.1% energy reduction and a 0.77% area overhead relative to the
+//! register file. We substitute a transparent event-energy model: every
+//! structure access costs a fixed energy drawn from CACTI-class estimates
+//! for a 14 nm-class process (documented on [`EnergyModel`]), and run
+//! statistics supply the event counts. Absolute joules are not the point —
+//! the *relative* baseline-vs-Duplo comparison is, and that depends only on
+//! the event-count deltas and the energy ordering
+//! `DRAM >> L2 > L1 >> RF > LHB`, which is robust across technologies.
+//!
+//! The area model counts SRAM bits of the LHB against the bits of the SM
+//! register file. This transparent estimate lands at ~2.4% for the paper's
+//! 1024-entry LHB entry layout, larger than the paper's McPAT-derived
+//! 0.77%; the deviation is recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Per-event energies in nanojoules.
+///
+/// Defaults (per 32-byte sector unless noted):
+///
+/// * LHB probe: 1024x51-bit direct-mapped SRAM, ~2 pJ,
+/// * register-file row access (32 B across banks): ~10 pJ,
+/// * L1 sector access: ~30 pJ (128 KB SRAM),
+/// * L2 sector access: ~120 pJ (MB-class SRAM slice + NoC hop),
+/// * DRAM: ~40 pJ/bit interface + core ≈ 1.3 nJ per 32 B.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct EnergyModel {
+    /// One LHB probe or allocation.
+    pub lhb_probe_nj: f64,
+    /// One 32-byte register-file row read or write.
+    pub rf_row_nj: f64,
+    /// One L1 sector access.
+    pub l1_sector_nj: f64,
+    /// One L2 sector access.
+    pub l2_sector_nj: f64,
+    /// One DRAM 32-byte transfer.
+    pub dram_sector_nj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel {
+            lhb_probe_nj: 0.002,
+            rf_row_nj: 0.010,
+            l1_sector_nj: 0.030,
+            l2_sector_nj: 0.120,
+            dram_sector_nj: 1.300,
+        }
+    }
+}
+
+/// Event counts extracted from a simulation run (the bridge from
+/// `duplo-sm` statistics; kept dependency-free so the model is reusable).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct EnergyCounts {
+    /// LHB probes (hits + misses) and allocations.
+    pub lhb_events: u64,
+    /// Register-file row accesses (load fills + MMA operand reads/writes).
+    pub rf_rows: u64,
+    /// L1 sector accesses (hits + misses + cancelled parallel probes).
+    pub l1_accesses: u64,
+    /// L2 sector accesses.
+    pub l2_accesses: u64,
+    /// DRAM bytes moved.
+    pub dram_bytes: u64,
+}
+
+/// An itemized energy total.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct EnergyReport {
+    /// LHB energy (nJ).
+    pub lhb_nj: f64,
+    /// Register-file energy (nJ).
+    pub rf_nj: f64,
+    /// L1 energy (nJ).
+    pub l1_nj: f64,
+    /// L2 energy (nJ).
+    pub l2_nj: f64,
+    /// DRAM energy (nJ).
+    pub dram_nj: f64,
+}
+
+impl EnergyReport {
+    /// Computes the itemized report for `counts` under `model`.
+    pub fn from_counts(model: &EnergyModel, counts: &EnergyCounts) -> EnergyReport {
+        EnergyReport {
+            lhb_nj: counts.lhb_events as f64 * model.lhb_probe_nj,
+            rf_nj: counts.rf_rows as f64 * model.rf_row_nj,
+            l1_nj: counts.l1_accesses as f64 * model.l1_sector_nj,
+            l2_nj: counts.l2_accesses as f64 * model.l2_sector_nj,
+            dram_nj: counts.dram_bytes as f64 / 32.0 * model.dram_sector_nj,
+        }
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.lhb_nj + self.rf_nj + self.l1_nj + self.l2_nj + self.dram_nj
+    }
+
+    /// Relative saving of `duplo` over `baseline` (positive = Duplo
+    /// cheaper), the §V-H headline number.
+    pub fn saving_over(duplo: &EnergyReport, baseline: &EnergyReport) -> f64 {
+        let b = baseline.total_nj();
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - duplo.total_nj() / b
+        }
+    }
+}
+
+/// Area model: LHB SRAM bits versus register-file bits.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AreaModel {
+    /// Register-file bytes per SM (Table III: 256 KB).
+    pub regfile_bytes: u64,
+    /// LHB storage bits (from `LhbConfig::storage_bits`).
+    pub lhb_bits: u64,
+    /// ID-generator datapath estimate in equivalent SRAM bits (shifters,
+    /// masks, two small-divisor units; a few hundred bit-equivalents).
+    pub idgen_bit_equiv: u64,
+}
+
+impl AreaModel {
+    /// Builds the model for the paper's SM (256 KB RF) and a given LHB.
+    pub fn for_lhb_bits(lhb_bits: u64) -> AreaModel {
+        AreaModel {
+            regfile_bytes: 256 * 1024,
+            lhb_bits,
+            idgen_bit_equiv: 512,
+        }
+    }
+
+    /// Detection-unit area as a fraction of the register file.
+    pub fn overhead_fraction(&self) -> f64 {
+        (self.lhb_bits + self.idgen_bit_equiv) as f64 / (self.regfile_bytes * 8) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(dram_bytes: u64, l1: u64) -> EnergyCounts {
+        EnergyCounts {
+            lhb_events: 1000,
+            rf_rows: 10_000,
+            l1_accesses: l1,
+            l2_accesses: 2_000,
+            dram_bytes,
+        }
+    }
+
+    #[test]
+    fn dram_dominates_total() {
+        let m = EnergyModel::default();
+        let r = EnergyReport::from_counts(&m, &counts(1 << 20, 10_000));
+        assert!(r.dram_nj > r.l2_nj + r.l1_nj + r.rf_nj + r.lhb_nj);
+    }
+
+    #[test]
+    fn saving_reflects_traffic_reduction() {
+        let m = EnergyModel::default();
+        let baseline = EnergyReport::from_counts(&m, &counts(1 << 20, 40_000));
+        // Duplo: 30% less DRAM, 25% fewer L1 accesses, extra LHB events.
+        let duplo = EnergyReport::from_counts(
+            &m,
+            &EnergyCounts {
+                lhb_events: 40_000,
+                rf_rows: 10_000,
+                l1_accesses: 30_000,
+                l2_accesses: 1_400,
+                dram_bytes: (1 << 20) * 7 / 10,
+            },
+        );
+        let saving = EnergyReport::saving_over(&duplo, &baseline);
+        assert!(saving > 0.2 && saving < 0.4, "saving {saving}");
+    }
+
+    #[test]
+    fn lhb_energy_is_marginal() {
+        let m = EnergyModel::default();
+        // A million LHB probes cost about as much as 1.5 thousand DRAM
+        // sectors: the detection unit is energetically almost free.
+        let probes = 1_000_000.0 * m.lhb_probe_nj;
+        let sectors = probes / m.dram_sector_nj;
+        assert!(sectors < 2_000.0);
+    }
+
+    #[test]
+    fn area_overhead_for_paper_lhb() {
+        // 1024 entries x 51 bits -> ~2.5% of a 256 KB register file.
+        let a = AreaModel::for_lhb_bits(1024 * 51);
+        let f = a.overhead_fraction();
+        assert!(f > 0.02 && f < 0.03, "fraction {f}");
+        // A 256-entry LHB drops under 1%, the paper's ballpark.
+        let small = AreaModel::for_lhb_bits(256 * 51);
+        assert!(small.overhead_fraction() < 0.01);
+    }
+
+    #[test]
+    fn empty_counts_zero_energy() {
+        let r = EnergyReport::from_counts(&EnergyModel::default(), &EnergyCounts::default());
+        assert_eq!(r.total_nj(), 0.0);
+        assert_eq!(EnergyReport::saving_over(&r, &r), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Warp-level trace ISA for the Duplo GPU simulator.
+//!
+//! The timing simulator is trace-driven: kernel generators (crate
+//! `duplo-kernels`) emit per-warp instruction streams of [`Op`]s, and the SM
+//! pipeline model (crate `duplo-sm`) executes them cycle by cycle. The ISA
+//! models exactly the instruction classes the paper's mechanism interacts
+//! with: tensor-core loads/stores/MMAs (`wmma.*`), ordinary loads/stores,
+//! fixed-latency ALU work, and CTA barriers.
+//!
+//! Register operands are *warp registers at fragment granularity*: one
+//! [`ArchReg`] names the group of eight 32-bit per-thread registers that
+//! holds a 16x16 tensor-core fragment (paper §II-B). Duplo's renaming
+//! operates at this granularity ("Duplo renames registers at the warp
+//! granularity", §IV-B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod validate;
+
+pub use validate::{TraceError, validate_cta, validate_warp};
+
+use std::fmt;
+
+/// An architectural warp register (fragment-granular), `%r<n>` in the
+/// paper's Table II.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ArchReg(pub u16);
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// Memory space of an access.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Space {
+    /// Device (global) memory, served through L1/L2/DRAM.
+    Global,
+    /// Per-SM shared memory (fixed latency, no hierarchy traversal).
+    Shared,
+}
+
+/// One warp-level instruction.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum Op {
+    /// Tensor-core load (`wmma.load`): fetches `rows` row-segments of
+    /// `seg_bytes` contiguous bytes each, `row_stride` bytes apart, into the
+    /// destination fragment register. Each row-segment is what the paper
+    /// calls one tensor-core load of "16 half-precision data (e.g., a row of
+    /// matrix A)" and receives its own Duplo LHB lookup.
+    WmmaLoad {
+        /// Destination fragment register.
+        dst: ArchReg,
+        /// Byte address of the first row-segment.
+        addr: u64,
+        /// Number of row-segments (16 for a full fragment).
+        rows: u8,
+        /// Bytes per row-segment (32 for 16 halves).
+        seg_bytes: u16,
+        /// Byte stride between consecutive row-segments.
+        row_stride: u64,
+        /// Address space.
+        space: Space,
+    },
+    /// Tensor-core matrix-multiply-accumulate (`wmma.mma`):
+    /// `d = a * b + c` on 16x16 fragments.
+    WmmaMma {
+        /// Destination accumulator fragment.
+        d: ArchReg,
+        /// A-operand fragment.
+        a: ArchReg,
+        /// B-operand fragment.
+        b: ArchReg,
+        /// C-operand accumulator fragment (usually equal to `d`).
+        c: ArchReg,
+    },
+    /// Tensor-core store (`wmma.store`): writes a fragment out, same
+    /// geometry as [`Op::WmmaLoad`].
+    WmmaStore {
+        /// Source fragment register.
+        src: ArchReg,
+        /// Byte address of the first row-segment.
+        addr: u64,
+        /// Number of row-segments.
+        rows: u8,
+        /// Bytes per row-segment.
+        seg_bytes: u16,
+        /// Byte stride between row-segments.
+        row_stride: u64,
+        /// Address space.
+        space: Space,
+    },
+    /// Ordinary (CUDA-core) warp load of `bytes` contiguous bytes.
+    Ld {
+        /// Destination register.
+        dst: ArchReg,
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes (warp-coalesced).
+        bytes: u32,
+        /// Address space.
+        space: Space,
+    },
+    /// Ordinary warp store.
+    St {
+        /// Source register.
+        src: ArchReg,
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+        /// Address space.
+        space: Space,
+    },
+    /// Fixed-latency integer/FP work (address computation, loop control).
+    /// `dst` creates a dependency for consumers when present.
+    Alu {
+        /// Optional destination register.
+        dst: Option<ArchReg>,
+        /// Pipeline latency in cycles.
+        latency: u8,
+    },
+    /// CTA-wide barrier (`bar.sync`).
+    Bar,
+    /// End of the warp's work.
+    Exit,
+}
+
+impl Op {
+    /// The destination register this op writes, if any.
+    pub fn dst(&self) -> Option<ArchReg> {
+        match *self {
+            Op::WmmaLoad { dst, .. } | Op::Ld { dst, .. } => Some(dst),
+            Op::WmmaMma { d, .. } => Some(d),
+            Op::Alu { dst, .. } => dst,
+            _ => None,
+        }
+    }
+
+    /// Source registers this op reads (up to 3).
+    pub fn srcs(&self) -> [Option<ArchReg>; 3] {
+        match *self {
+            Op::WmmaMma { a, b, c, .. } => [Some(a), Some(b), Some(c)],
+            Op::WmmaStore { src, .. } | Op::St { src, .. } => [Some(src), None, None],
+            _ => [None, None, None],
+        }
+    }
+
+    /// Whether the op goes to the load-store unit.
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Op::WmmaLoad { .. } | Op::WmmaStore { .. } | Op::Ld { .. } | Op::St { .. }
+        )
+    }
+}
+
+/// The per-warp instruction stream.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct WarpTrace {
+    /// Instructions in program order; must end with [`Op::Exit`].
+    pub ops: Vec<Op>,
+}
+
+/// One cooperative thread array: a set of warps launched together on one SM.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CtaTrace {
+    /// Warps of the CTA, in warp-id order.
+    pub warps: Vec<WarpTrace>,
+}
+
+/// The compile-time convolution information Duplo's detection unit receives
+/// at kernel launch (paper §IV-A: "totals only 32 bytes per kernel").
+///
+/// Present only on kernels whose `A` operand is a lowered-convolution
+/// workspace; `None` disables the detection unit (it stays power-gated).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WorkspaceDesc {
+    /// Byte address where the workspace matrix starts.
+    pub base: u64,
+    /// Workspace extent in bytes.
+    pub bytes: u64,
+    /// Bytes per workspace element (2 for half precision).
+    pub elem_bytes: u32,
+    /// Layout pitch of one workspace row in elements (>= `fh*fw*C`; kernels
+    /// pad rows to a multiple of the 16-element tile, and the pad elements
+    /// hold zeros and are bypassed by the detection unit).
+    pub row_stride_elems: u32,
+    /// Input width `W`.
+    pub input_w: u32,
+    /// Input channels `C`.
+    pub channels: u32,
+    /// Filter width.
+    pub fw: u32,
+    /// Filter height.
+    pub fh: u32,
+    /// Output width.
+    pub out_w: u32,
+    /// Output height.
+    pub out_h: u32,
+    /// Filter stride.
+    pub stride: u32,
+    /// Symmetric zero padding.
+    pub pad: u32,
+    /// Batch size.
+    pub batch: u32,
+}
+
+impl WorkspaceDesc {
+    /// Workspace row length in elements (`fh * fw * C`, the GEMM `K`
+    /// before any tile padding).
+    pub fn row_len(&self) -> u64 {
+        u64::from(self.fh) * u64::from(self.fw) * u64::from(self.channels)
+    }
+
+    /// Whether a byte address falls inside the workspace region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.bytes
+    }
+}
+
+/// A kernel the simulator can run: a named collection of CTAs generated on
+/// demand (large GEMMs would not fit in memory if fully materialized).
+pub trait Kernel {
+    /// Kernel name for reports.
+    fn name(&self) -> &str;
+
+    /// Total number of CTAs in the grid.
+    fn num_ctas(&self) -> usize;
+
+    /// Generates the trace of CTA `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `idx >= self.num_ctas()`.
+    fn cta(&self, idx: usize) -> CtaTrace;
+
+    /// Shared-memory footprint per CTA in bytes (limits CTAs/SM, §II-C).
+    fn shared_mem_per_cta(&self) -> u32;
+
+    /// Architectural fragment registers used per warp (limits occupancy).
+    fn regs_per_warp(&self) -> u32;
+
+    /// Convolution workspace metadata for the Duplo detection unit.
+    fn workspace(&self) -> Option<WorkspaceDesc> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_dst_and_srcs() {
+        let mma = Op::WmmaMma {
+            d: ArchReg(4),
+            a: ArchReg(0),
+            b: ArchReg(1),
+            c: ArchReg(4),
+        };
+        assert_eq!(mma.dst(), Some(ArchReg(4)));
+        assert_eq!(mma.srcs(), [Some(ArchReg(0)), Some(ArchReg(1)), Some(ArchReg(4))]);
+        assert!(!mma.is_mem());
+
+        let ld = Op::WmmaLoad {
+            dst: ArchReg(2),
+            addr: 0x1000,
+            rows: 16,
+            seg_bytes: 32,
+            row_stride: 1152,
+            space: Space::Global,
+        };
+        assert!(ld.is_mem());
+        assert_eq!(ld.dst(), Some(ArchReg(2)));
+
+        assert_eq!(Op::Bar.dst(), None);
+        assert_eq!(Op::Exit.srcs(), [None, None, None]);
+    }
+
+    #[test]
+    fn workspace_desc_bounds() {
+        let d = WorkspaceDesc {
+            base: 0x1000,
+            bytes: 0x100,
+            elem_bytes: 2,
+            row_stride_elems: 9,
+            input_w: 4,
+            channels: 1,
+            fw: 3,
+            fh: 3,
+            out_w: 2,
+            out_h: 2,
+            stride: 1,
+            pad: 0,
+            batch: 1,
+        };
+        assert!(d.contains(0x1000));
+        assert!(d.contains(0x10FF));
+        assert!(!d.contains(0x1100));
+        assert!(!d.contains(0xFFF));
+        assert_eq!(d.row_len(), 9);
+    }
+
+    #[test]
+    fn display_of_arch_reg() {
+        assert_eq!(ArchReg(4).to_string(), "%r4");
+    }
+}

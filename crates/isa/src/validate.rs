@@ -1,0 +1,257 @@
+//! Static well-formedness checks for kernel traces.
+//!
+//! Kernel generators are ordinary code and can emit subtly broken programs
+//! (barrier divergence deadlocks, reads of never-written registers,
+//! truncated streams). [`validate_cta`] catches those classes before a
+//! trace reaches the simulator; the generator test suites run it over
+//! every kernel they build.
+
+use crate::{ArchReg, CtaTrace, Op, WarpTrace};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A trace well-formedness violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceError {
+    /// A warp's stream does not end with exactly one trailing `Exit`.
+    BadExit {
+        /// Offending warp index.
+        warp: usize,
+    },
+    /// Warps of one CTA execute different numbers of barriers — guaranteed
+    /// deadlock under CTA-wide barrier semantics.
+    BarrierDivergence {
+        /// Barrier counts per warp.
+        counts: Vec<usize>,
+    },
+    /// An instruction reads a register no prior instruction wrote.
+    /// Accumulator reads (`c` of the first MMA on a register) are exempt —
+    /// accumulators start at zero.
+    ReadBeforeWrite {
+        /// Offending warp index.
+        warp: usize,
+        /// Instruction index.
+        pc: usize,
+        /// The register read.
+        reg: ArchReg,
+    },
+    /// A memory instruction has zero extent.
+    EmptyAccess {
+        /// Offending warp index.
+        warp: usize,
+        /// Instruction index.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadExit { warp } => {
+                write!(f, "warp {warp}: stream must end with exactly one Exit")
+            }
+            TraceError::BarrierDivergence { counts } => {
+                write!(f, "barrier divergence across warps: {counts:?}")
+            }
+            TraceError::ReadBeforeWrite { warp, pc, reg } => {
+                write!(f, "warp {warp} pc {pc}: reads {reg} before any write")
+            }
+            TraceError::EmptyAccess { warp, pc } => {
+                write!(f, "warp {warp} pc {pc}: memory access with zero extent")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// Validates one warp stream (exit placement, def-before-use, extents).
+pub fn validate_warp(warp_ix: usize, trace: &WarpTrace) -> Result<(), TraceError> {
+    let ops = &trace.ops;
+    if ops.last() != Some(&Op::Exit) || ops.iter().filter(|o| **o == Op::Exit).count() != 1 {
+        return Err(TraceError::BadExit { warp: warp_ix });
+    }
+    let mut written: HashSet<ArchReg> = HashSet::new();
+    for (pc, op) in ops.iter().enumerate() {
+        match op {
+            Op::WmmaMma { a, b, c, d } => {
+                for src in [a, b] {
+                    if !written.contains(src) {
+                        return Err(TraceError::ReadBeforeWrite {
+                            warp: warp_ix,
+                            pc,
+                            reg: *src,
+                        });
+                    }
+                }
+                // Accumulators may be read before written (implicit zero),
+                // but only as the MMA's own accumulator operand.
+                written.insert(*c);
+                written.insert(*d);
+            }
+            Op::WmmaStore { src, rows, seg_bytes, .. } => {
+                if !written.contains(src) {
+                    return Err(TraceError::ReadBeforeWrite {
+                        warp: warp_ix,
+                        pc,
+                        reg: *src,
+                    });
+                }
+                if *rows == 0 || *seg_bytes == 0 {
+                    return Err(TraceError::EmptyAccess { warp: warp_ix, pc });
+                }
+            }
+            Op::WmmaLoad { dst, rows, seg_bytes, .. } => {
+                if *rows == 0 || *seg_bytes == 0 {
+                    return Err(TraceError::EmptyAccess { warp: warp_ix, pc });
+                }
+                written.insert(*dst);
+            }
+            Op::Ld { dst, bytes, .. } => {
+                if *bytes == 0 {
+                    return Err(TraceError::EmptyAccess { warp: warp_ix, pc });
+                }
+                written.insert(*dst);
+            }
+            Op::St { src, bytes, .. } => {
+                if !written.contains(src) {
+                    return Err(TraceError::ReadBeforeWrite {
+                        warp: warp_ix,
+                        pc,
+                        reg: *src,
+                    });
+                }
+                if *bytes == 0 {
+                    return Err(TraceError::EmptyAccess { warp: warp_ix, pc });
+                }
+            }
+            Op::Alu { dst, .. } => {
+                if let Some(d) = dst {
+                    written.insert(*d);
+                }
+            }
+            Op::Bar | Op::Exit => {}
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole CTA: every warp individually, plus barrier-count
+/// uniformity across warps.
+pub fn validate_cta(cta: &CtaTrace) -> Result<(), TraceError> {
+    let mut counts = Vec::with_capacity(cta.warps.len());
+    for (w, warp) in cta.warps.iter().enumerate() {
+        validate_warp(w, warp)?;
+        counts.push(warp.ops.iter().filter(|o| matches!(o, Op::Bar)).count());
+    }
+    if counts.windows(2).any(|p| p[0] != p[1]) {
+        return Err(TraceError::BarrierDivergence { counts });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Space;
+
+    fn load(dst: u16) -> Op {
+        Op::WmmaLoad {
+            dst: ArchReg(dst),
+            addr: 0,
+            rows: 16,
+            seg_bytes: 32,
+            row_stride: 64,
+            space: Space::Global,
+        }
+    }
+
+    #[test]
+    fn valid_stream_passes() {
+        let w = WarpTrace {
+            ops: vec![
+                load(0),
+                load(1),
+                Op::WmmaMma {
+                    d: ArchReg(8),
+                    a: ArchReg(0),
+                    b: ArchReg(1),
+                    c: ArchReg(8),
+                },
+                Op::WmmaStore {
+                    src: ArchReg(8),
+                    addr: 0,
+                    rows: 16,
+                    seg_bytes: 64,
+                    row_stride: 256,
+                    space: Space::Global,
+                },
+                Op::Exit,
+            ],
+        };
+        assert_eq!(validate_warp(0, &w), Ok(()));
+    }
+
+    #[test]
+    fn missing_exit_rejected() {
+        let w = WarpTrace { ops: vec![load(0)] };
+        assert_eq!(validate_warp(3, &w), Err(TraceError::BadExit { warp: 3 }));
+    }
+
+    #[test]
+    fn read_before_write_rejected() {
+        let w = WarpTrace {
+            ops: vec![
+                Op::WmmaMma {
+                    d: ArchReg(8),
+                    a: ArchReg(0),
+                    b: ArchReg(1),
+                    c: ArchReg(8),
+                },
+                Op::Exit,
+            ],
+        };
+        assert!(matches!(
+            validate_warp(0, &w),
+            Err(TraceError::ReadBeforeWrite { reg: ArchReg(0), .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_divergence_rejected() {
+        let a = WarpTrace {
+            ops: vec![Op::Bar, Op::Exit],
+        };
+        let b = WarpTrace { ops: vec![Op::Exit] };
+        let cta = CtaTrace { warps: vec![a, b] };
+        assert!(matches!(
+            validate_cta(&cta),
+            Err(TraceError::BarrierDivergence { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_access_rejected() {
+        let w = WarpTrace {
+            ops: vec![
+                Op::WmmaLoad {
+                    dst: ArchReg(0),
+                    addr: 0,
+                    rows: 0,
+                    seg_bytes: 32,
+                    row_stride: 64,
+                    space: Space::Global,
+                },
+                Op::Exit,
+            ],
+        };
+        assert!(matches!(validate_warp(0, &w), Err(TraceError::EmptyAccess { .. })));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = TraceError::BarrierDivergence { counts: vec![1, 2] };
+        assert!(e.to_string().contains("divergence"));
+    }
+}

@@ -1,0 +1,472 @@
+//! Explicit-workspace tensor-core GEMM trace generator (the paper's
+//! baseline kernel, §II-C and §V-A).
+//!
+//! Tiling follows the `cudaTensorCoreGemm` SDK sample the paper builds on:
+//! each CTA computes a 64x128 output tile with eight warps of 32x32 warp
+//! tiles (shrunk when the GEMM is smaller); the K loop advances in steps of
+//! 16. Matrix `A` (the workspace) is row-major half precision, `B` (the
+//! filter matrix) is column-major half precision, `D` is row-major single
+//! precision.
+
+use crate::{A_BASE, B_BASE, D_BASE, pad16};
+use duplo_conv::ConvParams;
+use duplo_isa::{ArchReg, CtaTrace, Kernel, Op, Space, WarpTrace, WorkspaceDesc};
+
+/// Which GEMM operands are staged in shared memory (paper §II-C).
+///
+/// The paper measures, within the 96 KB Volta shared memory:
+/// `AllAbc` (64 KB/CTA, 1 resident CTA), `AAndC` (48 KB/CTA, 2 CTAs) and
+/// `COnly` (32 KB/CTA, 3 CTAs); `COnly` wins by 29.7% thanks to the extra
+/// thread-level parallelism and is the baseline everywhere else.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SmemPolicy {
+    /// A, B and C all staged in shared memory (64 KB per CTA).
+    AllAbc,
+    /// A and C staged; B streamed from global (48 KB per CTA).
+    AAndC,
+    /// Only C resident in shared memory; A and B streamed from global
+    /// (32 KB per CTA) — the paper's baseline.
+    COnly,
+}
+
+impl SmemPolicy {
+    /// Shared-memory bytes per CTA for a full-size (64x128) tile, scaled by
+    /// the actual tile area for edge CTAs. Constants follow §II-C: 32 KB
+    /// for C, plus 16 KB per staged half-precision operand panel.
+    pub fn smem_bytes(&self, cta_m: usize, cta_n: usize) -> u32 {
+        let scale = (cta_m * cta_n) as f64 / (64.0 * 128.0);
+        let full = match self {
+            SmemPolicy::AllAbc => 64 * 1024,
+            SmemPolicy::AAndC => 48 * 1024,
+            SmemPolicy::COnly => 32 * 1024,
+        } as f64;
+        (full * scale).ceil() as u32
+    }
+
+    /// Whether `A` tensor-core loads come from shared memory.
+    pub fn stages_a(&self) -> bool {
+        matches!(self, SmemPolicy::AllAbc | SmemPolicy::AAndC)
+    }
+
+    /// Whether `B` tensor-core loads come from shared memory.
+    pub fn stages_b(&self) -> bool {
+        matches!(self, SmemPolicy::AllAbc)
+    }
+
+    /// Label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SmemPolicy::AllAbc => "A+B+C in smem",
+            SmemPolicy::AAndC => "A+C in smem",
+            SmemPolicy::COnly => "C only in smem",
+        }
+    }
+}
+
+/// K-panel depth (in K elements) for staged operands.
+const PANEL: usize = 64;
+
+/// The explicit tensor-core GEMM kernel.
+#[derive(Clone, Debug)]
+pub struct GemmTcKernel {
+    name: String,
+    /// Logical GEMM dims.
+    m: usize,
+    n: usize,
+    k: usize,
+    /// Tile-padded dims.
+    m_pad: usize,
+    n_pad: usize,
+    k_pad: usize,
+    cta_m: usize,
+    cta_n: usize,
+    policy: SmemPolicy,
+    workspace: Option<WorkspaceDesc>,
+}
+
+impl GemmTcKernel {
+    /// Creates a GEMM kernel for logical dims `m x n x k` (padded up to
+    /// tile multiples internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: usize, n: usize, k: usize, policy: SmemPolicy) -> GemmTcKernel {
+        assert!(m > 0 && n > 0 && k > 0, "GEMM dims must be nonzero");
+        let (m_pad, n_pad, k_pad) = (pad16(m), pad16(n), pad16(k));
+        GemmTcKernel {
+            name: format!("gemm_tc_{m}x{n}x{k}_{}", policy.label()),
+            m,
+            n,
+            k,
+            m_pad,
+            n_pad,
+            k_pad,
+            cta_m: m_pad.min(64),
+            cta_n: n_pad.min(128),
+            policy,
+            workspace: None,
+        }
+    }
+
+    /// Builds the GEMM of a lowered convolution and attaches the workspace
+    /// descriptor (the §IV-A compile-time information) so the Duplo
+    /// detection unit can be programmed at launch.
+    pub fn from_conv(params: &ConvParams, policy: SmemPolicy) -> GemmTcKernel {
+        let (m, n, k) = params.gemm_dims();
+        let mut kernel = GemmTcKernel::new(m, n, k, policy);
+        kernel.workspace = Some(WorkspaceDesc {
+            base: A_BASE,
+            bytes: (m * kernel.k_pad) as u64 * 2,
+            elem_bytes: 2,
+            row_stride_elems: kernel.k_pad as u32,
+            input_w: params.input.w as u32,
+            channels: params.input.c as u32,
+            fw: params.fw as u32,
+            fh: params.fh as u32,
+            out_w: params.out_w() as u32,
+            out_h: params.out_h() as u32,
+            stride: params.stride as u32,
+            pad: params.pad as u32,
+            batch: params.input.n as u32,
+        });
+        kernel.name = format!("conv_gemm_tc_{params}");
+        kernel
+    }
+
+    /// Logical GEMM dimensions `(m, n, k)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.m, self.n, self.k)
+    }
+
+    /// Padded GEMM dimensions.
+    pub fn padded_dims(&self) -> (usize, usize, usize) {
+        (self.m_pad, self.n_pad, self.k_pad)
+    }
+
+    /// CTA grid extents `(ctas_m, ctas_n)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.m_pad.div_ceil(self.cta_m), self.n_pad.div_ceil(self.cta_n))
+    }
+
+    /// The shared-memory policy.
+    pub fn policy(&self) -> SmemPolicy {
+        self.policy
+    }
+
+    /// Total `wmma.mma` operations in the grid (diagnostics/roofline).
+    pub fn total_mmas(&self) -> u64 {
+        (self.m_pad / 16) as u64 * (self.n_pad / 16) as u64 * (self.k_pad / 16) as u64
+    }
+
+    /// Builds the warp trace for the warp covering rows
+    /// `[wm0, wm0+wt_m)` and cols `[wn0, wn0+wt_n)`.
+    ///
+    /// The streamed (`COnly`) path is software-pipelined with
+    /// double-buffered fragment registers, like the SDK kernel: the loads
+    /// of k-step `t+1` issue before the MMAs of k-step `t`, overlapping
+    /// memory latency with tensor-core work.
+    fn warp_trace(&self, wm0: usize, wt_m: usize, wn0: usize, wt_n: usize) -> WarpTrace {
+        let mut ops = Vec::new();
+        let a_frags = wt_m / 16;
+        let b_frags = wt_n / 16;
+        // Register map: buffer 0 fragments in 0..4, buffer 1 in 4..8,
+        // accumulators 8+, staging scratch 15.
+        let a_reg = |buf: usize, i: usize| ArchReg((buf * 4 + i) as u16);
+        let b_reg = |buf: usize, j: usize| ArchReg((buf * 4 + 2 + j) as u16);
+        let acc_reg = |i: usize, j: usize| ArchReg(8 + (i * b_frags + j) as u16);
+        let stage_reg = ArchReg(15);
+
+        let k2 = (self.k_pad * 2) as u64; // row pitch of A / col pitch of B
+        let a_space = if self.policy.stages_a() { Space::Shared } else { Space::Global };
+        let b_space = if self.policy.stages_b() { Space::Shared } else { Space::Global };
+        let staging = self.policy.stages_a() || self.policy.stages_b();
+
+        let emit_loads = |ops: &mut Vec<Op>, buf: usize, k16: usize| {
+            for i in 0..a_frags {
+                let row = wm0 + i * 16;
+                ops.push(Op::WmmaLoad {
+                    dst: a_reg(buf, i),
+                    addr: A_BASE + (row * self.k_pad + k16) as u64 * 2,
+                    rows: 16,
+                    seg_bytes: 32,
+                    row_stride: k2,
+                    space: a_space,
+                });
+            }
+            for j in 0..b_frags {
+                let col = wn0 + j * 16;
+                ops.push(Op::WmmaLoad {
+                    dst: b_reg(buf, j),
+                    addr: B_BASE + (col * self.k_pad + k16) as u64 * 2,
+                    rows: 16,
+                    seg_bytes: 32,
+                    row_stride: k2,
+                    space: b_space,
+                });
+            }
+        };
+        let emit_mmas = |ops: &mut Vec<Op>, buf: usize| {
+            for i in 0..a_frags {
+                for j in 0..b_frags {
+                    ops.push(Op::WmmaMma {
+                        d: acc_reg(i, j),
+                        a: a_reg(buf, i),
+                        b: b_reg(buf, j),
+                        c: acc_reg(i, j),
+                    });
+                }
+            }
+        };
+
+        if staging {
+            // Identify this warp's index within the CTA for cooperative
+            // staging shares (derived from its tile origin).
+            let warps_m = (self.cta_m / wt_m.max(1)).max(1);
+            let warps_n = (self.cta_n / wt_n.max(1)).max(1);
+            let n_warps = warps_m * warps_n;
+            let wid = ((wm0 % self.cta_m) / wt_m.max(1)) * warps_n
+                + (wn0 % self.cta_n) / wt_n.max(1);
+            let cta_m0 = wm0 - (wm0 % self.cta_m);
+            let cta_n0 = wn0 - (wn0 % self.cta_n);
+            let mut kp = 0;
+            while kp < self.k_pad {
+                let panel_end = (kp + PANEL).min(self.k_pad);
+                let panel_bytes = (panel_end - kp) * 2;
+                // Cooperative panel staging: each warp loads an interleaved
+                // share of the panel rows/columns (one contiguous chunk per
+                // A row or B column), then the CTA synchronizes.
+                if self.policy.stages_a() {
+                    for row in (cta_m0 + wid..cta_m0 + self.cta_m).step_by(n_warps) {
+                        ops.push(Op::Ld {
+                            dst: stage_reg,
+                            addr: A_BASE + (row * self.k_pad + kp) as u64 * 2,
+                            bytes: panel_bytes as u32,
+                            space: Space::Global,
+                        });
+                    }
+                }
+                if self.policy.stages_b() {
+                    for col in (cta_n0 + wid..cta_n0 + self.cta_n).step_by(n_warps) {
+                        ops.push(Op::Ld {
+                            dst: stage_reg,
+                            addr: B_BASE + (col * self.k_pad + kp) as u64 * 2,
+                            bytes: panel_bytes as u32,
+                            space: Space::Global,
+                        });
+                    }
+                }
+                ops.push(Op::Bar);
+                for k16 in (kp..panel_end).step_by(16) {
+                    ops.push(Op::Alu { dst: None, latency: 4 });
+                    emit_loads(&mut ops, 0, k16);
+                    emit_mmas(&mut ops, 0);
+                }
+                // Keep the staged panel stable until every warp is done.
+                ops.push(Op::Bar);
+                kp = panel_end;
+            }
+        } else {
+            // Streamed path: double-buffered software pipeline.
+            let ksteps: Vec<usize> = (0..self.k_pad).step_by(16).collect();
+            emit_loads(&mut ops, 0, ksteps[0]);
+            for (t, _k16) in ksteps.iter().enumerate() {
+                ops.push(Op::Alu { dst: None, latency: 4 });
+                if t + 1 < ksteps.len() {
+                    emit_loads(&mut ops, (t + 1) % 2, ksteps[t + 1]);
+                }
+                emit_mmas(&mut ops, t % 2);
+            }
+        }
+        // Drain accumulators to D (row-major f32).
+        for i in 0..a_frags {
+            for j in 0..b_frags {
+                let row = wm0 + i * 16;
+                let col = wn0 + j * 16;
+                ops.push(Op::WmmaStore {
+                    src: acc_reg(i, j),
+                    addr: D_BASE + (row * self.n_pad + col) as u64 * 4,
+                    rows: 16,
+                    seg_bytes: 64,
+                    row_stride: (self.n_pad * 4) as u64,
+                    space: Space::Global,
+                });
+            }
+        }
+        ops.push(Op::Exit);
+        WarpTrace { ops }
+    }
+}
+
+impl Kernel for GemmTcKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_ctas(&self) -> usize {
+        let (gm, gn) = self.grid();
+        gm * gn
+    }
+
+    fn cta(&self, idx: usize) -> CtaTrace {
+        let (gm, _) = self.grid();
+        let bm = idx % gm;
+        let bn = idx / gm;
+        let m0 = bm * self.cta_m;
+        let n0 = bn * self.cta_n;
+        let cta_m = self.cta_m.min(self.m_pad - m0);
+        let cta_n = self.cta_n.min(self.n_pad - n0);
+        let wt_m = cta_m.min(32);
+        let wt_n = cta_n.min(32);
+        let mut warps = Vec::new();
+        for wm in (0..cta_m).step_by(wt_m) {
+            for wn in (0..cta_n).step_by(wt_n) {
+                warps.push(self.warp_trace(
+                    m0 + wm,
+                    wt_m.min(cta_m - wm),
+                    n0 + wn,
+                    wt_n.min(cta_n - wn),
+                ));
+            }
+        }
+        CtaTrace { warps }
+    }
+
+    fn shared_mem_per_cta(&self) -> u32 {
+        self.policy.smem_bytes(self.cta_m, self.cta_n)
+    }
+
+    fn regs_per_warp(&self) -> u32 {
+        16
+    }
+
+    fn workspace(&self) -> Option<WorkspaceDesc> {
+        self.workspace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplo_tensor::Nhwc;
+
+    #[test]
+    fn grid_covers_matrix() {
+        let k = GemmTcKernel::new(25088, 64, 576, SmemPolicy::COnly);
+        let (gm, gn) = k.grid();
+        assert_eq!(gm, 25088 / 64);
+        assert_eq!(gn, 1);
+        assert_eq!(k.num_ctas(), 392);
+    }
+
+    #[test]
+    fn cta_has_expected_warps_and_ops() {
+        let k = GemmTcKernel::new(64, 64, 64, SmemPolicy::COnly);
+        let cta = k.cta(0);
+        // 64x64 tile with 32x32 warp tiles: 4 warps.
+        assert_eq!(cta.warps.len(), 4);
+        let ops = &cta.warps[0].ops;
+        // 4 k-steps x (1 alu + 4 loads + 4 mma) + 4 stores + exit.
+        assert_eq!(ops.len(), 4 * 9 + 4 + 1);
+        let mmas = ops
+            .iter()
+            .filter(|o| matches!(o, Op::WmmaMma { .. }))
+            .count();
+        assert_eq!(mmas, 16);
+    }
+
+    #[test]
+    fn total_mma_count_matches_dims() {
+        let k = GemmTcKernel::new(64, 64, 64, SmemPolicy::COnly);
+        let mut count = 0u64;
+        for c in 0..k.num_ctas() {
+            for w in k.cta(c).warps {
+                count += w
+                    .ops
+                    .iter()
+                    .filter(|o| matches!(o, Op::WmmaMma { .. }))
+                    .count() as u64;
+            }
+        }
+        assert_eq!(count, k.total_mmas());
+        assert_eq!(count, 4 * 4 * 4);
+    }
+
+    #[test]
+    fn a_addresses_stay_in_workspace_rows() {
+        // Every A load must target a 16-aligned k-offset of a valid row.
+        let p = ConvParams::new(Nhwc::new(1, 8, 8, 16), 16, 3, 3, 1, 1).unwrap();
+        let kern = GemmTcKernel::from_conv(&p, SmemPolicy::COnly);
+        let ws = kern.workspace().unwrap();
+        let (_, _, k_pad) = kern.padded_dims();
+        for c in 0..kern.num_ctas() {
+            for w in kern.cta(c).warps {
+                for op in w.ops {
+                    if let Op::WmmaLoad { addr, space: Space::Global, .. } = op {
+                        if ws.contains(addr) {
+                            let idx = (addr - ws.base) / 2;
+                            assert_eq!((idx as usize % k_pad) % 16, 0, "k-offset aligned");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smem_policy_occupancy_matches_paper() {
+        // §II-C: within 96 KB, AllAbc fits 1 CTA, AAndC 2, COnly 3.
+        for (policy, fits) in [
+            (SmemPolicy::AllAbc, 1),
+            (SmemPolicy::AAndC, 2),
+            (SmemPolicy::COnly, 3),
+        ] {
+            let per_cta = policy.smem_bytes(64, 128);
+            assert_eq!(96 * 1024 / per_cta, fits, "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn staged_policies_emit_barriers_and_shared_loads() {
+        let k = GemmTcKernel::new(64, 128, 128, SmemPolicy::AllAbc);
+        let ops = &k.cta(0).warps[0].ops;
+        assert!(ops.iter().any(|o| matches!(o, Op::Bar)));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::WmmaLoad { space: Space::Shared, .. })));
+        assert!(ops.iter().any(|o| matches!(o, Op::Ld { space: Space::Global, .. })));
+        // COnly streams everything from global.
+        let k2 = GemmTcKernel::new(64, 128, 128, SmemPolicy::COnly);
+        let ops2 = &k2.cta(0).warps[0].ops;
+        assert!(!ops2.iter().any(|o| matches!(o, Op::Bar)));
+        assert!(ops2
+            .iter()
+            .all(|o| !matches!(o, Op::WmmaLoad { space: Space::Shared, .. })));
+    }
+
+    #[test]
+    fn from_conv_pads_k_and_sets_descriptor() {
+        // ResNet C1-like: K = 7*7*3 = 147 -> padded to 160.
+        let p = ConvParams::new(Nhwc::new(1, 32, 32, 3), 16, 7, 7, 3, 2).unwrap();
+        let kern = GemmTcKernel::from_conv(&p, SmemPolicy::COnly);
+        let (_, _, k_pad) = kern.padded_dims();
+        assert_eq!(k_pad, 160);
+        let ws = kern.workspace().unwrap();
+        assert_eq!(ws.row_stride_elems, 160);
+        assert_eq!(ws.row_len(), 147);
+    }
+
+    #[test]
+    fn small_gemm_single_cta() {
+        let k = GemmTcKernel::new(16, 16, 16, SmemPolicy::COnly);
+        assert_eq!(k.num_ctas(), 1);
+        let cta = k.cta(0);
+        assert_eq!(cta.warps.len(), 1);
+        let mmas = cta.warps[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::WmmaMma { .. }))
+            .count();
+        assert_eq!(mmas, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Kernel trace generators for the Duplo simulator.
+//!
+//! The paper's workloads are `cudaTensorCoreGemm`-style GEMM kernels
+//! computing `D = A x B + C` where `A` is the lowered convolution workspace
+//! (paper §II-C, §V-A). This crate generates the warp-level instruction
+//! traces of those kernels:
+//!
+//! * [`GemmTcKernel`] — the explicit-workspace tensor-core GEMM with the
+//!   three shared-memory operand policies of §II-C ([`SmemPolicy`]); the
+//!   `COnly` variant is the paper's baseline,
+//! * [`GemmTcKernel::from_conv`] — builds the GEMM for a convolutional
+//!   layer and attaches the [`duplo_isa::WorkspaceDesc`] the Duplo
+//!   detection unit is programmed with,
+//! * [`ImplicitGemmKernel`] — the cuDNN-style implicit GEMM that stages
+//!   workspace tiles through shared memory (global traffic reads the
+//!   *unexpanded* input).
+//!
+//! Address-space conventions (all kernels):
+//! workspace `A` at [`A_BASE`], filters `B` at [`B_BASE`], output `D` at
+//! [`D_BASE`], unexpanded input at [`INPUT_BASE`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gemm_tc;
+mod implicit;
+
+pub use gemm_tc::{GemmTcKernel, SmemPolicy};
+pub use implicit::ImplicitGemmKernel;
+
+/// Base address of the workspace matrix `A`.
+pub const A_BASE: u64 = 0x1000_0000;
+/// Base address of the unexpanded input tensor.
+pub const INPUT_BASE: u64 = 0x4000_0000;
+/// Base address of the filter matrix `B`.
+pub const B_BASE: u64 = 0x8000_0000;
+/// Base address of the output matrix `D`.
+pub const D_BASE: u64 = 0xC000_0000;
+
+/// Rounds `x` up to a multiple of 16 (tensor-core tile granularity).
+pub fn pad16(x: usize) -> usize {
+    x.div_ceil(16) * 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad16_rounds_up() {
+        assert_eq!(pad16(1), 16);
+        assert_eq!(pad16(16), 16);
+        assert_eq!(pad16(17), 32);
+        assert_eq!(pad16(147), 160);
+    }
+}

@@ -1,0 +1,49 @@
+//! Every kernel the generators emit must pass the static trace validator
+//! (barrier uniformity, def-before-use, nonempty accesses, single exit).
+
+use duplo_conv::{ConvParams, layers};
+use duplo_isa::{Kernel, validate_cta};
+use duplo_kernels::{GemmTcKernel, ImplicitGemmKernel, SmemPolicy};
+use duplo_tensor::Nhwc;
+
+fn check_kernel(k: &dyn Kernel, label: &str) {
+    // Validate a sample of CTAs: first, last, and a middle one.
+    let n = k.num_ctas();
+    let picks = [0, n / 2, n - 1];
+    for &c in picks.iter() {
+        validate_cta(&k.cta(c)).unwrap_or_else(|e| panic!("{label} CTA {c}: {e}"));
+    }
+}
+
+#[test]
+fn explicit_gemm_traces_are_well_formed_for_all_policies() {
+    let p = ConvParams::new(Nhwc::new(2, 16, 16, 16), 32, 3, 3, 1, 1).unwrap();
+    for policy in [SmemPolicy::COnly, SmemPolicy::AAndC, SmemPolicy::AllAbc] {
+        let k = GemmTcKernel::from_conv(&p, policy);
+        check_kernel(&k, policy.label());
+    }
+}
+
+#[test]
+fn explicit_gemm_traces_are_well_formed_for_all_table1_layers() {
+    for layer in layers::all_layers() {
+        let k = GemmTcKernel::from_conv(&layer.lowered(), SmemPolicy::COnly);
+        check_kernel(&k, &layer.qualified_name());
+    }
+}
+
+#[test]
+fn implicit_gemm_traces_are_well_formed() {
+    for layer in [&layers::resnet()[1], &layers::yolo()[2]] {
+        let k = ImplicitGemmKernel::from_conv(&layer.lowered());
+        check_kernel(&k, &layer.qualified_name());
+    }
+}
+
+#[test]
+fn odd_shaped_gemms_are_well_formed() {
+    for (m, n, k) in [(16, 16, 16), (17, 3, 147), (100, 1000, 75), (64, 128, 4608)] {
+        let kern = GemmTcKernel::new(m, n, k, SmemPolicy::COnly);
+        check_kernel(&kern, &format!("gemm {m}x{n}x{k}"));
+    }
+}

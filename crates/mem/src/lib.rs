@@ -1,0 +1,28 @@
+//! GPU memory-hierarchy substrate: set-associative caches, MSHRs, a
+//! bandwidth/latency DRAM model, and the glue that composes them into the
+//! per-SM view the LDST unit talks to.
+//!
+//! The hierarchy follows the paper's Table III baseline: a 128 KB unified L1
+//! per SM (28-cycle latency, the value the paper cites from ref. 11), a 4.5 MB
+//! 24-way L2 at 120 cycles, and 652.8 GB/s DRAM. The simulator models one
+//! (or a few) *representative SMs*, so the L2 and DRAM are instantiated as
+//! proportional slices (capacity and bandwidth divided by the number of SMs
+//! each simulated SM represents) — see `DESIGN.md` §2.
+//!
+//! Timing uses a latency-oracle style: each access computes its completion
+//! cycle at issue time from cache state plus queueing delay at the L2/DRAM
+//! bandwidth servers. This models both latency and bandwidth contention
+//! without a global event wheel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod mshr;
+
+pub use cache::{Cache, CacheConfig};
+pub use dram::{BandwidthQueue, BandwidthQueueConfig};
+pub use hierarchy::{HierarchyConfig, MemStats, MemoryHierarchy, ServiceLevel};
+pub use mshr::{Mshr, MshrOutcome};

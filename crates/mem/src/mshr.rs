@@ -1,0 +1,142 @@
+//! Miss-status holding registers: merge outstanding misses to the same line
+//! and bound the number of in-flight fills.
+
+use std::collections::HashMap;
+
+/// Result of consulting the MSHR for a missing line.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MshrOutcome {
+    /// A fill for this line is already outstanding; the access completes
+    /// when that fill returns (secondary miss, no new traffic).
+    Merged {
+        /// Completion cycle of the outstanding fill.
+        fill_cycle: u64,
+    },
+    /// A new entry was allocated; the caller must fetch the line and then
+    /// report its fill time via [`Mshr::record_fill`].
+    Allocated,
+    /// All entries are busy: the access must stall and retry.
+    Full,
+}
+
+/// The MSHR file of one cache.
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    capacity: usize,
+    /// line address -> completion cycle of the outstanding fill.
+    pending: HashMap<u64, u64>,
+    /// Peak simultaneous occupancy (diagnostics).
+    peak: usize,
+    /// Secondary misses merged.
+    merges: u64,
+    /// Stalls due to a full MSHR file.
+    stalls: u64,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` entries.
+    pub fn new(capacity: usize) -> Mshr {
+        assert!(capacity > 0, "MSHR needs at least one entry");
+        Mshr {
+            capacity,
+            pending: HashMap::new(),
+            peak: 0,
+            merges: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Retires entries whose fills completed at or before `cycle`.
+    pub fn expire(&mut self, cycle: u64) {
+        self.pending.retain(|_, fill| *fill > cycle);
+    }
+
+    /// Returns the completion cycle of an outstanding fill covering
+    /// `line_addr`, if any (expired entries are retired first).
+    pub fn pending_fill(&mut self, cycle: u64, line_addr: u64) -> Option<u64> {
+        self.expire(cycle);
+        self.pending.get(&line_addr).copied()
+    }
+
+    /// Counts a secondary miss merged outside [`Mshr::lookup`].
+    pub fn note_merge(&mut self) {
+        self.merges += 1;
+    }
+
+    /// Consults the MSHR for a miss on `line_addr` at `cycle`.
+    pub fn lookup(&mut self, cycle: u64, line_addr: u64) -> MshrOutcome {
+        self.expire(cycle);
+        if let Some(&fill) = self.pending.get(&line_addr) {
+            self.merges += 1;
+            return MshrOutcome::Merged { fill_cycle: fill };
+        }
+        if self.pending.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        // Reserve the slot with a provisional far-future fill; the caller
+        // must overwrite it via `record_fill`.
+        self.pending.insert(line_addr, u64::MAX);
+        self.peak = self.peak.max(self.pending.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Records the actual completion cycle of the fill for `line_addr`.
+    pub fn record_fill(&mut self, line_addr: u64, fill_cycle: u64) {
+        if let Some(slot) = self.pending.get_mut(&line_addr) {
+            *slot = fill_cycle;
+        }
+    }
+
+    /// Number of merged (secondary) misses.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of full-MSHR stalls.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Current outstanding fills.
+    pub fn occupancy(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_returns_existing_fill_time() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.lookup(0, 0x100), MshrOutcome::Allocated);
+        m.record_fill(0x100, 250);
+        assert_eq!(m.lookup(10, 0x100), MshrOutcome::Merged { fill_cycle: 250 });
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn capacity_limits_outstanding_fills() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.lookup(0, 0x100), MshrOutcome::Allocated);
+        m.record_fill(0x100, 500);
+        assert_eq!(m.lookup(0, 0x200), MshrOutcome::Allocated);
+        m.record_fill(0x200, 500);
+        assert_eq!(m.lookup(0, 0x300), MshrOutcome::Full);
+        assert_eq!(m.stalls(), 1);
+        // After the fills complete, capacity frees up.
+        assert_eq!(m.lookup(501, 0x300), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn expiry_is_cycle_accurate() {
+        let mut m = Mshr::new(1);
+        assert_eq!(m.lookup(0, 0x100), MshrOutcome::Allocated);
+        m.record_fill(0x100, 100);
+        // At cycle 100 the fill completes; lookups at 99 still merge.
+        assert_eq!(m.lookup(99, 0x100), MshrOutcome::Merged { fill_cycle: 100 });
+        assert_eq!(m.lookup(100, 0x100), MshrOutcome::Allocated);
+    }
+}

@@ -1,0 +1,201 @@
+//! Ablation studies of Duplo's design choices (DESIGN.md §5):
+//!
+//! * detection-unit latency 2 vs 3 cycles (the paper reports ~0.9%
+//!   degradation for the conservative 3-cycle assumption, §IV-A),
+//! * commit-window length (the entry-lifetime knob behind the Fig. 9/10
+//!   saturation behaviour),
+//! * warp scheduler policy (GTO vs LRR),
+//! * octet double-loading on/off (§II-B's duplicated octet requests).
+
+use super::ExpOpts;
+use crate::report::{Table, fmt_pct};
+use crate::{GpuConfig, layer_run};
+use duplo_core::LhbConfig;
+use duplo_sm::SchedulerPolicy;
+
+/// One ablation variant's aggregate result over the probe layers.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Variant label.
+    pub variant: String,
+    /// Geometric-mean Duplo improvement over the matching baseline.
+    pub improvement: f64,
+    /// Mean LHB hit rate.
+    pub hit_rate: f64,
+}
+
+fn probe_layers() -> Vec<duplo_conv::layers::LayerSpec> {
+    use crate::networks;
+    vec![
+        networks::resnet()[1].clone(),
+        networks::yolo()[2].clone(),
+        networks::gan()[1].clone(),
+    ]
+}
+
+fn measure(mut mutate: impl FnMut(&mut GpuConfig), opts: &ExpOpts, variant: &str) -> Row {
+    let mut cfg = opts.apply(GpuConfig::titan_v());
+    mutate(&mut cfg);
+    let mut ratios = Vec::new();
+    let mut hit_rates = Vec::new();
+    for l in probe_layers() {
+        let p = l.lowered();
+        let base = layer_run(&p, None, &cfg);
+        let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &cfg);
+        ratios.push(base.cycles / duplo.cycles);
+        hit_rates.push(duplo.stats.lhb.hit_rate());
+    }
+    Row {
+        variant: variant.to_string(),
+        improvement: crate::report::gmean(&ratios) - 1.0,
+        hit_rate: hit_rates.iter().sum::<f64>() / hit_rates.len() as f64,
+    }
+}
+
+/// Runs all ablations.
+pub fn run(opts: &ExpOpts) -> Vec<Row> {
+    vec![
+        measure(|_| {}, opts, "default (2-cycle detect, GTO, octet dup, 4096 window)"),
+        measure(|c| c.sm.detect_latency = 3, opts, "3-cycle detection latency"),
+        measure(|c| c.sm.commit_delay = 1024, opts, "1024-cycle commit window"),
+        measure(|c| c.sm.commit_delay = 16384, opts, "16384-cycle commit window"),
+        measure(|c| c.sm.policy = SchedulerPolicy::Lrr, opts, "LRR warp scheduler"),
+        measure(|c| c.sm.octet_dup = false, opts, "octet double-load disabled"),
+    ]
+}
+
+/// Distribution quality of LHB index functions over one layer's segment
+/// keys (quantifies EXPERIMENTS.md deviation 8: a plain low-bit modulo
+/// wastes most sets because segment element IDs are multiples of 16).
+#[derive(Clone, Debug)]
+pub struct HashRow {
+    /// Index function label.
+    pub hash: &'static str,
+    /// Distinct sets touched out of 1024.
+    pub sets_touched: usize,
+    /// Max keys landing in one set (hot-set pressure).
+    pub max_per_set: usize,
+}
+
+/// Analyzes index distributions for ResNet C2's segment keys.
+pub fn hash_study() -> Vec<HashRow> {
+    use duplo_core::HwIdGen;
+    use duplo_isa::Kernel as _;
+    use duplo_kernels::{GemmTcKernel, SmemPolicy};
+    let p = crate::networks::resnet()[1].lowered();
+    let kern = GemmTcKernel::from_conv(&p, SmemPolicy::COnly);
+    let ws = kern.workspace().expect("conv kernel has workspace");
+    let gen = HwIdGen::new(&ws);
+    let (_, _, k_pad) = kern.padded_dims();
+    let mut keys = Vec::new();
+    for row in 0..256u64 {
+        for k16 in (0..k_pad as u64).step_by(16) {
+            if let Some(key) = gen.key(ws.base + (row * k_pad as u64 + k16) * 2, 32) {
+                keys.push(key.element);
+            }
+        }
+    }
+    let tally = |f: &dyn Fn(u64) -> usize| {
+        let mut counts = vec![0usize; 1024];
+        for &e in &keys {
+            counts[f(e) % 1024] += 1;
+        }
+        (
+            counts.iter().filter(|&&c| c > 0).count(),
+            counts.iter().copied().max().unwrap_or(0),
+        )
+    };
+    let rows: Vec<(&'static str, Box<dyn Fn(u64) -> usize>)> = vec![
+        ("plain low-bit modulo", Box::new(|e: u64| e as usize)),
+        (
+            "single XOR fold (e ^ e>>10)",
+            Box::new(|e: u64| (e ^ (e >> 10)) as usize),
+        ),
+        (
+            "production fold (4/9/15/23)",
+            Box::new(|e: u64| (e ^ (e >> 4) ^ (e >> 9) ^ (e >> 15) ^ (e >> 23)) as usize),
+        ),
+    ];
+    rows.into_iter()
+        .map(|(label, f)| {
+            let (sets_touched, max_per_set) = tally(&*f);
+            HashRow {
+                hash: label,
+                sets_touched,
+                max_per_set,
+            }
+        })
+        .collect()
+}
+
+/// Renders the ablation table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(
+        "ABLATIONS — Duplo design-choice sensitivity (3 probe layers)",
+        &["variant", "duplo improvement", "hit rate"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.variant.clone(),
+            fmt_pct(r.improvement),
+            format!("{:.1}%", r.hit_rate * 100.0),
+        ]);
+    }
+    t.note("paper §IV-A: a 3-cycle detection unit costs only ~0.9% performance");
+    let mut h = Table::new(
+        "ABLATIONS — LHB index-function distribution (ResNet C2 keys, 1024 sets)",
+        &["index function", "sets touched", "max keys/set"],
+    );
+    for r in hash_study() {
+        h.push_row(vec![
+            r.hash.to_string(),
+            format!("{}/1024", r.sets_touched),
+            r.max_per_set.to_string(),
+        ]);
+    }
+    h.note("segment element IDs are multiples of 16: plain modulo reaches only 1/16 of the sets");
+    format!("{}
+{}", t.render(), h.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_cycle_detection_changes_little() {
+        let opts = ExpOpts { sample_ctas: Some(2) };
+        let base = measure(|_| {}, &opts, "d2");
+        let slow = measure(|c| c.sm.detect_latency = 3, &opts, "d3");
+        // Paper: ~0.9% degradation; allow generous slack on a tiny sample.
+        let delta = (base.improvement - slow.improvement).abs();
+        assert!(delta < 0.05, "3-cycle detect moved improvement by {delta:.3}");
+    }
+
+    #[test]
+    fn production_hash_spreads_better_than_modulo() {
+        let rows = hash_study();
+        let modulo = &rows[0];
+        let fold = &rows[2];
+        assert!(
+            fold.sets_touched > 4 * modulo.sets_touched,
+            "fold {} sets !>> modulo {} sets",
+            fold.sets_touched,
+            modulo.sets_touched
+        );
+        assert!(fold.max_per_set < modulo.max_per_set);
+    }
+
+    #[test]
+    fn longer_commit_window_does_not_reduce_hit_rate() {
+        let opts = ExpOpts { sample_ctas: Some(2) };
+        let short = measure(|c| c.sm.commit_delay = 256, &opts, "short");
+        let long = measure(|c| c.sm.commit_delay = 16384, &opts, "long");
+        assert!(
+            long.hit_rate >= short.hit_rate - 0.02,
+            "longer windows must not lose hits: {:.3} vs {:.3}",
+            long.hit_rate,
+            short.hit_rate
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 3: memory usage of convolution methods relative to direct.
+
+use crate::networks;
+use crate::report::{Table, fmt_x, gmean};
+use duplo_conv::memuse::{self, ConvMethod};
+
+/// One row: a layer's relative memory usage per method.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Layer name.
+    pub layer: String,
+    /// Relative usage per method in [`ConvMethod::FIG_METHODS`] order.
+    pub usage: Vec<Option<f64>>,
+}
+
+/// Fig. 3 result.
+#[derive(Clone, Debug)]
+pub struct Fig3 {
+    /// Per-layer rows.
+    pub rows: Vec<Row>,
+    /// Per-method geometric means.
+    pub gmeans: Vec<Option<f64>>,
+}
+
+/// Runs the Fig. 3 reproduction (analytic, exact).
+pub fn run() -> Fig3 {
+    let rows: Vec<Row> = networks::all_layers()
+        .iter()
+        .map(|l| {
+            let p = l.lowered();
+            Row {
+                layer: l.qualified_name(),
+                usage: ConvMethod::FIG_METHODS
+                    .iter()
+                    .map(|m| {
+                        if l.method_applicable(*m) {
+                            memuse::relative_usage(*m, &p)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    let gmeans = (0..ConvMethod::FIG_METHODS.len())
+        .map(|i| {
+            let v: Vec<f64> = rows.iter().filter_map(|r| r.usage[i]).collect();
+            if v.is_empty() { None } else { Some(gmean(&v)) }
+        })
+        .collect();
+    Fig3 { rows, gmeans }
+}
+
+/// Renders the result.
+pub fn render(fig: &Fig3) -> String {
+    let mut header = vec!["layer"];
+    for m in ConvMethod::FIG_METHODS {
+        header.push(m.label());
+    }
+    let mut t = Table::new("Fig. 3 — memory usage relative to direct convolution", &header);
+    for r in &fig.rows {
+        let mut cells = vec![r.layer.clone()];
+        cells.extend(r.usage.iter().map(|s| fmt_x(*s)));
+        t.push_row(cells);
+    }
+    let mut cells = vec!["gmean".to_string()];
+    cells.extend(fig.gmeans.iter().map(|s| fmt_x(*s)));
+    t.push_row(cells);
+    t.note("analytic footprints; paper averages: GEMM 9.7x, Winograd 12.2x, FFT 53.5x, GEMM_TC 1.1x");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_is_most_memory_hungry_where_applicable() {
+        let fig = run();
+        for r in &fig.rows {
+            if let (Some(fft), Some(gemm)) = (r.usage[2], r.usage[0]) {
+                assert!(fft > gemm, "{}: FFT {fft:.1} !> GEMM {gemm:.1}", r.layer);
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_tc_is_cheapest_nondirect() {
+        let fig = run();
+        let tc = fig.gmeans[3].unwrap();
+        let gemm = fig.gmeans[0].unwrap();
+        assert!(tc < gemm);
+        assert!(tc < 2.5, "implicit GEMM_TC should be near 1x, got {tc:.2}");
+    }
+}

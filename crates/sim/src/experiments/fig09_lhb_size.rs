@@ -1,0 +1,73 @@
+//! Fig. 9: performance improvement of Duplo with variable-sized LHBs.
+
+use super::{ExpOpts, LayerSweep, size_configs, sweep_layers, table1_layers};
+use crate::report::{Table, fmt_pct, gmean};
+
+/// Runs the Fig. 9 sweep: every Table I layer against
+/// {256, 512, 1024, 2048, oracle} LHBs.
+pub fn run(opts: &ExpOpts) -> Vec<LayerSweep> {
+    sweep_layers(&table1_layers(), &size_configs(), opts)
+}
+
+/// Renders per-layer improvements plus the geometric mean row.
+pub fn render(sweeps: &[LayerSweep]) -> String {
+    let labels: Vec<String> = sweeps[0].runs.iter().map(|(l, _)| l.clone()).collect();
+    let mut header = vec!["layer".to_string()];
+    header.extend(labels.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig. 9 — Duplo performance improvement vs LHB size", &header_refs);
+    for s in sweeps {
+        let mut cells = vec![s.layer.clone()];
+        for i in 0..s.runs.len() {
+            cells.push(fmt_pct(s.improvement(i)));
+        }
+        t.push_row(cells);
+    }
+    let mut cells = vec!["gmean".to_string()];
+    for i in 0..sweeps[0].runs.len() {
+        let v: Vec<f64> = sweeps.iter().map(|s| 1.0 + s.improvement(i)).collect();
+        cells.push(fmt_pct(gmean(&v) - 1.0));
+    }
+    t.push_row(cells);
+    t.note("paper: 1024-entry ~22.1% gmean, oracle ~25.9%");
+    if sweeps.iter().any(|s| s.baseline.sampled_fraction < 1.0) {
+        t.note("CTA sampling active on some layers (see --full)");
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::size_configs;
+    use crate::experiments::sweep_layers;
+    use crate::networks;
+
+    /// Shape check on a cheap subset: bigger LHBs never hurt relative to
+    /// much smaller ones, and the oracle bounds them all.
+    #[test]
+    fn size_ordering_on_fast_layers() {
+        let layers = vec![networks::resnet()[1].clone(), networks::yolo()[4].clone()];
+        let sweeps = sweep_layers(&layers, &size_configs(), &ExpOpts::quick());
+        for s in &sweeps {
+            let imps: Vec<f64> = (0..s.runs.len()).map(|i| s.improvement(i)).collect();
+            let oracle = imps[4];
+            assert!(
+                oracle + 1e-9 >= imps[0].min(imps[1]),
+                "{}: oracle {:.3} must dominate small LHBs {:?}",
+                s.layer,
+                oracle,
+                imps
+            );
+            // 2048 should be at least as good as 256 (up to small noise).
+            assert!(
+                imps[3] >= imps[0] - 0.03,
+                "{}: 2048 {:.3} vs 256 {:.3}",
+                s.layer,
+                imps[3],
+                imps[0]
+            );
+        }
+        assert!(render(&sweeps).contains("gmean"));
+    }
+}

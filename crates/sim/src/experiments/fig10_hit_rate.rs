@@ -1,0 +1,59 @@
+//! Fig. 10: LHB hit rate versus buffer size.
+
+use super::{ExpOpts, LayerSweep, size_configs, sweep_layers, table1_layers};
+use crate::report::{Table, fmt_pct_plain};
+
+/// Runs the Fig. 10 sweep (same runs as Fig. 9).
+pub fn run(opts: &ExpOpts) -> Vec<LayerSweep> {
+    sweep_layers(&table1_layers(), &size_configs(), opts)
+}
+
+/// Renders per-layer hit rates plus the mean row.
+pub fn render(sweeps: &[LayerSweep]) -> String {
+    let labels: Vec<String> = sweeps[0].runs.iter().map(|(l, _)| l.clone()).collect();
+    let mut header = vec!["layer".to_string()];
+    header.extend(labels.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig. 10 — LHB hit rate vs buffer size", &header_refs);
+    for s in sweeps {
+        let mut cells = vec![s.layer.clone()];
+        for i in 0..s.runs.len() {
+            cells.push(fmt_pct_plain(s.hit_rate(i)));
+        }
+        t.push_row(cells);
+    }
+    let mut cells = vec!["mean".to_string()];
+    for i in 0..sweeps[0].runs.len() {
+        let v: f64 =
+            sweeps.iter().map(|s| s.hit_rate(i)).sum::<f64>() / sweeps.len() as f64;
+        cells.push(fmt_pct_plain(v));
+    }
+    t.push_row(cells);
+    t.note("paper: hit rates saturate ~76% (oracle); theoretical ceiling 88.9%");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{size_configs, sweep_layers};
+    use crate::networks;
+    use duplo_conv::ids;
+
+    #[test]
+    fn hit_rate_grows_with_size_and_respects_census_ceiling() {
+        let layer = networks::yolo()[4].clone(); // C5: 14x14x256, unit stride
+        let sweeps = sweep_layers(&[layer.clone()], &size_configs(), &ExpOpts::quick());
+        let s = &sweeps[0];
+        let small = s.hit_rate(0);
+        let oracle = s.hit_rate(4);
+        assert!(oracle >= small, "oracle {oracle} < 256-entry {small}");
+        // The duplication census upper-bounds any achievable hit rate.
+        let census = ids::census(&layer.lowered(), 16);
+        assert!(
+            oracle <= census.max_hit_rate() + 0.02,
+            "oracle hit rate {oracle:.3} exceeds census ceiling {:.3}",
+            census.max_hit_rate()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Fig. 14: network-level execution time for inference and training.
+
+use super::ExpOpts;
+use crate::networks::{self, LayerKind, LayerSpec, Network};
+use crate::report::{Table, fmt_pct_plain};
+use crate::{GpuConfig, GpuSim, layer_run};
+use duplo_conv::transposed::TransposedConvParams;
+use duplo_conv::ConvParams;
+use duplo_core::LhbConfig;
+use duplo_kernels::{GemmTcKernel, SmemPolicy};
+
+/// Network-level cycle totals.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Network name.
+    pub network: Network,
+    /// Inference cycles: baseline and Duplo.
+    pub infer: (f64, f64),
+    /// Training cycles (forward + dX + dW): baseline and Duplo.
+    pub train: (f64, f64),
+}
+
+impl Row {
+    /// Relative execution-time reduction for inference.
+    pub fn infer_reduction(&self) -> f64 {
+        1.0 - self.infer.1 / self.infer.0
+    }
+
+    /// Relative execution-time reduction for training.
+    pub fn train_reduction(&self) -> f64 {
+        1.0 - self.train.1 / self.train.0
+    }
+}
+
+/// Backward data-gradient (`dX`) convolution of a layer: the transposed
+/// convolution of `dY` with the (channel-swapped) filters. Its lowering
+/// produces a duplicated workspace, so Duplo applies.
+fn dx_conv(layer: &LayerSpec) -> Option<ConvParams> {
+    match &layer.kind {
+        LayerKind::Conv(p) => {
+            let dy = p.output_shape();
+            let t = TransposedConvParams::new(dy, p.input.c, p.fh, p.fw, p.pad, p.stride).ok()?;
+            Some(t.equivalent_conv())
+        }
+        // Backward of a transposed conv is an ordinary strided conv on dY.
+        LayerKind::Transposed(t) => {
+            let dy = t.output_shape();
+            ConvParams::new(dy, t.input.c, t.fh, t.fw, t.pad, t.stride).ok()
+        }
+    }
+}
+
+/// Weight-gradient (`dW`) GEMM dims: `M = fh*fw*C`, `N = filters`,
+/// `K = N*OH*OW`. Its `A` operand is a *transposed* workspace in a separate
+/// buffer — no duplication pattern the detection unit covers, so Duplo
+/// gives no benefit (both configs run the same plain GEMM).
+fn dw_dims(layer: &LayerSpec) -> (usize, usize, usize) {
+    let p = layer.lowered();
+    let (m, n, k) = p.gemm_dims();
+    (k, n, m)
+}
+
+fn run_network(net: Network, opts: &ExpOpts) -> Row {
+    let gpu = opts.apply(GpuConfig::titan_v());
+    let lhb = LhbConfig::paper_default();
+    let layers = networks::layers_of(net);
+    let mut infer = (0.0, 0.0);
+    let mut train = (0.0, 0.0);
+    for (i, layer) in layers.iter().enumerate() {
+        let p = layer.lowered();
+        let fwd_b = layer_run(&p, None, &gpu).cycles;
+        let fwd_d = layer_run(&p, Some(lhb), &gpu).cycles;
+        infer.0 += fwd_b;
+        infer.1 += fwd_d;
+        train.0 += fwd_b;
+        train.1 += fwd_d;
+        // dX (skipped for the first layer, which needs no input gradient).
+        if i > 0 {
+            if let Some(dx) = dx_conv(layer) {
+                train.0 += layer_run(&dx, None, &gpu).cycles;
+                train.1 += layer_run(&dx, Some(lhb), &gpu).cycles;
+            }
+        }
+        // dW: plain GEMM, no workspace; identical under both configs but
+        // simulated once and charged to both.
+        let (m, n, k) = dw_dims(layer);
+        let kern = GemmTcKernel::new(m, n, k, SmemPolicy::COnly);
+        let dw = GpuSim::new(gpu.clone()).run(&kern).cycles;
+        train.0 += dw;
+        train.1 += dw;
+    }
+    Row {
+        network: net,
+        infer,
+        train,
+    }
+}
+
+/// Runs the network-level experiment for all three DNNs.
+pub fn run(opts: &ExpOpts) -> Vec<Row> {
+    Network::ALL.iter().map(|n| run_network(*n, opts)).collect()
+}
+
+/// Renders the Fig. 14 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(
+        "Fig. 14 — network execution time reduction (baseline -> Duplo)",
+        &["network", "inference", "training"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.network.to_string(),
+            fmt_pct_plain(r.infer_reduction()),
+            fmt_pct_plain(r.train_reduction()),
+        ]);
+    }
+    let gi: f64 = rows.iter().map(|r| r.infer_reduction()).sum::<f64>() / rows.len() as f64;
+    let gt: f64 = rows.iter().map(|r| r.train_reduction()).sum::<f64>() / rows.len() as f64;
+    t.push_row(vec!["mean".into(), fmt_pct_plain(gi), fmt_pct_plain(gt)]);
+    t.note("paper: inference -22.7%, training -8.3% (training adds dX/dW GEMMs with less/no duplication)");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::networks;
+
+    #[test]
+    fn dx_of_stride1_conv_preserves_input_shape() {
+        let l = &networks::yolo()[2]; // 56x56x64 -> 128, s1 p1
+        let dx = dx_conv(l).unwrap();
+        assert_eq!(dx.output_shape(), l.lowered().input);
+    }
+
+    #[test]
+    fn dw_dims_swap_m_and_k() {
+        let l = &networks::resnet()[1];
+        let (m, n, k) = dw_dims(l);
+        assert_eq!(m, 3 * 3 * 64);
+        assert_eq!(n, 64);
+        assert_eq!(k, 8 * 56 * 56);
+    }
+
+    #[test]
+    fn training_gains_below_inference_gains() {
+        // One cheap network-level check with heavy sampling: YOLO.
+        let row = run_network(Network::Yolo, &ExpOpts::quick());
+        assert!(row.infer_reduction() > 0.0, "inference must improve");
+        assert!(
+            row.train_reduction() <= row.infer_reduction() + 1e-9,
+            "training ({:.3}) cannot beat inference ({:.3}) — dW has no duplication",
+            row.train_reduction(),
+            row.infer_reduction()
+        );
+    }
+}

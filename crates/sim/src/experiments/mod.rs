@@ -1,0 +1,110 @@
+//! Experiment drivers — one per table/figure of the paper's evaluation.
+//!
+//! Each submodule exposes a `run(...)` function returning structured rows
+//! plus a rendered [`crate::report::Table`]. The experiment binaries in
+//! `duplo-bench` print these; `EXPERIMENTS.md` records paper-vs-measured.
+
+pub mod ablations;
+pub mod ext_implicit;
+pub mod ext_wir;
+pub mod fig02_speedup;
+pub mod fig03_memusage;
+pub mod fig09_lhb_size;
+pub mod fig10_hit_rate;
+pub mod fig11_mem_breakdown;
+pub mod fig12_assoc;
+pub mod fig13_batch;
+pub mod fig14_network;
+pub mod sec5h_energy;
+pub mod sec2c_smem;
+pub mod table02_workflow;
+pub mod table03_config;
+
+use crate::GpuConfig;
+
+/// Shared experiment options.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ExpOpts {
+    /// Simulate at most this many CTAs per representative SM (None = all).
+    pub sample_ctas: Option<usize>,
+}
+
+impl ExpOpts {
+    /// Fast settings for CI/tests: aggressive CTA sampling.
+    pub fn quick() -> ExpOpts {
+        ExpOpts {
+            sample_ctas: Some(2),
+        }
+    }
+
+    /// Applies the options to a GPU configuration.
+    pub fn apply(&self, mut cfg: GpuConfig) -> GpuConfig {
+        cfg.sample_ctas = self.sample_ctas;
+        cfg
+    }
+}
+
+use crate::networks::{self, LayerSpec};
+use crate::{GpuRunResult, layer_run};
+use duplo_core::LhbConfig;
+
+/// The LHB configurations of the paper's size sweeps (Fig. 9/10).
+pub fn size_configs() -> Vec<LhbConfig> {
+    vec![
+        LhbConfig::direct_mapped(256),
+        LhbConfig::direct_mapped(512),
+        LhbConfig::direct_mapped(1024),
+        LhbConfig::direct_mapped(2048),
+        LhbConfig::oracle(),
+    ]
+}
+
+/// Result of sweeping one layer over a set of LHB configurations.
+#[derive(Clone, Debug)]
+pub struct LayerSweep {
+    /// Layer name.
+    pub layer: String,
+    /// Baseline (no Duplo) run.
+    pub baseline: GpuRunResult,
+    /// One run per configuration, with its label.
+    pub runs: Vec<(String, GpuRunResult)>,
+}
+
+impl LayerSweep {
+    /// Performance improvement of run `i` over baseline
+    /// (`baseline/duplo - 1`, the Fig. 9 y-axis).
+    pub fn improvement(&self, i: usize) -> f64 {
+        self.baseline.cycles / self.runs[i].1.cycles - 1.0
+    }
+
+    /// LHB hit rate of run `i` (the Fig. 10 y-axis).
+    pub fn hit_rate(&self, i: usize) -> f64 {
+        self.runs[i].1.stats.lhb.hit_rate()
+    }
+}
+
+/// Sweeps every Table I layer over `configs` (plus a baseline run each).
+pub fn sweep_layers(layers: &[LayerSpec], configs: &[LhbConfig], opts: &ExpOpts) -> Vec<LayerSweep> {
+    let gpu = opts.apply(crate::GpuConfig::titan_v());
+    layers
+        .iter()
+        .map(|l| {
+            let p = l.lowered();
+            let baseline = layer_run(&p, None, &gpu);
+            let runs = configs
+                .iter()
+                .map(|c| (c.label(), layer_run(&p, Some(*c), &gpu)))
+                .collect();
+            LayerSweep {
+                layer: l.qualified_name(),
+                baseline,
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: all Table I layers.
+pub fn table1_layers() -> Vec<LayerSpec> {
+    networks::all_layers()
+}

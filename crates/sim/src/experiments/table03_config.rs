@@ -1,0 +1,51 @@
+//! Table III: the baseline GPU configuration.
+
+use crate::GpuConfig;
+use crate::report::Table;
+
+/// Renders the Table III configuration actually used by the simulator.
+pub fn render(cfg: &GpuConfig) -> String {
+    let mut t = Table::new("Table III — baseline GPU model", &["parameter", "value"]);
+    let mut kv = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
+    kv("# of SMs", cfg.total_sms.to_string());
+    kv("Clock frequency", format!("{} MHz", cfg.clock_mhz));
+    kv("Max # of CTAs/SM", cfg.sm.max_ctas.to_string());
+    kv("Max # of warps/SM", cfg.sm.max_warps.to_string());
+    kv("Warp schedulers/SM", cfg.sm.schedulers.to_string());
+    kv("Warp scheduling policy", format!("{:?}", cfg.sm.policy));
+    kv("Tensor cores/SM", cfg.sm.tensor_cores.to_string());
+    kv("Register file/SM", format!("{} KB", cfg.sm.regfile_bytes / 1024));
+    kv(
+        "Unified L1 cache/SM",
+        format!("{} KB, {}-cycle", cfg.sm.hierarchy.l1.size_bytes / 1024, cfg.sm.hierarchy.l1.latency),
+    );
+    kv(
+        "L2 cache (slice modeled)",
+        format!(
+            "{} KB slice, {}-way, {}-cycle",
+            cfg.sm.hierarchy.l2.size_bytes / 1024,
+            cfg.sm.hierarchy.l2.ways,
+            cfg.sm.hierarchy.l2.latency
+        ),
+    );
+    kv(
+        "DRAM bandwidth (slice)",
+        format!("{:.1} B/cycle per SM (652.8 GB/s chip)", cfg.sm.hierarchy.dram.bytes_per_cycle),
+    );
+    kv("Representative SMs simulated", cfg.sms_simulated.to_string());
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_table_lists_table3_rows() {
+        let s = render(&GpuConfig::titan_v());
+        assert!(s.contains("# of SMs"));
+        assert!(s.contains("80"));
+        assert!(s.contains("1200 MHz"));
+        assert!(s.contains("Greedy") || s.contains("Gto"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Whole-GPU simulation via representative SMs.
+//!
+//! The Table III machine has 80 SMs sharing an L2 and DRAM. GEMM CTAs are
+//! homogeneous, so we simulate `sms_simulated` representative SMs, each
+//! executing its round-robin share of the CTA grid against a `1/total_sms`
+//! slice of L2 capacity and DRAM bandwidth, and take the slowest simulated
+//! SM's cycle count as the kernel time. A `sample_ctas` knob simulates only
+//! a prefix of each SM's share and scales time linearly — the sampling
+//! factor is recorded in the result and reported by every experiment.
+
+use duplo_conv::ConvParams;
+use duplo_core::LhbConfig;
+use duplo_energy::{EnergyCounts, EnergyModel, EnergyReport};
+use duplo_isa::Kernel;
+use duplo_kernels::{GemmTcKernel, SmemPolicy};
+use duplo_sm::{SmConfig, SmStats, run_kernel};
+
+/// Whole-GPU configuration.
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Physical SM count (Table III: 80).
+    pub total_sms: usize,
+    /// Representative SMs actually simulated.
+    pub sms_simulated: usize,
+    /// Core clock in MHz (Table III: 1200).
+    pub clock_mhz: u64,
+    /// Per-SM configuration (hierarchy slice included).
+    pub sm: SmConfig,
+    /// If set, simulate at most this many CTAs per simulated SM and scale
+    /// time linearly (`None` = simulate the full share).
+    pub sample_ctas: Option<usize>,
+}
+
+impl GpuConfig {
+    /// The Table III NVIDIA Titan V-like baseline GPU.
+    pub fn titan_v() -> GpuConfig {
+        let total_sms = 80;
+        GpuConfig {
+            total_sms,
+            sms_simulated: 1,
+            clock_mhz: 1200,
+            sm: SmConfig::titan_v(total_sms),
+            sample_ctas: None,
+        }
+    }
+
+    /// Enables the Duplo detection unit with `lhb`.
+    pub fn with_duplo(mut self, lhb: LhbConfig) -> GpuConfig {
+        self.sm.lhb = Some(lhb);
+        self
+    }
+
+    /// Limits per-SM CTA count (experiment-runtime knob).
+    pub fn with_sample(mut self, ctas: usize) -> GpuConfig {
+        self.sample_ctas = Some(ctas);
+        self
+    }
+}
+
+/// Result of a whole-GPU kernel run.
+#[derive(Clone, Debug)]
+pub struct GpuRunResult {
+    /// Estimated kernel cycles (slowest representative SM, scaled for
+    /// sampling).
+    pub cycles: f64,
+    /// Aggregated statistics over the simulated SMs (unscaled).
+    pub stats: SmStats,
+    /// Fraction of each SM's CTA share actually simulated.
+    pub sampled_fraction: f64,
+    /// CTAs simulated in total.
+    pub ctas_simulated: usize,
+}
+
+impl GpuRunResult {
+    /// Kernel time in milliseconds at the configured clock.
+    pub fn time_ms(&self, clock_mhz: u64) -> f64 {
+        self.cycles / (clock_mhz as f64 * 1e3)
+    }
+
+    /// Extracts energy event counts for the energy model (per simulated
+    /// share; comparisons are relative so scaling cancels).
+    pub fn energy_counts(&self) -> EnergyCounts {
+        let s = &self.stats;
+        let lhb_probes = s.lhb.hits + s.lhb.misses;
+        EnergyCounts {
+            lhb_events: lhb_probes + s.lhb.misses, // probes + allocations
+            // Row fills for misses, row reads for every MMA operand
+            // (2 operands + accumulator read/write per MMA, in rows).
+            rf_rows: s.row_loads + 4 * 16 * s.issued_mma / 16,
+            l1_accesses: s.mem.l1_hits + s.mem.l1_misses + s.octet_dup_l1 + s.services.lhb,
+            l2_accesses: s.mem.l2_accesses,
+            dram_bytes: s.mem.dram_bytes + s.mem.store_bytes,
+        }
+    }
+
+    /// Energy report under the default model.
+    pub fn energy(&self) -> EnergyReport {
+        EnergyReport::from_counts(&EnergyModel::default(), &self.energy_counts())
+    }
+}
+
+/// The whole-GPU simulator.
+pub struct GpuSim {
+    config: GpuConfig,
+}
+
+impl GpuSim {
+    /// Creates a simulator.
+    pub fn new(config: GpuConfig) -> GpuSim {
+        GpuSim { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Runs `kernel` on the simulated GPU.
+    pub fn run(&self, kernel: &dyn Kernel) -> GpuRunResult {
+        let cfg = &self.config;
+        let n_ctas = kernel.num_ctas();
+        let mut worst_cycles = 0.0f64;
+        let mut agg = SmStats::default();
+        let mut ctas_simulated = 0usize;
+        let mut sampled_fraction = 1.0f64;
+
+        for sm_id in 0..cfg.sms_simulated {
+            // Round-robin CTA assignment, matching real rasterization.
+            let share: Vec<usize> = (sm_id..n_ctas).step_by(cfg.total_sms).collect();
+            if share.is_empty() {
+                continue;
+            }
+            let take = cfg.sample_ctas.unwrap_or(share.len()).min(share.len());
+            let scale = share.len() as f64 / take as f64;
+            sampled_fraction = (take as f64 / share.len() as f64).min(sampled_fraction);
+            let stats = run_kernel(kernel, &share[..take], cfg.sm.clone());
+            worst_cycles = worst_cycles.max(stats.cycles as f64 * scale);
+            ctas_simulated += take;
+            accumulate(&mut agg, &stats);
+        }
+        GpuRunResult {
+            cycles: worst_cycles,
+            stats: agg,
+            sampled_fraction,
+            ctas_simulated,
+        }
+    }
+}
+
+fn accumulate(agg: &mut SmStats, s: &SmStats) {
+    agg.cycles = agg.cycles.max(s.cycles);
+    agg.issued_mma += s.issued_mma;
+    agg.issued_tensor_loads += s.issued_tensor_loads;
+    agg.row_loads += s.row_loads;
+    agg.eliminated_loads += s.eliminated_loads;
+    agg.issued_other += s.issued_other;
+    agg.services.lhb += s.services.lhb;
+    agg.services.l1 += s.services.l1;
+    agg.services.l2 += s.services.l2;
+    agg.services.dram += s.services.dram;
+    agg.services.shared += s.services.shared;
+    agg.octet_dup_l1 += s.octet_dup_l1;
+    agg.stalls.empty += s.stalls.empty;
+    agg.stalls.data_dependency += s.stalls.data_dependency;
+    agg.stalls.ldst_full += s.stalls.ldst_full;
+    agg.stalls.tensor_busy += s.stalls.tensor_busy;
+    agg.stalls.barrier += s.stalls.barrier;
+    agg.ldst_pipe_stalls += s.ldst_pipe_stalls;
+    agg.rf_peak_rows = agg.rf_peak_rows.max(s.rf_peak_rows);
+    agg.detect.workspace_loads += s.detect.workspace_loads;
+    agg.detect.non_workspace_loads += s.detect.non_workspace_loads;
+    agg.detect.boundary_bypasses += s.detect.boundary_bypasses;
+    agg.detect.eliminated += s.detect.eliminated;
+    agg.lhb.hits += s.lhb.hits;
+    agg.lhb.misses += s.lhb.misses;
+    agg.lhb.conflict_evictions += s.lhb.conflict_evictions;
+    agg.lhb.retire_releases += s.lhb.retire_releases;
+    agg.lhb.store_invalidations += s.lhb.store_invalidations;
+    agg.mem.l1_hits += s.mem.l1_hits;
+    agg.mem.l1_misses += s.mem.l1_misses;
+    agg.mem.mshr_merges += s.mem.mshr_merges;
+    agg.mem.l2_accesses += s.mem.l2_accesses;
+    agg.mem.l2_hits += s.mem.l2_hits;
+    agg.mem.dram_accesses += s.mem.dram_accesses;
+    agg.mem.dram_bytes += s.mem.dram_bytes;
+    agg.mem.stores += s.mem.stores;
+    agg.mem.store_bytes += s.mem.store_bytes;
+    agg.rename_pairs.extend_from_slice(&s.rename_pairs);
+    agg.ctas_run += s.ctas_run;
+}
+
+/// Simulates the lowered GEMM of one convolutional layer (the paper's §V
+/// per-layer experiments): baseline when `lhb` is `None`, Duplo otherwise.
+pub fn layer_run(params: &ConvParams, lhb: Option<LhbConfig>, config: &GpuConfig) -> GpuRunResult {
+    let kernel = GemmTcKernel::from_conv(params, SmemPolicy::COnly);
+    let mut cfg = config.clone();
+    cfg.sm.lhb = lhb;
+    GpuSim::new(cfg).run(&kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplo_tensor::Nhwc;
+
+    fn small_conv() -> ConvParams {
+        ConvParams::new(Nhwc::new(1, 16, 16, 16), 16, 3, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn duplo_improves_a_duplication_heavy_layer() {
+        let cfg = GpuConfig::titan_v();
+        let base = layer_run(&small_conv(), None, &cfg);
+        let duplo = layer_run(&small_conv(), Some(LhbConfig::paper_default()), &cfg);
+        assert!(duplo.stats.eliminated_loads > 0, "expected eliminations");
+        assert!(
+            duplo.cycles < base.cycles,
+            "duplo {} !< baseline {}",
+            duplo.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn sampling_reports_fraction_and_scales() {
+        // 8x56x56 rows -> 392 CTAs -> ~5 CTAs per SM share; sample 2.
+        let p = ConvParams::new(Nhwc::new(8, 56, 56, 16), 16, 3, 3, 1, 1).unwrap();
+        let full = layer_run(&p, None, &GpuConfig::titan_v());
+        let sampled = layer_run(&p, None, &GpuConfig::titan_v().with_sample(2));
+        assert_eq!(full.sampled_fraction, 1.0);
+        assert!(sampled.sampled_fraction < 1.0);
+        // The scaled estimate should be within 2x of the full run.
+        let ratio = sampled.cycles / full.cycles;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_counts_nonzero_after_run() {
+        let r = layer_run(&small_conv(), Some(LhbConfig::paper_default()), &GpuConfig::titan_v());
+        let c = r.energy_counts();
+        assert!(c.dram_bytes > 0);
+        assert!(c.lhb_events > 0);
+        assert!(r.energy().total_nj() > 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Top-level Duplo simulator: whole-GPU runs, the Table I networks, the
+//! Fig. 2 roofline cost model, and one experiment driver per table/figure
+//! of the paper's evaluation.
+//!
+//! The central entry points are:
+//!
+//! * [`GpuConfig`] / [`GpuSim`] — representative-SM whole-GPU simulation
+//!   (Table III machine) of a kernel, baseline or Duplo,
+//! * [`layer_run`] — simulate one convolutional layer's lowered GEMM,
+//! * [`experiments`] — drivers reproducing every figure and table of the
+//!   paper's evaluation (see `DESIGN.md` §5 for the index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costmodel;
+pub mod experiments;
+pub mod gpu;
+pub mod networks;
+pub mod report;
+
+pub use gpu::{GpuConfig, GpuRunResult, GpuSim, layer_run};

@@ -1,0 +1,2 @@
+//! Network definitions: thin re-export of the Table I catalog.
+pub use duplo_conv::layers::{LayerKind, LayerSpec, Network, all_layers, gan, layers_of, resnet, yolo};

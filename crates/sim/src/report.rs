@@ -1,0 +1,149 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table with a title, used by every experiment driver
+/// to print paper-style rows.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote line printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line_len: usize = widths.iter().sum::<usize>() + 3 * cols + 1;
+        let emit_row = |cells: &[String], out: &mut String, widths: &[usize]| {
+            let _ = write!(out, "|");
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, " {:>width$} |", cell, width = widths[i]);
+            }
+            let _ = writeln!(out);
+        };
+        let _ = writeln!(out, "{}", "-".repeat(line_len));
+        emit_row(&self.header, &mut out, &widths);
+        let _ = writeln!(out, "{}", "-".repeat(line_len));
+        for row in &self.rows {
+            emit_row(row, &mut out, &widths);
+        }
+        let _ = writeln!(out, "{}", "-".repeat(line_len));
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+/// Formats a ratio as `12.3x` (or `-` for `None`, the paper's missing bars).
+pub fn fmt_x(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}x"),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a fraction as a signed percentage, `+12.3%`.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:+.1}%", v * 100.0)
+}
+
+/// Formats a fraction as an unsigned percentage, `12.3%`.
+pub fn fmt_pct_plain(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Geometric mean of a nonempty slice of positive values.
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "gmean of empty slice");
+    let s: f64 = values.iter().map(|v| v.ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["layer", "speedup"]);
+        t.push_row(vec!["C1".into(), "1.2x".into()]);
+        t.push_row(vec!["LongName".into(), "10.0x".into()]);
+        t.note("sampled");
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("LongName"));
+        assert!(s.contains("note: sampled"));
+        // Every data line has the same length.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn gmean_of_constants() {
+        assert!((gmean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_x(Some(13.54)), "13.5x");
+        assert_eq!(fmt_x(None), "-");
+        assert_eq!(fmt_pct(0.294), "+29.4%");
+        assert_eq!(fmt_pct_plain(0.761), "76.1%");
+    }
+}

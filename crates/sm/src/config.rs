@@ -1,0 +1,131 @@
+//! SM configuration (paper Table III).
+
+use duplo_core::LhbConfig;
+use duplo_mem::HierarchyConfig;
+
+/// Warp scheduling policy.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SchedulerPolicy {
+    /// Greedy-then-oldest (Table III baseline): keep issuing from the last
+    /// warp until it stalls, then fall back to the oldest ready warp.
+    Gto,
+    /// Loose round-robin (comparison point).
+    Lrr,
+}
+
+/// Configuration of one simulated SM.
+#[derive(Clone, Debug)]
+pub struct SmConfig {
+    /// Warp schedulers per SM (Table III: 4).
+    pub schedulers: usize,
+    /// Maximum resident warps (Table III: 64).
+    pub max_warps: usize,
+    /// Maximum resident CTAs (Table III: 32).
+    pub max_ctas: usize,
+    /// Shared memory capacity in bytes (Volta: 96 KB configurable).
+    pub shared_mem_bytes: u32,
+    /// Tensor cores per SM (Table III: 8 — two per scheduler).
+    pub tensor_cores: usize,
+    /// Register file bytes per SM (Table III: 256 KB). Physical row slots
+    /// are 32 B each (one 16-half row-segment across the warp).
+    pub regfile_bytes: usize,
+    /// Initiation interval of one `wmma.mma` on a tensor core.
+    pub mma_ii: u32,
+    /// Shared-memory access latency.
+    pub shared_latency: u32,
+    /// LDST queue depth per scheduler.
+    pub ldst_queue: usize,
+    /// Cycles after a load's writeback at which it commits and its LHB
+    /// entry (if unrelayed) is released (§IV-B retirement rule). The
+    /// default models the long in-order retirement lag of a congested
+    /// memory-bound pipeline; the paper's oracle saturation (~76% of a
+    /// ~89% ceiling) pins this window to a few thousand cycles. Under
+    /// register-file pressure entries are force-retired earlier.
+    pub commit_delay: u32,
+    /// Model the octet double-load of tensor-core operands (§II-B: each
+    /// half of A and B is loaded twice by different octets; the duplicate
+    /// goes to the L1 as an extra access).
+    pub octet_dup: bool,
+    /// Scheduler policy.
+    pub policy: SchedulerPolicy,
+    /// Memory hierarchy slice for this SM.
+    pub hierarchy: HierarchyConfig,
+    /// Duplo detection unit configuration (`None` = baseline GPU).
+    pub lhb: Option<LhbConfig>,
+    /// Extension (paper §V-D): also probe the detection unit on
+    /// *shared-memory* tensor-core loads whose addresses carry workspace
+    /// identity — the implicit-GEMM case, where Duplo turns shared-memory
+    /// accesses into register renaming.
+    pub lhb_on_shared: bool,
+    /// Override for the detection-unit latency (default 2; paper evaluates
+    /// 3 with ~0.9% degradation).
+    pub detect_latency: u32,
+    /// How many rename (hit) address pairs to record for functional
+    /// validation (0 disables).
+    pub rename_log_cap: usize,
+}
+
+impl SmConfig {
+    /// The Table III Titan V-like baseline, with the hierarchy sliced for
+    /// one representative SM out of `total_sms`.
+    pub fn titan_v(total_sms: usize) -> SmConfig {
+        SmConfig {
+            schedulers: 4,
+            max_warps: 64,
+            max_ctas: 32,
+            shared_mem_bytes: 96 * 1024,
+            tensor_cores: 8,
+            regfile_bytes: 256 * 1024,
+            mma_ii: 8,
+            shared_latency: 24,
+            ldst_queue: 8,
+            commit_delay: 4096,
+            octet_dup: true,
+            policy: SchedulerPolicy::Gto,
+            hierarchy: HierarchyConfig::titan_v_slice(total_sms),
+            lhb: None,
+            lhb_on_shared: false,
+            detect_latency: 2,
+            rename_log_cap: 0,
+        }
+    }
+
+    /// Same configuration with Duplo enabled using `lhb`.
+    pub fn with_duplo(mut self, lhb: LhbConfig) -> SmConfig {
+        self.lhb = Some(lhb);
+        self
+    }
+
+    /// Physical register-file capacity in 32-byte row slots.
+    pub fn regfile_rows(&self) -> u32 {
+        (self.regfile_bytes / 32) as u32
+    }
+
+    /// Tensor cores per scheduler.
+    pub fn tensor_cores_per_scheduler(&self) -> usize {
+        (self.tensor_cores / self.schedulers).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults() {
+        let c = SmConfig::titan_v(80);
+        assert_eq!(c.schedulers, 4);
+        assert_eq!(c.max_warps, 64);
+        assert_eq!(c.max_ctas, 32);
+        assert_eq!(c.tensor_cores, 8);
+        assert_eq!(c.regfile_rows(), 8192);
+        assert_eq!(c.tensor_cores_per_scheduler(), 2);
+        assert!(c.lhb.is_none(), "baseline has no detection unit");
+    }
+
+    #[test]
+    fn with_duplo_sets_lhb() {
+        let c = SmConfig::titan_v(80).with_duplo(LhbConfig::paper_default());
+        assert_eq!(c.lhb.unwrap().entries, 1024);
+    }
+}

@@ -1,0 +1,165 @@
+//! Load-store unit: per-scheduler queues processing one 32-byte row-sector
+//! per cycle, with the Duplo detection unit probed on every tensor-core
+//! load row (paper Fig. 7/8).
+
+use duplo_core::{LoadToken, PhysReg};
+use duplo_isa::{ArchReg, Space};
+use std::collections::VecDeque;
+
+/// Kind of memory macro-instruction in flight.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MemKind {
+    /// `wmma.load` (eligible for Duplo).
+    TensorLoad,
+    /// `wmma.store`.
+    TensorStore,
+    /// Scalar/vector load.
+    ScalarLoad,
+    /// Scalar/vector store.
+    ScalarStore,
+}
+
+/// One memory macro-instruction being processed row-by-row.
+#[derive(Clone, Debug)]
+pub struct Inflight {
+    /// Issuing warp slot.
+    pub warp: usize,
+    /// Kind.
+    pub kind: MemKind,
+    /// Destination register (loads).
+    pub dst: Option<ArchReg>,
+    /// Base byte address.
+    pub addr: u64,
+    /// Number of row-sectors.
+    pub rows: u8,
+    /// Bytes per row-sector.
+    pub seg_bytes: u16,
+    /// Stride between row-sectors.
+    pub row_stride: u64,
+    /// Address space.
+    pub space: Space,
+    /// Next row to process.
+    pub next_row: u8,
+    /// Latest completion cycle across processed rows.
+    pub ready: u64,
+    /// Physical rows bound by this load (misses allocate, hits reuse).
+    pub pregs: Vec<PhysReg>,
+    /// Load tokens (one per workspace row probed) for retirement.
+    pub tokens: Vec<LoadToken>,
+}
+
+impl Inflight {
+    /// Address of row `i`.
+    pub fn row_addr(&self, i: u8) -> u64 {
+        self.addr + u64::from(i) * self.row_stride
+    }
+
+    /// True when every row has been processed.
+    pub fn complete(&self) -> bool {
+        self.next_row >= self.rows
+    }
+}
+
+/// A per-scheduler LDST pipe: bounded in-order queue, head processed one
+/// row per cycle.
+#[derive(Clone, Debug)]
+pub struct LdstUnit {
+    queue: VecDeque<Inflight>,
+    capacity: usize,
+}
+
+impl LdstUnit {
+    /// Creates an empty unit with the given queue depth.
+    pub fn new(capacity: usize) -> LdstUnit {
+        LdstUnit {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Whether a new macro-instruction can be accepted this cycle.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.capacity
+    }
+
+    /// Enqueues a macro-instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (callers must check
+    /// [`LdstUnit::can_accept`]).
+    pub fn push(&mut self, inflight: Inflight) {
+        assert!(self.can_accept(), "LDST queue overflow");
+        self.queue.push_back(inflight);
+    }
+
+    /// The instruction at the head of the pipe.
+    pub fn head_mut(&mut self) -> Option<&mut Inflight> {
+        self.queue.front_mut()
+    }
+
+    /// Removes and returns the completed head.
+    pub fn pop(&mut self) -> Option<Inflight> {
+        self.queue.pop_front()
+    }
+
+    /// Whether the pipe has work.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Instructions currently queued.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inflight(rows: u8) -> Inflight {
+        Inflight {
+            warp: 0,
+            kind: MemKind::TensorLoad,
+            dst: Some(ArchReg(1)),
+            addr: 0x1000,
+            rows,
+            seg_bytes: 32,
+            row_stride: 0x100,
+            space: Space::Global,
+            next_row: 0,
+            ready: 0,
+            pregs: Vec::new(),
+            tokens: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn row_addresses_follow_stride() {
+        let i = inflight(16);
+        assert_eq!(i.row_addr(0), 0x1000);
+        assert_eq!(i.row_addr(3), 0x1300);
+        assert!(!i.complete());
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut u = LdstUnit::new(2);
+        assert!(u.can_accept());
+        u.push(inflight(1));
+        u.push(inflight(1));
+        assert!(!u.can_accept());
+        u.pop();
+        assert!(u.can_accept());
+        assert_eq!(u.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut u = LdstUnit::new(1);
+        u.push(inflight(1));
+        u.push(inflight(1));
+    }
+}

@@ -1,0 +1,156 @@
+//! Physical register file with reference-counted row slots.
+//!
+//! A *row slot* holds one 16-half row-segment of a tensor-core fragment
+//! (32 bytes across the warp). A fragment binding is a vector of row slots.
+//! Duplo hits add a reference to an existing slot instead of allocating a
+//! new one — which is both how renaming avoids the memory request and how
+//! the register-file occupancy savings the paper mentions arise.
+
+use duplo_core::PhysReg;
+
+/// The SM physical register file (row-slot granularity).
+#[derive(Clone, Debug)]
+pub struct PhysRegFile {
+    refcnt: Vec<u32>,
+    free: Vec<u32>,
+    in_use: u32,
+    peak: u32,
+    alloc_failures: u64,
+}
+
+impl PhysRegFile {
+    /// Creates a register file with `rows` row slots.
+    pub fn new(rows: u32) -> PhysRegFile {
+        assert!(rows > 0, "register file needs capacity");
+        PhysRegFile {
+            refcnt: vec![0; rows as usize],
+            free: (0..rows).rev().collect(),
+            in_use: 0,
+            peak: 0,
+            alloc_failures: 0,
+        }
+    }
+
+    /// Allocates a fresh row slot (refcount 1), or `None` when the file is
+    /// exhausted (the issuing warp must stall).
+    pub fn alloc(&mut self) -> Option<PhysReg> {
+        match self.free.pop() {
+            Some(idx) => {
+                self.refcnt[idx as usize] = 1;
+                self.in_use += 1;
+                self.peak = self.peak.max(self.in_use);
+                Some(PhysReg(idx))
+            }
+            None => {
+                self.alloc_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Adds a reference to `reg` (a Duplo rename hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not currently live — renaming to a dead register
+    /// would be a soundness bug, so this is intentionally fatal.
+    pub fn addref(&mut self, reg: PhysReg) {
+        let rc = &mut self.refcnt[reg.0 as usize];
+        assert!(*rc > 0, "rename to dead physical register {reg}");
+        *rc += 1;
+    }
+
+    /// Drops a reference; frees the slot at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free.
+    pub fn release(&mut self, reg: PhysReg) {
+        let rc = &mut self.refcnt[reg.0 as usize];
+        assert!(*rc > 0, "double free of physical register {reg}");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free.push(reg.0);
+            self.in_use -= 1;
+        }
+    }
+
+    /// Reference count of a slot (diagnostics).
+    pub fn refcount(&self, reg: PhysReg) -> u32 {
+        self.refcnt[reg.0 as usize]
+    }
+
+    /// Currently live slots.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// Peak live slots over the run.
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Times `alloc` failed for lack of capacity.
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut rf = PhysRegFile::new(4);
+        let a = rf.alloc().unwrap();
+        let b = rf.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(rf.in_use(), 2);
+        rf.release(a);
+        assert_eq!(rf.in_use(), 1);
+        let c = rf.alloc().unwrap();
+        assert_eq!(c, a, "freed slot is reused");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = PhysRegFile::new(2);
+        let _a = rf.alloc().unwrap();
+        let _b = rf.alloc().unwrap();
+        assert!(rf.alloc().is_none());
+        assert_eq!(rf.alloc_failures(), 1);
+    }
+
+    #[test]
+    fn refcounting_keeps_shared_slot_alive() {
+        let mut rf = PhysRegFile::new(2);
+        let a = rf.alloc().unwrap();
+        rf.addref(a); // renamed by a second fragment
+        rf.release(a);
+        assert_eq!(rf.in_use(), 1, "still referenced");
+        assert_eq!(rf.refcount(a), 1);
+        rf.release(a);
+        assert_eq!(rf.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead physical register")]
+    fn addref_dead_slot_is_fatal() {
+        let mut rf = PhysRegFile::new(2);
+        let a = rf.alloc().unwrap();
+        rf.release(a);
+        rf.addref(a);
+    }
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut rf = PhysRegFile::new(8);
+        let regs: Vec<_> = (0..5).map(|_| rf.alloc().unwrap()).collect();
+        for r in &regs {
+            rf.release(*r);
+        }
+        assert_eq!(rf.peak(), 5);
+        assert_eq!(rf.in_use(), 0);
+    }
+}

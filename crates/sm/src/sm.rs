@@ -1,0 +1,745 @@
+//! The SM execution engine: schedulers, tensor cores, LDST pipes, and the
+//! Duplo detection unit, advanced cycle by cycle.
+
+use crate::config::{SchedulerPolicy, SmConfig};
+use crate::ldst::{Inflight, LdstUnit, MemKind};
+use crate::regfile::PhysRegFile;
+use crate::stats::{SmStats, StallBreakdown};
+use crate::warp::WarpCtx;
+use duplo_core::{DetectionUnit, LoadDecision, LoadToken, PhysReg};
+use duplo_isa::{Kernel, Op, Space};
+use duplo_mem::MemoryHierarchy;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+#[derive(Clone, Debug)]
+struct CtaState {
+    live_warps: usize,
+    at_barrier: usize,
+    shared_bytes: u32,
+}
+
+/// The simulated SM.
+pub struct Sm {
+    config: SmConfig,
+    cycle: u64,
+    warps: Vec<Option<WarpCtx>>,
+    ctas: Vec<Option<CtaState>>,
+    shared_in_use: u32,
+    ldst: Vec<LdstUnit>,
+    tc_busy: Vec<Vec<u64>>,
+    last_warp: Vec<Option<usize>>,
+    regfile: PhysRegFile,
+    hierarchy: MemoryHierarchy,
+    detect: Option<DetectionUnit>,
+    retire_queue: BinaryHeap<Reverse<(u64, u64)>>,
+    next_token: u64,
+    next_age: u64,
+    /// preg -> fill address, for the rename validation log.
+    fill_addr: HashMap<u32, u64>,
+    stats: SmStats,
+}
+
+/// What happened when the LDST pipe processed one row.
+enum RowOutcome {
+    Stall,
+    Done {
+        ready: u64,
+        preg: Option<PhysReg>,
+        token: Option<LoadToken>,
+    },
+}
+
+impl Sm {
+    /// Creates an SM for a kernel (programs the detection unit when the
+    /// kernel carries a workspace descriptor and the config enables Duplo).
+    pub fn new(config: SmConfig, kernel: &dyn Kernel) -> Sm {
+        let detect = match (&config.lhb, kernel.workspace()) {
+            (Some(lhb), Some(desc)) => {
+                let mut du = DetectionUnit::new(&desc, *lhb, 0);
+                du.latency = config.detect_latency;
+                Some(du)
+            }
+            _ => None,
+        };
+        let hierarchy = MemoryHierarchy::new(config.hierarchy);
+        Sm {
+            ldst: (0..config.schedulers)
+                .map(|_| LdstUnit::new(config.ldst_queue))
+                .collect(),
+            tc_busy: (0..config.schedulers)
+                .map(|_| vec![0u64; config.tensor_cores_per_scheduler()])
+                .collect(),
+            last_warp: vec![None; config.schedulers],
+            warps: (0..config.max_warps).map(|_| None).collect(),
+            ctas: (0..config.max_ctas).map(|_| None).collect(),
+            shared_in_use: 0,
+            regfile: PhysRegFile::new(config.regfile_rows()),
+            hierarchy,
+            detect,
+            retire_queue: BinaryHeap::new(),
+            next_token: 1,
+            next_age: 0,
+            fill_addr: HashMap::new(),
+            stats: SmStats::default(),
+            cycle: 0,
+            config,
+        }
+    }
+
+    /// Attempts to launch CTA `idx` of `kernel`; returns `false` when SM
+    /// resources (CTA slots, warp slots, shared memory) are exhausted.
+    pub fn try_launch(&mut self, kernel: &dyn Kernel, idx: usize) -> bool {
+        let shared = kernel.shared_mem_per_cta();
+        if self.shared_in_use + shared > self.config.shared_mem_bytes {
+            return false;
+        }
+        let Some(cta_slot) = self.ctas.iter().position(|c| c.is_none()) else {
+            return false;
+        };
+        let trace = kernel.cta(idx);
+        let free_slots = self.warps.iter().filter(|w| w.is_none()).count();
+        if free_slots < trace.warps.len() {
+            return false;
+        }
+        self.ctas[cta_slot] = Some(CtaState {
+            live_warps: trace.warps.len(),
+            at_barrier: 0,
+            shared_bytes: shared,
+        });
+        self.shared_in_use += shared;
+        for wt in trace.warps {
+            let slot = self
+                .warps
+                .iter()
+                .position(|w| w.is_none())
+                .expect("checked free slots");
+            self.warps[slot] = Some(WarpCtx::new(wt.ops, cta_slot, self.next_age));
+            self.next_age += 1;
+        }
+        true
+    }
+
+    /// Whether all work (warps + LDST pipes) has drained.
+    pub fn idle(&self) -> bool {
+        self.warps.iter().all(|w| w.is_none()) && self.ldst.iter().all(|u| u.is_empty())
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the SM by one cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        // 1. Retire loads whose commit window has passed.
+        while let Some(&Reverse((when, token))) = self.retire_queue.peek() {
+            if when > self.cycle {
+                break;
+            }
+            self.retire_queue.pop();
+            if let Some(du) = self.detect.as_mut() {
+                if let Some(p) = du.retire(LoadToken(token)) {
+                    self.regfile.release(p);
+                }
+            }
+        }
+        // 2. LDST pipes process one row each.
+        for s in 0..self.config.schedulers {
+            self.tick_ldst(s);
+        }
+        // 3. Schedulers issue.
+        for s in 0..self.config.schedulers {
+            self.tick_scheduler(s);
+        }
+        // 4. Barrier resolution.
+        self.resolve_barriers();
+    }
+
+    fn resolve_barriers(&mut self) {
+        for cta_slot in 0..self.ctas.len() {
+            let release = match &self.ctas[cta_slot] {
+                Some(c) => c.at_barrier > 0 && c.at_barrier == c.live_warps,
+                None => false,
+            };
+            if release {
+                for w in self.warps.iter_mut().flatten() {
+                    if w.cta_slot == cta_slot {
+                        w.at_barrier = false;
+                    }
+                }
+                self.ctas[cta_slot].as_mut().expect("checked").at_barrier = 0;
+            }
+        }
+    }
+
+    /// Scheduler `s` tries to issue one instruction (GTO or LRR order).
+    fn tick_scheduler(&mut self, s: usize) {
+        let mut candidates: Vec<usize> = (0..self.warps.len())
+            .filter(|w| w % self.config.schedulers == s)
+            .filter(|&w| {
+                self.warps[w]
+                    .as_ref()
+                    .is_some_and(|wc| !wc.done && !wc.at_barrier)
+            })
+            .collect();
+        if candidates.is_empty() {
+            self.stats.stalls.empty += 1;
+            return;
+        }
+        match self.config.policy {
+            SchedulerPolicy::Gto => {
+                candidates.sort_by_key(|&w| self.warps[w].as_ref().map_or(u64::MAX, |wc| wc.age));
+                if let Some(last) = self.last_warp[s] {
+                    if let Some(pos) = candidates.iter().position(|&w| w == last) {
+                        let w = candidates.remove(pos);
+                        candidates.insert(0, w);
+                    }
+                }
+            }
+            SchedulerPolicy::Lrr => {
+                // Rotate so the warp after the last-issued goes first.
+                if let Some(last) = self.last_warp[s] {
+                    let pivot = candidates.iter().position(|&w| w > last).unwrap_or(0);
+                    candidates.rotate_left(pivot);
+                }
+            }
+        }
+
+        let mut blocked = StallBreakdown::default();
+        for &w in &candidates {
+            match self.try_issue(w, s) {
+                IssueResult::Issued => {
+                    self.last_warp[s] = Some(w);
+                    return;
+                }
+                IssueResult::DepBlocked => blocked.data_dependency += 1,
+                IssueResult::LdstFull => blocked.ldst_full += 1,
+                IssueResult::TensorBusy => blocked.tensor_busy += 1,
+            }
+        }
+        // Nothing issued: classify the cycle by the most actionable cause.
+        if blocked.ldst_full > 0 {
+            self.stats.stalls.ldst_full += 1;
+        } else if blocked.tensor_busy > 0 {
+            self.stats.stalls.tensor_busy += 1;
+        } else if blocked.data_dependency > 0 {
+            self.stats.stalls.data_dependency += 1;
+        } else {
+            self.stats.stalls.barrier += 1;
+        }
+    }
+
+    fn try_issue(&mut self, w: usize, s: usize) -> IssueResult {
+        let cycle = self.cycle;
+        let op = {
+            let wc = self.warps[w].as_ref().expect("candidate exists");
+            let Some(op) = wc.next_op() else {
+                return IssueResult::DepBlocked;
+            };
+            let op = *op;
+            if !wc.deps_ready(&op, cycle) {
+                return IssueResult::DepBlocked;
+            }
+            op
+        };
+        match op {
+            Op::Alu { dst, latency } => {
+                let wc = self.warps[w].as_mut().expect("exists");
+                if let Some(d) = dst {
+                    wc.mark_pending(d, cycle + u64::from(latency));
+                }
+                wc.pc += 1;
+                self.stats.issued_other += 1;
+                IssueResult::Issued
+            }
+            Op::WmmaMma { d, .. } => {
+                let ii = u64::from(self.config.mma_ii);
+                let Some(tc) = self.tc_busy[s].iter_mut().find(|b| **b <= cycle) else {
+                    return IssueResult::TensorBusy;
+                };
+                *tc = cycle + ii;
+                let wc = self.warps[w].as_mut().expect("exists");
+                // Accumulator forwarding: chained MMAs sustain the
+                // initiation interval; consumers see the result after ii.
+                wc.mark_pending(d, cycle + ii);
+                wc.pc += 1;
+                self.stats.issued_mma += 1;
+                IssueResult::Issued
+            }
+            Op::Bar => {
+                let wc = self.warps[w].as_mut().expect("exists");
+                wc.at_barrier = true;
+                let cta = wc.cta_slot;
+                wc.pc += 1;
+                self.ctas[cta].as_mut().expect("live cta").at_barrier += 1;
+                self.stats.issued_other += 1;
+                IssueResult::Issued
+            }
+            Op::Exit => {
+                // Drain: wait for all pending writes before exiting so that
+                // binding release cannot race in-flight loads.
+                {
+                    let wc = self.warps[w].as_ref().expect("exists");
+                    if wc.pending.values().any(|&r| r > cycle) {
+                        return IssueResult::DepBlocked;
+                    }
+                }
+                self.finish_warp(w);
+                self.stats.issued_other += 1;
+                IssueResult::Issued
+            }
+            Op::WmmaLoad {
+                dst,
+                addr,
+                rows,
+                seg_bytes,
+                row_stride,
+                space,
+            } => self.issue_mem(
+                w,
+                s,
+                MemKind::TensorLoad,
+                Some(dst),
+                addr,
+                rows,
+                seg_bytes,
+                row_stride,
+                space,
+            ),
+            Op::WmmaStore {
+                src: _,
+                addr,
+                rows,
+                seg_bytes,
+                row_stride,
+                space,
+            } => self.issue_mem(w, s, MemKind::TensorStore, None, addr, rows, seg_bytes, row_stride, space),
+            Op::Ld {
+                dst,
+                addr,
+                bytes,
+                space,
+            } => {
+                let rows = bytes.div_ceil(32).max(1) as u8;
+                self.issue_mem(w, s, MemKind::ScalarLoad, Some(dst), addr, rows, 32, 32, space)
+            }
+            Op::St {
+                src: _,
+                addr,
+                bytes,
+                space,
+            } => {
+                let rows = bytes.div_ceil(32).max(1) as u8;
+                self.issue_mem(w, s, MemKind::ScalarStore, None, addr, rows, 32, 32, space)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_mem(
+        &mut self,
+        w: usize,
+        s: usize,
+        kind: MemKind,
+        dst: Option<duplo_isa::ArchReg>,
+        addr: u64,
+        rows: u8,
+        seg_bytes: u16,
+        row_stride: u64,
+        space: Space,
+    ) -> IssueResult {
+        if !self.ldst[s].can_accept() {
+            return IssueResult::LdstFull;
+        }
+        let wc = self.warps[w].as_mut().expect("exists");
+        if let Some(d) = dst {
+            wc.mark_pending(d, u64::MAX);
+        }
+        wc.pc += 1;
+        self.ldst[s].push(Inflight {
+            warp: w,
+            kind,
+            dst,
+            addr,
+            rows,
+            seg_bytes,
+            row_stride,
+            space,
+            next_row: 0,
+            ready: 0,
+            pregs: Vec::new(),
+            tokens: Vec::new(),
+        });
+        match kind {
+            MemKind::TensorLoad => self.stats.issued_tensor_loads += 1,
+            _ => self.stats.issued_other += 1,
+        }
+        IssueResult::Issued
+    }
+
+    /// LDST pipe `s`: process one row of the head instruction.
+    fn tick_ldst(&mut self, s: usize) {
+        let (warp, kind, row_addr, seg, space) = {
+            let Some(head) = self.ldst[s].head_mut() else {
+                return;
+            };
+            (
+                head.warp,
+                head.kind,
+                head.row_addr(head.next_row),
+                u32::from(head.seg_bytes),
+                head.space,
+            )
+        };
+        let outcome = self.process_row(kind, row_addr, seg, space);
+        match outcome {
+            RowOutcome::Stall => {
+                self.stats.ldst_pipe_stalls += 1;
+            }
+            RowOutcome::Done { ready, preg, token } => {
+                let done = {
+                    let head = self.ldst[s].head_mut().expect("head exists");
+                    head.next_row += 1;
+                    head.ready = head.ready.max(ready);
+                    if let Some(p) = preg {
+                        head.pregs.push(p);
+                    }
+                    if let Some(t) = token {
+                        head.tokens.push(t);
+                    }
+                    head.complete()
+                };
+                if done {
+                    let infl = self.ldst[s].pop().expect("head exists");
+                    self.finish_mem(infl);
+                }
+                let _ = warp;
+            }
+        }
+    }
+
+    /// Handles one row-sector of a memory instruction.
+    fn process_row(&mut self, kind: MemKind, addr: u64, seg: u32, space: Space) -> RowOutcome {
+        let cycle = self.cycle;
+        match (kind, space) {
+            (MemKind::TensorLoad, Space::Shared)
+                if self.config.lhb_on_shared && self.detect.is_some() =>
+            {
+                self.process_tensor_row_shared(addr, seg)
+            }
+            (_, Space::Shared) => {
+                self.stats.services.shared += 1;
+                RowOutcome::Done {
+                    ready: cycle + u64::from(self.config.shared_latency),
+                    preg: None,
+                    token: None,
+                }
+            }
+            (MemKind::TensorStore | MemKind::ScalarStore, Space::Global) => {
+                self.hierarchy.store(cycle, addr, seg);
+                if let Some(du) = self.detect.as_mut() {
+                    let released = du.store(addr, u64::from(seg));
+                    for p in released {
+                        self.regfile.release(p);
+                    }
+                }
+                RowOutcome::Done {
+                    ready: cycle,
+                    preg: None,
+                    token: None,
+                }
+            }
+            (MemKind::ScalarLoad, Space::Global) => {
+                if !self.hierarchy.can_accept(cycle) {
+                    return RowOutcome::Stall;
+                }
+                let (ready, lvl) = self
+                    .hierarchy
+                    .load(cycle, addr, seg)
+                    .expect("can_accept checked");
+                self.stats.services.count(lvl);
+                RowOutcome::Done {
+                    ready,
+                    preg: None,
+                    token: None,
+                }
+            }
+            (MemKind::TensorLoad, Space::Global) => self.process_tensor_row(addr, seg),
+        }
+    }
+
+    /// A shared-memory tensor-core load row under the implicit-GEMM
+    /// extension: a detection hit replaces the shared-memory access with
+    /// register renaming (2-cycle detection latency instead of the
+    /// shared-memory pipeline latency); misses fall through to shared
+    /// memory and allocate an entry.
+    fn process_tensor_row_shared(&mut self, addr: u64, seg: u32) -> RowOutcome {
+        let cycle = self.cycle;
+        let Some(preg) = self.regfile.alloc() else {
+            self.force_retire(64);
+            match self.regfile.alloc() {
+                Some(_) => {}
+                None => return RowOutcome::Stall,
+            }
+            return RowOutcome::Stall;
+        };
+        self.stats.row_loads += 1;
+        let token = LoadToken(self.next_token);
+        self.next_token += 1;
+        let du = self.detect.as_mut().expect("checked by caller");
+        match du.probe_load(addr, u64::from(seg), token) {
+            LoadDecision::Hit { preg: dup } => {
+                let latency = u64::from(du.latency);
+                self.regfile.release(preg);
+                self.regfile.addref(dup);
+                self.stats.services.lhb += 1;
+                self.stats.eliminated_loads += 1;
+                RowOutcome::Done {
+                    ready: cycle + latency,
+                    preg: Some(dup),
+                    token: Some(token),
+                }
+            }
+            LoadDecision::Miss => {
+                self.regfile.addref(preg);
+                if let Some(displaced) = du.record_fill(addr, u64::from(seg), preg, token) {
+                    self.regfile.release(displaced);
+                }
+                self.stats.services.shared += 1;
+                RowOutcome::Done {
+                    ready: cycle + u64::from(self.config.shared_latency),
+                    preg: Some(preg),
+                    token: Some(token),
+                }
+            }
+            LoadDecision::Bypass => {
+                self.stats.services.shared += 1;
+                RowOutcome::Done {
+                    ready: cycle + u64::from(self.config.shared_latency),
+                    preg: Some(preg),
+                    token: None,
+                }
+            }
+        }
+    }
+
+    /// One tensor-core load row: the Duplo-eligible path.
+    fn process_tensor_row(&mut self, addr: u64, seg: u32) -> RowOutcome {
+        let cycle = self.cycle;
+        if !self.hierarchy.can_accept(cycle) {
+            return RowOutcome::Stall;
+        }
+        // Physical destination row (released again on an LHB hit). Under
+        // register-file pressure, force-retire the oldest pending loads to
+        // reclaim the rows their LHB entries pin.
+        let preg = match self.regfile.alloc() {
+            Some(p) => p,
+            None => {
+                self.force_retire(64);
+                match self.regfile.alloc() {
+                    Some(p) => p,
+                    None => return RowOutcome::Stall,
+                }
+            }
+        };
+        self.stats.row_loads += 1;
+        let token = LoadToken(self.next_token);
+        self.next_token += 1;
+
+        if let Some(du) = self.detect.as_mut() {
+            match du.probe_load(addr, u64::from(seg), token) {
+                LoadDecision::Hit { preg: dup } => {
+                    // Cancelled L1 request still consumed an L1 probe
+                    // (paper §V-H), but no state change or traffic.
+                    self.regfile.release(preg);
+                    self.regfile.addref(dup);
+                    self.stats.services.lhb += 1;
+                    self.stats.eliminated_loads += 1;
+                    if self.stats.rename_pairs.len() < self.config.rename_log_cap {
+                        if let Some(&src) = self.fill_addr.get(&dup.0) {
+                            self.stats.rename_pairs.push((src, addr));
+                        }
+                    }
+                    return RowOutcome::Done {
+                        ready: cycle + u64::from(du.latency),
+                        preg: Some(dup),
+                        token: Some(token),
+                    };
+                }
+                LoadDecision::Miss => {
+                    let (ready, lvl) = self
+                        .hierarchy
+                        .load(cycle, addr, seg)
+                        .expect("can_accept checked");
+                    self.stats.services.count(lvl);
+                    let mut ready = ready;
+                    if self.config.octet_dup {
+                        if let Some((r2, _)) = self.hierarchy.load(cycle, addr, seg) {
+                            self.stats.octet_dup_l1 += 1;
+                            ready = ready.max(r2);
+                        }
+                    }
+                    // The LHB entry takes its own reference to the filled
+                    // register, keeping the value alive across architectural
+                    // rebinding until the entry is released (paper §IV-B).
+                    self.regfile.addref(preg);
+                    let du = self.detect.as_mut().expect("still present");
+                    if let Some(displaced) = du.record_fill(addr, u64::from(seg), preg, token) {
+                        self.regfile.release(displaced);
+                    }
+                    if self.config.rename_log_cap > 0 {
+                        self.fill_addr.insert(preg.0, addr);
+                    }
+                    return RowOutcome::Done {
+                        ready,
+                        preg: Some(preg),
+                        token: Some(token),
+                    };
+                }
+                LoadDecision::Bypass => {}
+            }
+        }
+        // Baseline path (no detection unit, or bypassed).
+        let (ready, lvl) = self
+            .hierarchy
+            .load(cycle, addr, seg)
+            .expect("can_accept checked");
+        self.stats.services.count(lvl);
+        let mut ready = ready;
+        if self.config.octet_dup {
+            if let Some((r2, _)) = self.hierarchy.load(cycle, addr, seg) {
+                self.stats.octet_dup_l1 += 1;
+                ready = ready.max(r2);
+            }
+        }
+        RowOutcome::Done {
+            ready,
+            preg: Some(preg),
+            token: None,
+        }
+    }
+
+    /// Early-retires up to `n` of the oldest scheduled load commitments,
+    /// releasing the physical rows their LHB entries pin (register-file
+    /// pressure relief).
+    fn force_retire(&mut self, n: usize) {
+        for _ in 0..n {
+            let Some(Reverse((_, token))) = self.retire_queue.pop() else {
+                return;
+            };
+            if let Some(du) = self.detect.as_mut() {
+                if let Some(p) = du.retire(LoadToken(token)) {
+                    self.regfile.release(p);
+                }
+            }
+        }
+    }
+
+    /// A memory macro-instruction finished all its rows.
+    fn finish_mem(&mut self, infl: Inflight) {
+        let ready = infl.ready;
+        let commit = ready.saturating_add(u64::from(self.config.commit_delay));
+        // Schedule commit-time retirement: the LHB entries created (or
+        // relayed to) this load's tokens are released then, dropping the
+        // LHB's references to the physical rows. Architectural rebinding
+        // below does NOT release entries — the physical value stays alive
+        // for renaming until retirement (paper §IV-B).
+        for t in &infl.tokens {
+            self.retire_queue.push(Reverse((commit, t.0)));
+        }
+        let warp_done = self.warps[infl.warp].as_ref().is_none_or(|wc| wc.done);
+        if warp_done {
+            // The warp exited (only possible if it had no pending regs, so
+            // this cannot be a load of a live register) — drop this load's
+            // own references; LHB references drain via the retire queue.
+            for p in infl.pregs {
+                self.regfile.release(p);
+            }
+            return;
+        }
+        if let Some(dst) = infl.dst {
+            let wc = self.warps[infl.warp].as_mut().expect("live warp");
+            wc.resolve_pending(dst, ready);
+            let old = wc.bindings.insert(dst, infl.pregs);
+            if let Some(old_pregs) = old {
+                for p in old_pregs {
+                    self.regfile.release(p);
+                }
+            }
+        } else {
+            for p in infl.pregs {
+                self.regfile.release(p);
+            }
+        }
+    }
+
+    /// Issues warp exit: release every binding, update CTA accounting.
+    fn finish_warp(&mut self, w: usize) {
+        let wc = self.warps[w].take().expect("warp exists");
+        for (_, pregs) in wc.bindings {
+            for p in pregs {
+                self.regfile.release(p);
+            }
+        }
+        let cta = self.ctas[wc.cta_slot].as_mut().expect("live cta");
+        cta.live_warps -= 1;
+        if cta.live_warps == 0 {
+            self.shared_in_use -= cta.shared_bytes;
+            self.ctas[wc.cta_slot] = None;
+            self.stats.ctas_run += 1;
+        }
+    }
+
+    /// Finalizes and returns statistics.
+    pub fn into_stats(mut self) -> SmStats {
+        self.stats.cycles = self.cycle;
+        self.stats.rf_peak_rows = self.regfile.peak();
+        if let Some(du) = &self.detect {
+            self.stats.detect = du.stats();
+            self.stats.lhb = du.lhb_stats();
+        }
+        self.stats.mem = self.hierarchy.stats();
+        self.stats
+    }
+
+    /// Live statistics view (cycle count not yet finalized).
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+}
+
+enum IssueResult {
+    Issued,
+    DepBlocked,
+    LdstFull,
+    TensorBusy,
+}
+
+/// Runs `cta_ids` of `kernel` to completion on one SM and returns the
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds two billion cycles (deadlock guard).
+pub fn run_kernel(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> SmStats {
+    let mut sm = Sm::new(config, kernel);
+    let mut backlog: VecDeque<usize> = cta_ids.iter().copied().collect();
+    const LIMIT: u64 = 2_000_000_000;
+    loop {
+        while let Some(&next) = backlog.front() {
+            if sm.try_launch(kernel, next) {
+                backlog.pop_front();
+            } else {
+                break;
+            }
+        }
+        if backlog.is_empty() && sm.idle() {
+            break;
+        }
+        sm.tick();
+        assert!(sm.cycle() < LIMIT, "simulation exceeded {LIMIT} cycles — deadlock?");
+    }
+    sm.into_stats()
+}

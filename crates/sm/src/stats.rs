@@ -1,0 +1,124 @@
+//! Run statistics reported by the SM model.
+
+use duplo_core::{DetectStats, LhbStats};
+use duplo_mem::{MemStats, ServiceLevel};
+
+/// Where load row-segments were served from (the Fig. 11 breakdown).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct ServiceCounts {
+    /// Served by Duplo register renaming (LHB hit).
+    pub lhb: u64,
+    /// L1 hits.
+    pub l1: u64,
+    /// L2 hits (including MSHR merges that completed at L2 time).
+    pub l2: u64,
+    /// DRAM fills.
+    pub dram: u64,
+    /// Shared-memory accesses (outside the L1/L2/DRAM path).
+    pub shared: u64,
+}
+
+impl ServiceCounts {
+    /// Total global-memory load segments (excludes shared).
+    pub fn total_global(&self) -> u64 {
+        self.lhb + self.l1 + self.l2 + self.dram
+    }
+
+    /// Fraction of global load segments served by `level`.
+    pub fn fraction(&self, level: ServiceLevel) -> f64 {
+        let total = self.total_global();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = match level {
+            ServiceLevel::Lhb => self.lhb,
+            ServiceLevel::L1 => self.l1,
+            ServiceLevel::L2 => self.l2,
+            ServiceLevel::Dram => self.dram,
+        };
+        n as f64 / total as f64
+    }
+
+    pub(crate) fn count(&mut self, level: ServiceLevel) {
+        match level {
+            ServiceLevel::Lhb => self.lhb += 1,
+            ServiceLevel::L1 => self.l1 += 1,
+            ServiceLevel::L2 => self.l2 += 1,
+            ServiceLevel::Dram => self.dram += 1,
+        }
+    }
+}
+
+/// Why scheduler slots went unissued.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct StallBreakdown {
+    /// No resident warp had work (tail or launch gaps).
+    pub empty: u64,
+    /// All candidate warps blocked on operand dependencies.
+    pub data_dependency: u64,
+    /// A memory instruction was ready but the LDST queue was full.
+    pub ldst_full: u64,
+    /// A tensor-core instruction was ready but no tensor core was free.
+    pub tensor_busy: u64,
+    /// Warps waiting at barriers.
+    pub barrier: u64,
+}
+
+impl StallBreakdown {
+    /// Cycles in which the scheduler issued nothing for memory reasons
+    /// (the paper's "LDST stall cycles" metric).
+    pub fn ldst_stalls(&self) -> u64 {
+        self.ldst_full
+    }
+}
+
+/// Complete statistics of one SM run.
+#[derive(Clone, Debug, Default)]
+pub struct SmStats {
+    /// Total cycles to drain all assigned CTAs.
+    pub cycles: u64,
+    /// Instructions issued, by class.
+    pub issued_mma: u64,
+    /// Tensor-core load instructions issued (fragment granularity).
+    pub issued_tensor_loads: u64,
+    /// Tensor-core load row-segments processed (the paper's
+    /// "tensor-core-load instruction" granularity).
+    pub row_loads: u64,
+    /// Row-segments eliminated via LHB renaming.
+    pub eliminated_loads: u64,
+    /// Other instructions issued (ALU, scalar mem, barriers).
+    pub issued_other: u64,
+    /// Service-level breakdown of load row-segments.
+    pub services: ServiceCounts,
+    /// Extra L1 accesses caused by octet double-loading (energy-relevant).
+    pub octet_dup_l1: u64,
+    /// Per-scheduler stall breakdown, summed.
+    pub stalls: StallBreakdown,
+    /// Cycles the LDST pipes spent blocked (MSHR full / RF pressure).
+    pub ldst_pipe_stalls: u64,
+    /// Peak physical register rows in use.
+    pub rf_peak_rows: u32,
+    /// Detection-unit stats (zeroed for baseline runs).
+    pub detect: DetectStats,
+    /// LHB stats (zeroed for baseline runs).
+    pub lhb: LhbStats,
+    /// Memory hierarchy counters.
+    pub mem: MemStats,
+    /// Sampled (filled_addr, renamed_addr) pairs for functional
+    /// value-equality validation.
+    pub rename_pairs: Vec<(u64, u64)>,
+    /// CTAs executed.
+    pub ctas_run: u64,
+}
+
+impl SmStats {
+    /// Fraction of tensor-core load row-segments eliminated (the ~76%
+    /// oracle number in §V-B).
+    pub fn elimination_rate(&self) -> f64 {
+        if self.row_loads == 0 {
+            0.0
+        } else {
+            self.eliminated_loads as f64 / self.row_loads as f64
+        }
+    }
+}

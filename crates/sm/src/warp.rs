@@ -1,0 +1,147 @@
+//! Per-warp execution state: program counter, scoreboard, register
+//! bindings.
+
+use duplo_core::PhysReg;
+use duplo_isa::{ArchReg, Op};
+use std::collections::{BTreeMap, HashMap};
+
+/// Scoreboard entry: the cycle at which a register's pending write
+/// completes (`u64::MAX` while the completion time is unknown, e.g. an
+/// in-flight load).
+pub type ReadyCycle = u64;
+
+/// One resident warp.
+#[derive(Clone, Debug)]
+pub struct WarpCtx {
+    /// Instruction stream.
+    pub ops: Vec<Op>,
+    /// Next instruction index.
+    pub pc: usize,
+    /// Local slot of the CTA this warp belongs to.
+    pub cta_slot: usize,
+    /// True once `Exit` has been issued.
+    pub done: bool,
+    /// True while waiting at a barrier.
+    pub at_barrier: bool,
+    /// Pending register writes: reg -> completion cycle.
+    pub pending: HashMap<ArchReg, ReadyCycle>,
+    /// Current physical row slots bound to each fragment register.
+    pub bindings: BTreeMap<ArchReg, Vec<PhysReg>>,
+    /// Launch order (for oldest-first scheduling).
+    pub age: u64,
+}
+
+impl WarpCtx {
+    /// Creates a warp over `ops`.
+    pub fn new(ops: Vec<Op>, cta_slot: usize, age: u64) -> WarpCtx {
+        WarpCtx {
+            ops,
+            pc: 0,
+            cta_slot,
+            done: false,
+            at_barrier: false,
+            pending: HashMap::new(),
+            bindings: BTreeMap::new(),
+            age,
+        }
+    }
+
+    /// The next instruction, if the warp is still running.
+    pub fn next_op(&self) -> Option<&Op> {
+        if self.done || self.at_barrier {
+            None
+        } else {
+            self.ops.get(self.pc)
+        }
+    }
+
+    /// Whether every source (and the destination, WAW) of `op` is ready at
+    /// `cycle`.
+    pub fn deps_ready(&self, op: &Op, cycle: u64) -> bool {
+        for src in op.srcs().into_iter().flatten() {
+            if self.pending.get(&src).is_some_and(|&r| r > cycle) {
+                return false;
+            }
+        }
+        if let Some(dst) = op.dst() {
+            if self.pending.get(&dst).is_some_and(|&r| r > cycle) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Marks `reg` pending until `ready`.
+    pub fn mark_pending(&mut self, reg: ArchReg, ready: ReadyCycle) {
+        self.pending.insert(reg, ready);
+    }
+
+    /// Resolves a pending write (e.g. a load completing) to a concrete
+    /// cycle.
+    pub fn resolve_pending(&mut self, reg: ArchReg, ready: ReadyCycle) {
+        self.pending.insert(reg, ready);
+    }
+
+    /// Garbage-collects scoreboard entries older than `cycle` (keeps the
+    /// map small over long runs).
+    pub fn gc_pending(&mut self, cycle: u64) {
+        self.pending.retain(|_, &mut r| r > cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplo_isa::Space;
+
+    #[test]
+    fn deps_block_until_ready() {
+        let mma = Op::WmmaMma {
+            d: ArchReg(4),
+            a: ArchReg(0),
+            b: ArchReg(1),
+            c: ArchReg(4),
+        };
+        let mut w = WarpCtx::new(vec![mma, Op::Exit], 0, 0);
+        assert!(w.deps_ready(&mma, 10));
+        w.mark_pending(ArchReg(0), 50);
+        assert!(!w.deps_ready(&mma, 10));
+        assert!(w.deps_ready(&mma, 50));
+    }
+
+    #[test]
+    fn waw_hazard_blocks() {
+        let ld = Op::WmmaLoad {
+            dst: ArchReg(2),
+            addr: 0,
+            rows: 16,
+            seg_bytes: 32,
+            row_stride: 64,
+            space: Space::Global,
+        };
+        let mut w = WarpCtx::new(vec![ld, Op::Exit], 0, 0);
+        w.mark_pending(ArchReg(2), u64::MAX);
+        assert!(!w.deps_ready(&ld, 100), "WAW on in-flight load must block");
+    }
+
+    #[test]
+    fn gc_drops_completed_entries() {
+        let mut w = WarpCtx::new(vec![Op::Exit], 0, 0);
+        w.mark_pending(ArchReg(0), 10);
+        w.mark_pending(ArchReg(1), 100);
+        w.gc_pending(50);
+        assert!(!w.pending.contains_key(&ArchReg(0)));
+        assert!(w.pending.contains_key(&ArchReg(1)));
+    }
+
+    #[test]
+    fn next_op_respects_barrier_and_done() {
+        let mut w = WarpCtx::new(vec![Op::Bar, Op::Exit], 0, 0);
+        assert!(w.next_op().is_some());
+        w.at_barrier = true;
+        assert!(w.next_op().is_none());
+        w.at_barrier = false;
+        w.done = true;
+        assert!(w.next_op().is_none());
+    }
+}

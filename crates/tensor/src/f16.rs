@@ -1,0 +1,228 @@
+//! Software half-precision (IEEE 754 binary16).
+//!
+//! Tensor cores consume half-precision `A`/`B` operands and accumulate in
+//! single precision. The simulator keeps functional data in `f32` but rounds
+//! through this type wherever the hardware would store a half, so numerical
+//! behaviour matches the real pipeline.
+
+use std::fmt;
+
+/// An IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// Conversions to and from `f32` implement round-to-nearest-even, the
+/// rounding mode tensor cores use for operand ingestion.
+///
+/// # Examples
+///
+/// ```
+/// use duplo_tensor::F16;
+///
+/// let x = F16::from_f32(1.0009765625); // representable plus a hair
+/// assert_eq!(x.to_f32(), 1.0009765625);
+/// let y = F16::from_f32(1.0001);
+/// assert_eq!(y.to_f32(), 1.0); // rounded to nearest representable
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Creates an `F16` from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to half precision with round-to-nearest-even.
+    ///
+    /// Values above [`F16::MAX`] become infinity; subnormal results are
+    /// rounded into the half-precision subnormal range; NaNs are preserved
+    /// as quiet NaNs.
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN: keep NaN-ness (force quiet bit).
+            let m = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | m);
+        }
+
+        // Re-bias exponent: f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return F16(sign | 0x7C00); // overflow to infinity
+        }
+        if unbiased >= -14 {
+            // Normal range: keep top 10 mantissa bits, RNE on the rest.
+            let mut m = mant >> 13;
+            let rest = mant & 0x1FFF;
+            if rest > 0x1000 || (rest == 0x1000 && (m & 1) == 1) {
+                m += 1;
+            }
+            let mut e = (unbiased + 15) as u32;
+            if m == 0x400 {
+                m = 0;
+                e += 1;
+                if e >= 31 {
+                    return F16(sign | 0x7C00);
+                }
+            }
+            return F16(sign | ((e as u16) << 10) | m as u16);
+        }
+        if unbiased >= -25 {
+            // Subnormal range: shift the implicit leading one into place.
+            let full = mant | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let m = full >> shift;
+            let rest = full & ((1u32 << shift) - 1);
+            let half = 1u32 << (shift - 1);
+            let mut m16 = m as u16;
+            if rest > half || (rest == half && (m16 & 1) == 1) {
+                m16 += 1;
+            }
+            return F16(sign | m16);
+        }
+        F16(sign) // underflow to signed zero
+    }
+
+    /// Converts this half-precision value to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & 0x8000) << 16;
+        let exp = u32::from(self.0 >> 10) & 0x1F;
+        let mant = u32::from(self.0 & 0x03FF);
+        let bits = match (exp, mant) {
+            (0, 0) => sign,
+            (0, m) => {
+                // Subnormal: value is mant * 2^-24, exact in f32.
+                let v = (m as f32) * (2.0f32).powi(-24);
+                sign | v.to_bits()
+            }
+            (0x1F, 0) => sign | 0x7F80_0000,
+            (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+            (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Rounds an `f32` through half precision and back.
+    ///
+    /// This is the operation applied to every tensor-core `A`/`B` operand in
+    /// the functional simulator.
+    pub fn round_trip(value: f32) -> f32 {
+        F16::from_f32(value).to_f32()
+    }
+
+    /// Returns `true` if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> f32 {
+        h.to_f32()
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(F16::round_trip(x), x, "integer {i} must be exact in f16");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_round_trip() {
+        for e in -14..=15 {
+            let x = (2.0f32).powi(e);
+            assert_eq!(F16::round_trip(x), x);
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(1.0e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1.0e6).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(F16::from_f32(65504.0), F16::MAX);
+        // Halfway above MAX rounds to infinity.
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY);
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = (2.0f32).powi(-24);
+        assert_eq!(F16::round_trip(tiny), tiny);
+        // Below half the smallest subnormal flushes to zero.
+        assert_eq!(F16::round_trip((2.0f32).powi(-26)), 0.0);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+        assert!(!F16::from_f32(1.0).is_nan());
+        assert!(!F16::INFINITY.is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 sits exactly between 1.0 and 1 + 2^-10: ties to even (1.0).
+        let tie = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(F16::round_trip(tie), 1.0);
+        // (1 + 2^-10) + 2^-11 ties up to 1 + 2^-9 (even mantissa).
+        let tie_up = 1.0 + (2.0f32).powi(-10) + (2.0f32).powi(-11);
+        assert_eq!(F16::round_trip(tie_up), 1.0 + (2.0f32).powi(-9));
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn exhaustive_f16_to_f32_to_f16_identity() {
+        // Every finite half value must survive a round trip through f32.
+        for bits in 0..=0xFFFFu16 {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Tensor substrate for the Duplo reproduction.
+//!
+//! This crate provides the small set of numerical containers the rest of the
+//! workspace builds on:
+//!
+//! * [`Nhwc`] — a four-dimensional shape in the `NHWC` layout that NVIDIA's
+//!   cuDNN mandates for tensor cores (batch, height, width, channels),
+//! * [`Tensor4`] — an owned, dense, row-major `NHWC` tensor of `f32`,
+//! * [`Matrix`] — an owned, dense, row-major 2-D matrix used for lowered
+//!   (im2col) workspaces and GEMM,
+//! * [`F16`] — a software half-precision float matching the storage format
+//!   tensor cores consume for the `A` and `B` operands.
+//!
+//! The simulator stores all functional values as `f32` and converts through
+//! [`F16`] where the hardware would, so precision behaviour follows the
+//! tensor-core pipeline (half-precision inputs, single-precision
+//! accumulation).
+//!
+//! # Examples
+//!
+//! ```
+//! use duplo_tensor::{Nhwc, Tensor4};
+//!
+//! let shape = Nhwc::new(1, 4, 4, 2);
+//! let t = Tensor4::from_fn(shape, |n, h, w, c| (n + h + w + c) as f32);
+//! assert_eq!(t.get(0, 1, 2, 1), 4.0);
+//! assert_eq!(t.len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod f16;
+mod matrix;
+mod shape;
+mod tensor;
+
+pub use f16::F16;
+pub use matrix::Matrix;
+pub use shape::Nhwc;
+pub use tensor::Tensor4;
+
+/// Compares two `f32` slices element-wise within an absolute-plus-relative
+/// tolerance, returning the index of the first mismatch.
+///
+/// Used throughout the test suites to validate convolution algorithms against
+/// the direct-convolution reference.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(duplo_tensor::first_mismatch(&[1.0, 2.0], &[1.0, 2.0 + 1e-9], 1e-6), None);
+/// assert_eq!(duplo_tensor::first_mismatch(&[1.0], &[2.0], 1e-6), Some(0));
+/// ```
+pub fn first_mismatch(a: &[f32], b: &[f32], tol: f32) -> Option<usize> {
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    a.iter().zip(b).position(|(x, y)| {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        (x - y).abs() > tol * scale
+    })
+}
+
+/// Returns `true` when the two slices match within tolerance.
+///
+/// See [`first_mismatch`] for the comparison rule.
+pub fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
+    first_mismatch(a, b, tol).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_reports_length_difference() {
+        assert_eq!(first_mismatch(&[1.0, 2.0], &[1.0], 1e-6), Some(1));
+    }
+
+    #[test]
+    fn mismatch_uses_relative_tolerance_for_large_values() {
+        // 1e6 vs 1e6 + 0.5 is within 1e-6 relative tolerance.
+        assert!(approx_eq(&[1.0e6], &[1.0e6 + 0.5], 1e-6));
+        assert!(!approx_eq(&[1.0e6], &[1.0e6 + 10.0], 1e-6));
+    }
+}

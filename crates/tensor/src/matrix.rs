@@ -1,0 +1,272 @@
+//! Dense row-major matrices and GEMM.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An owned, dense, row-major `f32` matrix.
+///
+/// Lowered convolution workspaces, filter matrices and GEMM outputs are all
+/// represented as `Matrix`. Multiplication is provided both as a naive
+/// reference ([`Matrix::matmul_naive`]) and a cache-blocked version
+/// ([`Matrix::matmul`]) used by the functional convolution paths.
+///
+/// # Examples
+///
+/// ```
+/// use duplo_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::from_rows(&[&[5.0], &[6.0]]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c[(0, 0)], 17.0);
+/// assert_eq!(c[(1, 0)], 39.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled `rows x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dims must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn<F>(rows: usize, cols: usize, mut f: F) -> Matrix
+    where
+        F: FnMut(usize, usize) -> f32,
+    {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices (all must have equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Matrix {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        let mut m = Matrix::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged rows");
+            m.data[r * cols..(r + 1) * cols].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "buffer does not match dims");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows the row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Naive triple-loop GEMM reference: `self (m x k) * rhs (k x n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dims {} vs {}", self.cols, rhs.rows);
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self[(i, k)] * rhs[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Cache-blocked GEMM with an ikj loop order.
+    ///
+    /// Produces results identical in rounding order per output element to a
+    /// k-major accumulation, which is what the functional checks rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dims {} vs {}", self.cols, rhs.rows);
+        const BK: usize = 64;
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        for k0 in (0..self.cols).step_by(BK) {
+            let kend = (k0 + BK).min(self.cols);
+            for i in 0..self.rows {
+                let arow = self.row(i);
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for k in k0..kend {
+                    let a = arow[k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[k * n..(k + 1) * n];
+                    for j in 0..n {
+                        orow[j] += a * brow[j];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for r in 0..show_rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:7.2}", self[(r, c)])?;
+            }
+            if self.cols > 12 {
+                write!(f, " ...")?;
+            }
+            writeln!(f, " ]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn identity_multiplication() {
+        let i3 = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(a.matmul_naive(&i3).as_slice(), a.as_slice());
+        assert_eq!(i3.matmul_naive(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_random_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let m = rng.gen_range(1..40);
+            let k = rng.gen_range(1..70);
+            let n = rng.gen_range(1..40);
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0..1.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0..1.0));
+            let x = a.matmul_naive(&b);
+            let y = a.matmul(&b);
+            assert!(approx_eq(x.as_slice(), y.as_slice(), 1e-4), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as f32);
+        assert_eq!(a.transpose().transpose().as_slice(), a.as_slice());
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn mismatched_inner_dims_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // Figure 1(b): 4x9 workspace times 9x1 filter = the 4 outputs [8,7,-5,8].
+        let workspace = Matrix::from_rows(&[
+            &[3.0, 1.0, 4.0, 1.0, 0.0, -2.0, 4.0, -2.0, 4.0],
+            &[1.0, 4.0, -2.0, 0.0, -2.0, 1.0, -2.0, 4.0, 0.0],
+            &[1.0, 0.0, -2.0, 4.0, -2.0, 4.0, -2.0, 1.0, 0.0],
+            &[0.0, -2.0, 1.0, -2.0, 4.0, 0.0, 1.0, 0.0, 3.0],
+        ]);
+        let filter = Matrix::from_vec(9, 1, vec![1.0, 0.0, 3.0, -3.0, -1.0, 2.0, 0.0, 2.0, 1.0]);
+        let out = workspace.matmul(&filter);
+        assert_eq!(out.as_slice(), &[8.0, 7.0, -5.0, 8.0]);
+    }
+}

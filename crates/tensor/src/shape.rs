@@ -1,0 +1,134 @@
+//! Four-dimensional `NHWC` shapes.
+
+use std::fmt;
+
+/// A tensor shape in `NHWC` order: batch, height, width, channels.
+///
+/// cuDNN mandates the `NHWC` layout for tensor cores (paper §III-C), so the
+/// whole reproduction standardizes on it. The linear index of element
+/// `(n, h, w, c)` is `((n * H + h) * W + w) * C + c`.
+///
+/// # Examples
+///
+/// ```
+/// use duplo_tensor::Nhwc;
+///
+/// let s = Nhwc::new(8, 56, 56, 64);
+/// assert_eq!(s.len(), 8 * 56 * 56 * 64);
+/// assert_eq!(s.index(0, 0, 0, 1), 1);
+/// assert_eq!(s.index(0, 0, 1, 0), 64);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Nhwc {
+    /// Number of images in the batch.
+    pub n: usize,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Number of channels.
+    pub c: usize,
+}
+
+impl Nhwc {
+    /// Creates a shape. All dimensions must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(n: usize, h: usize, w: usize, c: usize) -> Nhwc {
+        assert!(
+            n > 0 && h > 0 && w > 0 && c > 0,
+            "NHWC dimensions must be nonzero, got {n}x{h}x{w}x{c}"
+        );
+        Nhwc { n, h, w, c }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.h * self.w * self.c
+    }
+
+    /// Returns `true` when the shape holds no elements (never, by
+    /// construction, but provided for `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(n, h, w, c)` in row-major `NHWC` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, n: usize, h: usize, w: usize, c: usize) -> usize {
+        debug_assert!(n < self.n && h < self.h && w < self.w && c < self.c);
+        ((n * self.h + h) * self.w + w) * self.c + c
+    }
+
+    /// Inverse of [`Nhwc::index`]: decomposes a linear index into
+    /// `(n, h, w, c)` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize, usize) {
+        assert!(idx < self.len(), "index {idx} out of range for {self}");
+        let c = idx % self.c;
+        let rest = idx / self.c;
+        let w = rest % self.w;
+        let rest = rest / self.w;
+        let h = rest % self.h;
+        let n = rest / self.h;
+        (n, h, w, c)
+    }
+
+    /// Shape of a single image (`n == 1`) with the same spatial dims.
+    pub fn single(&self) -> Nhwc {
+        Nhwc { n: 1, ..*self }
+    }
+
+    /// Returns the same shape with a different batch size.
+    pub fn with_batch(&self, n: usize) -> Nhwc {
+        assert!(n > 0, "batch must be nonzero");
+        Nhwc { n, ..*self }
+    }
+}
+
+impl fmt::Display for Nhwc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.h, self.w, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_coords_are_inverse() {
+        let s = Nhwc::new(2, 3, 4, 5);
+        for idx in 0..s.len() {
+            let (n, h, w, c) = s.coords(idx);
+            assert_eq!(s.index(n, h, w, c), idx);
+        }
+    }
+
+    #[test]
+    fn channels_are_innermost() {
+        let s = Nhwc::new(1, 2, 2, 3);
+        assert_eq!(s.index(0, 0, 0, 0) + 1, s.index(0, 0, 0, 1));
+        assert_eq!(s.index(0, 0, 0, 2) + 1, s.index(0, 0, 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = Nhwc::new(1, 0, 2, 3);
+    }
+
+    #[test]
+    fn display_matches_paper_table_style() {
+        assert_eq!(Nhwc::new(8, 224, 224, 3).to_string(), "8x224x224x3");
+    }
+}

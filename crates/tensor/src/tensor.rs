@@ -1,0 +1,188 @@
+//! Dense `NHWC` tensors.
+
+use crate::{F16, Nhwc};
+use rand::Rng;
+use std::fmt;
+
+/// An owned, dense, row-major tensor in `NHWC` layout with `f32` storage.
+///
+/// # Examples
+///
+/// ```
+/// use duplo_tensor::{Nhwc, Tensor4};
+///
+/// let mut t = Tensor4::zeros(Nhwc::new(1, 2, 2, 1));
+/// t.set(0, 1, 1, 0, 3.5);
+/// assert_eq!(t.get(0, 1, 1, 0), 3.5);
+/// assert_eq!(t.as_slice().iter().sum::<f32>(), 3.5);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor4 {
+    shape: Nhwc,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(shape: Nhwc) -> Tensor4 {
+        Tensor4 {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
+    }
+
+    /// Creates a tensor by evaluating `f(n, h, w, c)` for every element.
+    pub fn from_fn<F>(shape: Nhwc, mut f: F) -> Tensor4
+    where
+        F: FnMut(usize, usize, usize, usize) -> f32,
+    {
+        let mut data = Vec::with_capacity(shape.len());
+        for n in 0..shape.n {
+            for h in 0..shape.h {
+                for w in 0..shape.w {
+                    for c in 0..shape.c {
+                        data.push(f(n, h, w, c));
+                    }
+                }
+            }
+        }
+        Tensor4 { shape, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Nhwc, data: Vec<f32>) -> Tensor4 {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor4 { shape, data }
+    }
+
+    /// Fills the tensor with uniform random values in `[-1, 1)` that are
+    /// exactly representable in half precision, so f16 round-trips are
+    /// lossless in functional cross-checks.
+    pub fn fill_random<R: Rng>(&mut self, rng: &mut R) {
+        for v in &mut self.data {
+            let raw: f32 = rng.gen_range(-1.0..1.0);
+            *v = F16::round_trip(raw);
+        }
+    }
+
+    /// Returns the shape.
+    pub fn shape(&self) -> Nhwc {
+        self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `(n, h, w, c)`.
+    #[inline]
+    pub fn get(&self, n: usize, h: usize, w: usize, c: usize) -> f32 {
+        self.data[self.shape.index(n, h, w, c)]
+    }
+
+    /// Writes element `(n, h, w, c)`.
+    #[inline]
+    pub fn set(&mut self, n: usize, h: usize, w: usize, c: usize, value: f32) {
+        let idx = self.shape.index(n, h, w, c);
+        self.data[idx] = value;
+    }
+
+    /// Reads `(n, h, w, c)` treating out-of-bounds spatial coordinates as
+    /// zero padding. `h` and `w` are signed to allow negative (padded)
+    /// positions; `n` and `c` must be in range.
+    #[inline]
+    pub fn get_padded(&self, n: usize, h: isize, w: isize, c: usize) -> f32 {
+        if h < 0 || w < 0 || h as usize >= self.shape.h || w as usize >= self.shape.w {
+            0.0
+        } else {
+            self.get(n, h as usize, w as usize, c)
+        }
+    }
+
+    /// Borrows the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Rounds every element through half precision in place, mirroring a
+    /// store to a half-precision buffer.
+    pub fn quantize_f16(&mut self) {
+        for v in &mut self.data {
+            *v = F16::round_trip(*v);
+        }
+    }
+}
+
+impl fmt::Debug for Tensor4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor4({} elements, shape {})", self.data.len(), self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn from_fn_matches_get() {
+        let s = Nhwc::new(2, 3, 3, 2);
+        let t = Tensor4::from_fn(s, |n, h, w, c| (n * 1000 + h * 100 + w * 10 + c) as f32);
+        assert_eq!(t.get(1, 2, 0, 1), 1201.0);
+        assert_eq!(t.get(0, 0, 2, 0), 20.0);
+    }
+
+    #[test]
+    fn padded_reads_return_zero_outside() {
+        let s = Nhwc::new(1, 2, 2, 1);
+        let t = Tensor4::from_fn(s, |_, _, _, _| 7.0);
+        assert_eq!(t.get_padded(0, -1, 0, 0), 0.0);
+        assert_eq!(t.get_padded(0, 0, 2, 0), 0.0);
+        assert_eq!(t.get_padded(0, 1, 1, 0), 7.0);
+    }
+
+    #[test]
+    fn random_fill_is_f16_exact_and_deterministic() {
+        let s = Nhwc::new(1, 4, 4, 4);
+        let mut a = Tensor4::zeros(s);
+        let mut b = Tensor4::zeros(s);
+        a.fill_random(&mut StdRng::seed_from_u64(42));
+        b.fill_random(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        for &v in a.as_slice() {
+            assert_eq!(F16::round_trip(v), v, "fill must be f16-exact");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_length() {
+        let _ = Tensor4::from_vec(Nhwc::new(1, 2, 2, 1), vec![0.0; 3]);
+    }
+}

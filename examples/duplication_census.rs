@@ -1,0 +1,50 @@
+//! Reproduces the paper's Fig. 5/6 story: show the duplicate patches in a
+//! lowered workspace and the element IDs that identify them, then census
+//! the duplication of every Table I layer.
+//!
+//! Run with `cargo run --release --example duplication_census`.
+
+use duplo_conv::{ConvParams, ids, layers, lowering};
+use duplo_tensor::{Nhwc, Tensor4};
+
+fn main() {
+    // The paper's 4x4 input with a 3x3 unit-stride filter (Fig. 1/5/6).
+    let params = ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1).unwrap();
+    let input = Tensor4::from_vec(
+        params.input,
+        vec![3., 1., 4., -2., 1., 0., -2., 1., 4., -2., 4., 0., -2., 1., 0., 3.],
+    );
+    let ws = lowering::lower(&params, &input);
+    let gen = ids::IdGen::from_conv(&params);
+
+    println!("workspace (rows) with element IDs (Fig. 6):");
+    for row in 0..ws.rows() {
+        let vals: Vec<String> = ws.row(row).iter().map(|v| format!("{v:3.0}")).collect();
+        let idv: Vec<String> = (0..ws.cols())
+            .map(|c| format!("{:3}", gen.id((row * ws.cols() + c) as u64).element))
+            .collect();
+        println!("  row {row}: [{}]   ids [{}]", vals.join(" "), idv.join(" "));
+    }
+    let census = ids::census(&params, 1);
+    println!(
+        "unique elements: {} of {} (duplication {:.1}%)\n",
+        census.unique_elements,
+        census.total_elements,
+        census.element_dup_ratio() * 100.0
+    );
+
+    println!("Table I duplication census (16-element tensor-core segments):");
+    println!("{:<12} {:>8} {:>10} {:>12} {:>14}", "layer", "expand", "dup(elem)", "bypass(seg)", "max hit rate");
+    for layer in layers::all_layers() {
+        let p = layer.lowered();
+        let c = ids::census(&p, 16);
+        println!(
+            "{:<12} {:>7.1}x {:>9.1}% {:>11.1}% {:>13.1}%",
+            layer.qualified_name(),
+            p.expansion_factor(),
+            c.element_dup_ratio() * 100.0,
+            c.bypass_segments as f64 / c.total_segments as f64 * 100.0,
+            c.max_hit_rate() * 100.0
+        );
+    }
+}

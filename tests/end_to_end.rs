@@ -1,0 +1,136 @@
+//! Cross-crate functional integration: every convolution method agrees
+//! with the direct reference on randomized workloads, including the Table I
+//! layer geometries (scaled down where the full layers would be slow).
+
+use duplo_conv::{ConvParams, direct, fft, gemm, layers, transposed, winograd};
+use duplo_tensor::{Nhwc, Tensor4, approx_eq};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn random_pair(p: &ConvParams, seed: u64) -> (Tensor4, Tensor4) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut input = Tensor4::zeros(p.input);
+    input.fill_random(&mut rng);
+    let mut filters = Tensor4::zeros(p.filter_shape());
+    filters.fill_random(&mut rng);
+    (input, filters)
+}
+
+/// Shrinks a Table I layer to a testable size (batch 1, fewer channels and
+/// filters, smaller spatial dims) while keeping filter/stride/pad geometry.
+fn shrink(p: &ConvParams) -> ConvParams {
+    let h = p.input.h.min(14).max(p.fh);
+    let w = p.input.w.min(14).max(p.fw);
+    ConvParams::new(
+        Nhwc::new(1, h, w, p.input.c.min(8)),
+        p.filters.min(8),
+        p.fh,
+        p.fw,
+        p.pad,
+        p.stride,
+    )
+    .expect("shrunk layer valid")
+}
+
+#[test]
+fn gemm_matches_direct_on_all_table1_geometries() {
+    for (i, layer) in layers::all_layers().iter().enumerate() {
+        let p = shrink(&layer.lowered());
+        let (input, filters) = random_pair(&p, i as u64);
+        let d = direct::convolve(&p, &input, &filters);
+        let g = gemm::convolve(&p, &input, &filters);
+        assert!(
+            approx_eq(d.as_slice(), g.as_slice(), 1e-3),
+            "{} ({p})",
+            layer.qualified_name()
+        );
+    }
+}
+
+#[test]
+fn implicit_gemm_matches_direct_on_all_table1_geometries() {
+    for (i, layer) in layers::all_layers().iter().enumerate() {
+        let p = shrink(&layer.lowered());
+        let (input, filters) = random_pair(&p, 100 + i as u64);
+        let d = direct::convolve(&p, &input, &filters);
+        let g = gemm::convolve_implicit(&p, &input, &filters);
+        assert!(
+            approx_eq(d.as_slice(), g.as_slice(), 1e-3),
+            "{} ({p})",
+            layer.qualified_name()
+        );
+    }
+}
+
+#[test]
+fn winograd_matches_direct_where_applicable() {
+    let mut checked = 0;
+    for (i, layer) in layers::all_layers().iter().enumerate() {
+        let p = shrink(&layer.lowered());
+        if winograd::check_applicable(&p).is_err() {
+            continue;
+        }
+        let (input, filters) = random_pair(&p, 200 + i as u64);
+        let d = direct::convolve(&p, &input, &filters);
+        let w = winograd::convolve(&p, &input, &filters).unwrap();
+        assert!(
+            approx_eq(d.as_slice(), w.as_slice(), 1e-2),
+            "{} ({p})",
+            layer.qualified_name()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 6, "expected many Winograd-eligible layers, got {checked}");
+}
+
+#[test]
+fn fft_matches_direct_where_applicable() {
+    let mut checked = 0;
+    for (i, layer) in layers::all_layers().iter().enumerate() {
+        let p = shrink(&layer.lowered());
+        if fft::check_applicable(&p).is_err() {
+            continue;
+        }
+        let (input, filters) = random_pair(&p, 300 + i as u64);
+        let d = direct::convolve(&p, &input, &filters);
+        let f = fft::convolve(&p, &input, &filters).unwrap();
+        assert!(
+            approx_eq(d.as_slice(), f.as_slice(), 1e-2),
+            "{} ({p})",
+            layer.qualified_name()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 6, "expected many FFT-eligible layers, got {checked}");
+}
+
+#[test]
+fn gan_generator_chain_composes() {
+    // Drive a shrunk TC chain end-to-end: each transposed layer upsamples
+    // 2x, and the lowered path equals the independent scatter reference.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut x = Tensor4::zeros(Nhwc::new(1, 4, 4, 8));
+    x.fill_random(&mut rng);
+    for step in 0..2 {
+        let c_in = x.shape().c;
+        let c_out = (c_in / 2).max(2);
+        let t = transposed::TransposedConvParams::new(x.shape(), c_out, 5, 5, 2, 2).unwrap();
+        let mut filters = Tensor4::zeros(Nhwc::new(c_out, 5, 5, c_in));
+        filters.fill_random(&mut rng);
+        let a = transposed::convolve(&t, &x, &filters);
+        let b = transposed::convolve_scatter(&t, &x, &filters);
+        assert!(approx_eq(a.as_slice(), b.as_slice(), 1e-2), "step {step}");
+        assert_eq!(a.shape().h, 2 * x.shape().h);
+        x = a;
+    }
+    assert_eq!(x.shape(), Nhwc::new(1, 16, 16, 2));
+}
+
+#[test]
+fn f16_pipeline_matches_f32_for_f16_exact_inputs() {
+    let p = ConvParams::new(Nhwc::new(2, 10, 10, 4), 4, 3, 3, 1, 1).unwrap();
+    let (input, filters) = random_pair(&p, 77);
+    let a = gemm::convolve(&p, &input, &filters);
+    let b = gemm::convolve_f16(&p, &input, &filters);
+    assert!(approx_eq(a.as_slice(), b.as_slice(), 1e-3));
+}
