@@ -1,20 +1,22 @@
 //! Benchmarks of the convolution-method substrate behind Fig. 2 / Fig. 3:
 //! direct, GEMM (explicit and implicit), Winograd and FFT convolutions on a
 //! common workload, plus the analytic memory model.
+//!
+//! Runs on the `duplo_testkit::bench` harness (`harness = false`); tune the
+//! iteration count with `DUPLO_BENCH_ITERS`.
 
-use criterion::{Criterion, criterion_group, criterion_main};
 use duplo_conv::memuse::{self, ConvMethod};
 use duplo_conv::{ConvParams, direct, fft, gemm, winograd};
 use duplo_sim::costmodel::MachineModel;
 use duplo_sim::networks;
 use duplo_tensor::{Nhwc, Tensor4};
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use duplo_testkit::Rng;
+use duplo_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn workload() -> (ConvParams, Tensor4, Tensor4) {
     let p = ConvParams::new(Nhwc::new(2, 28, 28, 8), 8, 3, 3, 1, 1).unwrap();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let mut input = Tensor4::zeros(p.input);
     input.fill_random(&mut rng);
     let mut filters = Tensor4::zeros(p.filter_shape());
@@ -22,52 +24,47 @@ fn workload() -> (ConvParams, Tensor4, Tensor4) {
     (p, input, filters)
 }
 
-fn bench_methods(c: &mut Criterion) {
+fn bench_methods() {
     let (p, input, filters) = workload();
-    let mut g = c.benchmark_group("fig02_conv_methods");
-    g.sample_size(10);
-    g.bench_function("direct", |b| {
-        b.iter(|| black_box(direct::convolve(&p, &input, &filters)))
+    let g = Bench::group("fig02_conv_methods");
+    g.bench("direct", || {
+        black_box(direct::convolve(&p, &input, &filters));
     });
-    g.bench_function("gemm_explicit", |b| {
-        b.iter(|| black_box(gemm::convolve(&p, &input, &filters)))
+    g.bench("gemm_explicit", || {
+        black_box(gemm::convolve(&p, &input, &filters));
     });
-    g.bench_function("gemm_implicit", |b| {
-        b.iter(|| black_box(gemm::convolve_implicit(&p, &input, &filters)))
+    g.bench("gemm_implicit", || {
+        black_box(gemm::convolve_implicit(&p, &input, &filters));
     });
-    g.bench_function("winograd", |b| {
-        b.iter(|| black_box(winograd::convolve(&p, &input, &filters).unwrap()))
+    g.bench("winograd", || {
+        black_box(winograd::convolve(&p, &input, &filters).unwrap());
     });
-    g.bench_function("fft", |b| {
-        b.iter(|| black_box(fft::convolve(&p, &input, &filters).unwrap()))
+    g.bench("fft", || {
+        black_box(fft::convolve(&p, &input, &filters).unwrap());
     });
-    g.finish();
 }
 
-fn bench_fig2_fig3_models(c: &mut Criterion) {
+fn bench_fig2_fig3_models() {
     let layers = networks::all_layers();
     let model = MachineModel::default();
-    let mut g = c.benchmark_group("fig02_fig03_models");
-    g.bench_function("fig02_roofline_all_layers", |b| {
-        b.iter(|| {
-            for l in &layers {
-                for m in ConvMethod::FIG_METHODS {
-                    black_box(model.layer_speedup(m, l));
-                }
+    let g = Bench::group("fig02_fig03_models");
+    g.bench("fig02_roofline_all_layers", || {
+        for l in &layers {
+            for m in ConvMethod::FIG_METHODS {
+                black_box(model.layer_speedup(m, l));
             }
-        })
+        }
     });
-    g.bench_function("fig03_memusage_all_layers", |b| {
-        b.iter(|| {
-            for l in &layers {
-                for m in ConvMethod::FIG_METHODS {
-                    black_box(memuse::relative_usage(m, &l.lowered()));
-                }
+    g.bench("fig03_memusage_all_layers", || {
+        for l in &layers {
+            for m in ConvMethod::FIG_METHODS {
+                black_box(memuse::relative_usage(m, &l.lowered()));
             }
-        })
+        }
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_methods, bench_fig2_fig3_models);
-criterion_main!(benches);
+fn main() {
+    bench_methods();
+    bench_fig2_fig3_models();
+}

@@ -1,10 +1,13 @@
 //! Benchmarks of the Duplo detection substrate (Table II machinery):
 //! hardware ID generation and LHB probe/allocate throughput at the sizes
 //! and associativities of Fig. 9/10/12.
+//!
+//! Runs on the `duplo_testkit::bench` harness (`harness = false`); tune the
+//! iteration count with `DUPLO_BENCH_ITERS`.
 
-use criterion::{Criterion, criterion_group, criterion_main};
 use duplo_core::{DetectionUnit, HwIdGen, Lhb, LhbConfig, LoadToken, PhysReg};
 use duplo_isa::WorkspaceDesc;
+use duplo_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn desc() -> WorkspaceDesc {
@@ -26,93 +29,73 @@ fn desc() -> WorkspaceDesc {
     }
 }
 
-fn bench_idgen(c: &mut Criterion) {
+fn bench_idgen() {
     let gen = HwIdGen::new(&desc());
     let addrs: Vec<u64> = (0..4096u64)
         .map(|i| 0x1000_0000 + (i * 37 % 20000) * 32)
         .collect();
-    c.bench_function("table02_idgen_4k_keys", |b| {
-        b.iter(|| {
-            for &a in &addrs {
-                black_box(gen.key(a, 32));
-            }
-        })
+    let g = Bench::group("table02");
+    g.bench("idgen_4k_keys", || {
+        for &a in &addrs {
+            black_box(gen.key(a, 32));
+        }
     });
 }
 
-fn bench_lhb_sizes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09_fig10_lhb_probe");
+fn lhb_stream(config: LhbConfig) -> u64 {
+    let mut lhb = Lhb::new(config);
+    for i in 0..4096u64 {
+        let key = duplo_core::SegmentKey {
+            element: (i * 16) % 7000,
+            batch: 0,
+        };
+        let t = LoadToken(i);
+        if lhb.probe(key, 0, t).is_none() {
+            lhb.allocate(key, 0, PhysReg(i as u32 % 1024), t);
+        }
+    }
+    lhb.stats().hits
+}
+
+fn bench_lhb_sizes() {
+    let g = Bench::group("fig09_fig10_lhb_probe");
     for entries in [256usize, 512, 1024, 2048] {
-        g.bench_function(format!("{entries}_entries"), |b| {
-            b.iter(|| {
-                let mut lhb = Lhb::new(LhbConfig::direct_mapped(entries));
-                for i in 0..4096u64 {
-                    let key = duplo_core::SegmentKey {
-                        element: (i * 16) % 7000,
-                        batch: 0,
-                    };
-                    let t = LoadToken(i);
-                    if lhb.probe(key, 0, t).is_none() {
-                        lhb.allocate(key, 0, PhysReg(i as u32 % 1024), t);
-                    }
-                }
-                black_box(lhb.stats().hits)
-            })
+        g.bench(&format!("{entries}_entries"), || {
+            black_box(lhb_stream(LhbConfig::direct_mapped(entries)));
         });
     }
-    g.finish();
 }
 
-fn bench_lhb_assoc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_lhb_associativity");
+fn bench_lhb_assoc() {
+    let g = Bench::group("fig12_lhb_associativity");
     for ways in [1usize, 2, 4, 8] {
-        g.bench_function(format!("{ways}_way"), |b| {
-            b.iter(|| {
-                let mut lhb = Lhb::new(LhbConfig::set_associative(1024, ways));
-                for i in 0..4096u64 {
-                    let key = duplo_core::SegmentKey {
-                        element: (i * 16) % 7000,
-                        batch: 0,
-                    };
-                    let t = LoadToken(i);
-                    if lhb.probe(key, 0, t).is_none() {
-                        lhb.allocate(key, 0, PhysReg(i as u32 % 1024), t);
-                    }
-                }
-                black_box(lhb.stats().hits)
-            })
+        g.bench(&format!("{ways}_way"), || {
+            black_box(lhb_stream(LhbConfig::set_associative(1024, ways)));
         });
     }
-    g.finish();
 }
 
-fn bench_detection_unit(c: &mut Criterion) {
-    c.bench_function("table02_detection_unit_stream", |b| {
-        b.iter(|| {
-            let mut du = DetectionUnit::new(&desc(), LhbConfig::paper_default(), 0);
-            for i in 0..4096u64 {
-                let addr = 0x1000_0000 + (i % 2048) * 32;
-                let t = LoadToken(i);
-                match du.probe_load(addr, 32, t) {
-                    duplo_core::LoadDecision::Miss => {
-                        du.record_fill(addr, 32, PhysReg((i % 1024) as u32), t);
-                    }
-                    _ => {}
-                }
-                if i % 64 == 0 {
-                    du.retire(LoadToken(i.saturating_sub(512)));
-                }
+fn bench_detection_unit() {
+    let g = Bench::group("table02");
+    g.bench("detection_unit_stream", || {
+        let mut du = DetectionUnit::new(&desc(), LhbConfig::paper_default(), 0);
+        for i in 0..4096u64 {
+            let addr = 0x1000_0000 + (i % 2048) * 32;
+            let t = LoadToken(i);
+            if let duplo_core::LoadDecision::Miss = du.probe_load(addr, 32, t) {
+                du.record_fill(addr, 32, PhysReg((i % 1024) as u32), t);
             }
-            black_box(du.lhb_stats().hits)
-        })
+            if i % 64 == 0 {
+                du.retire(LoadToken(i.saturating_sub(512)));
+            }
+        }
+        black_box(du.lhb_stats().hits);
     });
 }
 
-criterion_group!(
-    benches,
-    bench_idgen,
-    bench_lhb_sizes,
-    bench_lhb_assoc,
-    bench_detection_unit
-);
-criterion_main!(benches);
+fn main() {
+    bench_idgen();
+    bench_lhb_sizes();
+    bench_lhb_assoc();
+    bench_detection_unit();
+}

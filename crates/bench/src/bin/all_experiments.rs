@@ -12,7 +12,10 @@ fn main() {
     print!("{}", table02_workflow::render(&table02_workflow::run()));
     print!("{}", fig09_lhb_size::render(&fig09_lhb_size::run(&opts)));
     print!("{}", fig10_hit_rate::render(&fig10_hit_rate::run(&opts)));
-    print!("{}", fig11_mem_breakdown::render(&fig11_mem_breakdown::run(&opts)));
+    print!(
+        "{}",
+        fig11_mem_breakdown::render(&fig11_mem_breakdown::run(&opts))
+    );
     print!("{}", fig12_assoc::render(&fig12_assoc::run(&opts)));
     print!("{}", fig13_batch::render(&fig13_batch::run(&opts)));
     print!("{}", fig14_network::render(&fig14_network::run(&opts)));

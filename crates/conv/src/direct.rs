@@ -42,7 +42,11 @@ use duplo_tensor::Tensor4;
 /// ```
 pub fn convolve(params: &ConvParams, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
     assert_eq!(input.shape(), params.input, "input shape mismatch");
-    assert_eq!(filters.shape(), params.filter_shape(), "filter shape mismatch");
+    assert_eq!(
+        filters.shape(),
+        params.filter_shape(),
+        "filter shape mismatch"
+    );
 
     let out_shape = params.output_shape();
     let mut out = Tensor4::zeros(out_shape);

@@ -180,7 +180,11 @@ pub fn convolve(
 ) -> Result<Tensor4, ConvError> {
     check_applicable(params)?;
     assert_eq!(input.shape(), params.input, "input shape mismatch");
-    assert_eq!(filters.shape(), params.filter_shape(), "filter shape mismatch");
+    assert_eq!(
+        filters.shape(),
+        params.filter_shape(),
+        "filter shape mismatch"
+    );
 
     let s = transform_size(params);
     let (n_imgs, c_in, k_f) = (params.input.n, params.input.c, params.filters);
@@ -253,8 +257,7 @@ mod tests {
     use super::*;
     use crate::direct;
     use duplo_tensor::{Nhwc, approx_eq};
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use duplo_testkit::Rng;
 
     #[test]
     fn fft_inverse_round_trips() {
@@ -281,19 +284,20 @@ mod tests {
 
     #[test]
     fn fft_parseval() {
-        let data: Vec<Complex> = (0..32).map(|i| Complex::new((i % 5) as f64 - 2.0, 0.0)).collect();
+        let data: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i % 5) as f64 - 2.0, 0.0))
+            .collect();
         let time_energy: f64 = data.iter().map(|v| v.re * v.re + v.im * v.im).sum();
         let mut freq = data;
         fft_1d(&mut freq, false);
-        let freq_energy: f64 =
-            freq.iter().map(|v| v.re * v.re + v.im * v.im).sum::<f64>() / 32.0;
+        let freq_energy: f64 = freq.iter().map(|v| v.re * v.re + v.im * v.im).sum::<f64>() / 32.0;
         assert!((time_energy - freq_energy).abs() < 1e-9);
     }
 
     #[test]
     fn matches_direct_unpadded() {
         let p = ConvParams::new(Nhwc::new(1, 6, 6, 1), 1, 3, 3, 0, 1).unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let mut input = Tensor4::zeros(p.input);
         input.fill_random(&mut rng);
         let mut filters = Tensor4::zeros(p.filter_shape());
@@ -306,7 +310,7 @@ mod tests {
     #[test]
     fn matches_direct_padded_multichannel_multibatch() {
         let p = ConvParams::new(Nhwc::new(2, 7, 5, 3), 4, 3, 3, 1, 1).unwrap();
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Rng::seed_from_u64(12);
         let mut input = Tensor4::zeros(p.input);
         input.fill_random(&mut rng);
         let mut filters = Tensor4::zeros(p.filter_shape());
@@ -319,7 +323,7 @@ mod tests {
     #[test]
     fn matches_direct_5x5() {
         let p = ConvParams::new(Nhwc::new(1, 9, 9, 2), 2, 5, 5, 2, 1).unwrap();
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = Rng::seed_from_u64(13);
         let mut input = Tensor4::zeros(p.input);
         input.fill_random(&mut rng);
         let mut filters = Tensor4::zeros(p.filter_shape());
@@ -332,7 +336,14 @@ mod tests {
     #[test]
     fn stride_rejected() {
         let p = ConvParams::new(Nhwc::new(1, 8, 8, 1), 1, 3, 3, 1, 2).unwrap();
-        assert!(convolve(&p, &Tensor4::zeros(p.input), &Tensor4::zeros(p.filter_shape())).is_err());
+        assert!(
+            convolve(
+                &p,
+                &Tensor4::zeros(p.input),
+                &Tensor4::zeros(p.filter_shape())
+            )
+            .is_err()
+        );
     }
 
     #[test]

@@ -69,14 +69,10 @@ mod tests {
     use super::*;
     use crate::direct;
     use duplo_tensor::{Nhwc, approx_eq};
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use duplo_testkit::Rng;
 
-    fn random_case(
-        seed: u64,
-        params: &ConvParams,
-    ) -> (Tensor4, Tensor4) {
-        let mut rng = StdRng::seed_from_u64(seed);
+    fn random_case(seed: u64, params: &ConvParams) -> (Tensor4, Tensor4) {
+        let mut rng = Rng::seed_from_u64(seed);
         let mut input = Tensor4::zeros(params.input);
         input.fill_random(&mut rng);
         let mut filters = Tensor4::zeros(params.filter_shape());
@@ -97,10 +93,7 @@ mod tests {
             let (input, filters) = random_case(i as u64, p);
             let d = direct::convolve(p, &input, &filters);
             let g = convolve(p, &input, &filters);
-            assert!(
-                approx_eq(d.as_slice(), g.as_slice(), 1e-4),
-                "case {i}: {p}"
-            );
+            assert!(approx_eq(d.as_slice(), g.as_slice(), 1e-4), "case {i}: {p}");
         }
     }
 

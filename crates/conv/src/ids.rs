@@ -104,8 +104,7 @@ impl IdGen {
         let patch_col = col / self.fw_c;
         let patch_id = patch_row * self.stride + patch_col;
         let offset = patch_id * self.w_c;
-        let element =
-            (local_row % self.out_w) * self.c * self.stride + col % self.fw_c + offset;
+        let element = (local_row % self.out_w) * self.c * self.stride + col % self.fw_c + offset;
         WorkspaceId { batch, element }
     }
 
@@ -355,7 +354,10 @@ mod tests {
                 }
             }
         }
-        assert!(checked > 100, "expected plenty of duplicate segments, got {checked}");
+        assert!(
+            checked > 100,
+            "expected plenty of duplicate segments, got {checked}"
+        );
     }
 
     #[test]

@@ -80,10 +80,9 @@ impl LayerSpec {
         use crate::memuse::ConvMethod as M;
         match &self.kind {
             LayerKind::Conv(p) => method.applicable(p),
-            LayerKind::Transposed(_) => matches!(
-                method,
-                M::Direct | M::Gemm | M::GemmTc | M::ExplicitGemmTc
-            ),
+            LayerKind::Transposed(_) => {
+                matches!(method, M::Direct | M::Gemm | M::GemmTc | M::ExplicitGemmTc)
+            }
         }
     }
 

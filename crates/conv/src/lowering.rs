@@ -94,7 +94,11 @@ pub fn lower(params: &ConvParams, input: &Tensor4) -> Matrix {
 ///
 /// Panics if `filters` does not match `params.filter_shape()`.
 pub fn filter_matrix(params: &ConvParams, filters: &Tensor4) -> Matrix {
-    assert_eq!(filters.shape(), params.filter_shape(), "filter shape mismatch");
+    assert_eq!(
+        filters.shape(),
+        params.filter_shape(),
+        "filter shape mismatch"
+    );
     let (_, n, k) = params.gemm_dims();
     Matrix::from_fn(k, n, |col, kf| {
         let c = col % params.input.c;

@@ -112,7 +112,11 @@ pub fn bytes_used(method: ConvMethod, params: &ConvParams) -> Option<u64> {
             // U: 16 per (filter, channel); V: 16 per (tile, channel);
             // M: 16 per (tile, filter).
             let elems = 16 * (k * c + tiles * c + tiles * k);
-            let word = if method == ConvMethod::WinogradTc { F16B } else { F32 };
+            let word = if method == ConvMethod::WinogradTc {
+                F16B
+            } else {
+                F32
+            };
             base + elems * word
         }
         ConvMethod::Fft => {
@@ -164,8 +168,12 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         for layer in layers::all_layers() {
             let p = layer.lowered();
-            for m in [ConvMethod::Gemm, ConvMethod::GemmTc, ConvMethod::Winograd, ConvMethod::Fft]
-            {
+            for m in [
+                ConvMethod::Gemm,
+                ConvMethod::GemmTc,
+                ConvMethod::Winograd,
+                ConvMethod::Fft,
+            ] {
                 if let Some(r) = relative_usage(m, &p) {
                     *sums.entry(m.label()).or_insert(0.0) += r.ln();
                     *counts.entry(m.label()).or_insert(0u32) += 1;
@@ -202,7 +210,11 @@ mod tests {
             let p = layer.lowered();
             let imp = bytes_used(ConvMethod::GemmTc, &p).unwrap();
             let exp = bytes_used(ConvMethod::ExplicitGemmTc, &p).unwrap();
-            assert!(imp < exp, "{}: implicit {imp} !< explicit {exp}", layer.qualified_name());
+            assert!(
+                imp < exp,
+                "{}: implicit {imp} !< explicit {exp}",
+                layer.qualified_name()
+            );
         }
     }
 }

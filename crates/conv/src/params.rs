@@ -103,12 +103,21 @@ impl ConvParams {
         let ph = input.h + 2 * pad;
         let pw = input.w + 2 * pad;
         if fh > ph {
-            return Err(ConvError::FilterTooLarge { padded: ph, filter: fh });
+            return Err(ConvError::FilterTooLarge {
+                padded: ph,
+                filter: fh,
+            });
         }
         if fw > pw {
-            return Err(ConvError::FilterTooLarge { padded: pw, filter: fw });
+            return Err(ConvError::FilterTooLarge {
+                padded: pw,
+                filter: fw,
+            });
         }
-        assert!(filters > 0 && fh > 0 && fw > 0, "filter dims must be nonzero");
+        assert!(
+            filters > 0 && fh > 0 && fw > 0,
+            "filter dims must be nonzero"
+        );
         Ok(ConvParams {
             input,
             filters,
@@ -216,7 +225,10 @@ mod tests {
     fn invalid_params_are_rejected() {
         assert_eq!(
             ConvParams::new(Nhwc::new(1, 2, 2, 1), 1, 3, 3, 0, 1),
-            Err(ConvError::FilterTooLarge { padded: 2, filter: 3 })
+            Err(ConvError::FilterTooLarge {
+                padded: 2,
+                filter: 3
+            })
         );
         assert_eq!(
             ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 0),

@@ -126,7 +126,13 @@ pub fn upsample(params: &TransposedConvParams, input: &Tensor4) -> Tensor4 {
         for h in 0..params.input.h {
             for w in 0..params.input.w {
                 for c in 0..params.input.c {
-                    up.set(n, h * params.stride, w * params.stride, c, input.get(n, h, w, c));
+                    up.set(
+                        n,
+                        h * params.stride,
+                        w * params.stride,
+                        c,
+                        input.get(n, h, w, c),
+                    );
                 }
             }
         }
@@ -200,8 +206,7 @@ pub fn convolve_scatter(
 mod tests {
     use super::*;
     use duplo_tensor::approx_eq;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use duplo_testkit::Rng;
 
     #[test]
     fn gan_tc1_geometry() {
@@ -235,11 +240,10 @@ mod tests {
             TransposedConvParams::new(Nhwc::new(1, 6, 6, 3), 2, 3, 3, 0, 1).unwrap(),
         ];
         for (i, p) in cases.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(i as u64);
+            let mut rng = Rng::seed_from_u64(i as u64);
             let mut input = Tensor4::zeros(p.input);
             input.fill_random(&mut rng);
-            let mut filters =
-                Tensor4::zeros(Nhwc::new(p.filters, p.fh, p.fw, p.input.c));
+            let mut filters = Tensor4::zeros(Nhwc::new(p.filters, p.fh, p.fw, p.input.c));
             filters.fill_random(&mut rng);
             let a = convolve(p, &input, &filters);
             let b = convolve_scatter(p, &input, &filters);

@@ -1,15 +1,17 @@
 //! Property-based tests of the convolution substrate: every alternative
 //! convolution algorithm must agree with the direct reference on arbitrary
 //! valid shapes, and the §III identification math must stay sound.
+//!
+//! Runs on the hermetic `duplo_testkit::prop` runner; set `DUPLO_TEST_SEED`
+//! to reproduce a failure (the panic message prints the seed to use).
 
 use duplo_conv::{ConvParams, direct, fft, gemm, ids, lowering, winograd};
 use duplo_tensor::{Nhwc, Tensor4, approx_eq};
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use duplo_testkit::prop::check;
+use duplo_testkit::{Rng, require, require_eq};
 
 fn random_pair(p: &ConvParams, seed: u64) -> (Tensor4, Tensor4) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut input = Tensor4::zeros(p.input);
     input.fill_random(&mut rng);
     let mut filters = Tensor4::zeros(p.filter_shape());
@@ -17,135 +19,187 @@ fn random_pair(p: &ConvParams, seed: u64) -> (Tensor4, Tensor4) {
     (input, filters)
 }
 
-prop_compose! {
-    fn arb_conv()(
-        n in 1usize..3,
-        h in 3usize..10,
-        w in 3usize..10,
-        c in 1usize..5,
-        k in 1usize..5,
-        f in prop::sample::select(vec![1usize, 3, 5]),
-        pad in 0usize..3,
-        stride in 1usize..3,
-    ) -> Option<ConvParams> {
-        if h + 2 * pad < f || w + 2 * pad < f {
-            return None;
-        }
-        ConvParams::new(Nhwc::new(n, h, w, c), k, f, f, pad, stride).ok()
+/// Draws a valid convolution; `None` discards the attempt (the runner
+/// redraws), mirroring the old `prop_assume!` guard.
+fn arb_conv(rng: &mut Rng) -> Option<ConvParams> {
+    let n = rng.gen_range(1usize..3);
+    let h = rng.gen_range(3usize..10);
+    let w = rng.gen_range(3usize..10);
+    let c = rng.gen_range(1usize..5);
+    let k = rng.gen_range(1usize..5);
+    let f = [1usize, 3, 5][rng.gen_index(3)];
+    let pad = rng.gen_range(0usize..3);
+    let stride = rng.gen_range(1usize..3);
+    if h + 2 * pad < f || w + 2 * pad < f {
+        return None;
     }
+    ConvParams::new(Nhwc::new(n, h, w, c), k, f, f, pad, stride).ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn arb_conv_seeded(rng: &mut Rng) -> Option<(ConvParams, u64)> {
+    let p = arb_conv(rng)?;
+    let seed = rng.gen_range(0u64..1000);
+    Some((p, seed))
+}
 
-    #[test]
-    fn gemm_equals_direct(conv in arb_conv(), seed in 0u64..1000) {
-        prop_assume!(conv.is_some());
-        let p = conv.unwrap();
+#[test]
+fn gemm_equals_direct() {
+    check("gemm_equals_direct", 40, arb_conv_seeded, |&(p, seed)| {
         let (input, filters) = random_pair(&p, seed);
         let d = direct::convolve(&p, &input, &filters);
         let g = gemm::convolve(&p, &input, &filters);
-        prop_assert!(approx_eq(d.as_slice(), g.as_slice(), 1e-3), "{p}");
-    }
+        require!(approx_eq(d.as_slice(), g.as_slice(), 1e-3), "{p}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn implicit_equals_explicit(conv in arb_conv(), seed in 0u64..1000) {
-        prop_assume!(conv.is_some());
-        let p = conv.unwrap();
-        let (input, filters) = random_pair(&p, seed);
-        let e = gemm::convolve(&p, &input, &filters);
-        let i = gemm::convolve_implicit(&p, &input, &filters);
-        prop_assert!(approx_eq(e.as_slice(), i.as_slice(), 1e-3), "{p}");
-    }
+#[test]
+fn implicit_equals_explicit() {
+    check(
+        "implicit_equals_explicit",
+        40,
+        arb_conv_seeded,
+        |&(p, seed)| {
+            let (input, filters) = random_pair(&p, seed);
+            let e = gemm::convolve(&p, &input, &filters);
+            let i = gemm::convolve_implicit(&p, &input, &filters);
+            require!(approx_eq(e.as_slice(), i.as_slice(), 1e-3), "{p}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn winograd_equals_direct_when_applicable(conv in arb_conv(), seed in 0u64..1000) {
-        prop_assume!(conv.is_some());
-        let p = conv.unwrap();
-        prop_assume!(winograd::check_applicable(&p).is_ok());
-        let (input, filters) = random_pair(&p, seed);
-        let d = direct::convolve(&p, &input, &filters);
-        let w = winograd::convolve(&p, &input, &filters).unwrap();
-        prop_assert!(approx_eq(d.as_slice(), w.as_slice(), 1e-2), "{p}");
-    }
+#[test]
+fn winograd_equals_direct_when_applicable() {
+    check(
+        "winograd_equals_direct_when_applicable",
+        40,
+        |rng| {
+            let (p, seed) = arb_conv_seeded(rng)?;
+            winograd::check_applicable(&p).ok()?;
+            Some((p, seed))
+        },
+        |&(p, seed)| {
+            let (input, filters) = random_pair(&p, seed);
+            let d = direct::convolve(&p, &input, &filters);
+            let w = winograd::convolve(&p, &input, &filters).unwrap();
+            require!(approx_eq(d.as_slice(), w.as_slice(), 1e-2), "{p}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn fft_equals_direct_when_applicable(conv in arb_conv(), seed in 0u64..1000) {
-        prop_assume!(conv.is_some());
-        let p = conv.unwrap();
-        prop_assume!(fft::check_applicable(&p).is_ok());
-        let (input, filters) = random_pair(&p, seed);
-        let d = direct::convolve(&p, &input, &filters);
-        let f = fft::convolve(&p, &input, &filters).unwrap();
-        prop_assert!(approx_eq(d.as_slice(), f.as_slice(), 1e-2), "{p}");
-    }
+#[test]
+fn fft_equals_direct_when_applicable() {
+    check(
+        "fft_equals_direct_when_applicable",
+        40,
+        |rng| {
+            let (p, seed) = arb_conv_seeded(rng)?;
+            fft::check_applicable(&p).ok()?;
+            Some((p, seed))
+        },
+        |&(p, seed)| {
+            let (input, filters) = random_pair(&p, seed);
+            let d = direct::convolve(&p, &input, &filters);
+            let f = fft::convolve(&p, &input, &filters).unwrap();
+            require!(approx_eq(d.as_slice(), f.as_slice(), 1e-2), "{p}");
+            Ok(())
+        },
+    );
+}
 
-    /// Equal (batch, element) IDs imply equal workspace values, for
-    /// arbitrary valid convolutions and arbitrary input data.
-    #[test]
-    fn equal_ids_imply_equal_values(conv in arb_conv(), seed in 0u64..1000) {
-        prop_assume!(conv.is_some());
-        let p = conv.unwrap();
-        let (input, _) = random_pair(&p, seed);
-        let ws = lowering::lower(&p, &input);
-        let gen = ids::IdGen::from_conv(&p);
-        let (m, _, k) = p.gemm_dims();
-        let mut seen = std::collections::HashMap::new();
-        for row in 0..m {
-            for col in 0..k {
-                let id = gen.id((row * k + col) as u64);
-                let v = ws[(row, col)];
-                if let Some(&prev) = seen.get(&(id.batch, id.element)) {
-                    let prev: f32 = prev;
-                    prop_assert_eq!(prev, v, "{} at ({}, {})", p, row, col);
-                } else {
-                    seen.insert((id.batch, id.element), v);
-                }
+/// Equal (batch, element) IDs imply equal workspace values, for arbitrary
+/// valid convolutions and arbitrary input data.
+fn check_equal_ids_imply_equal_values(p: &ConvParams, seed: u64) -> Result<(), String> {
+    let (input, _) = random_pair(p, seed);
+    let ws = lowering::lower(p, &input);
+    let gen = ids::IdGen::from_conv(p);
+    let (m, _, k) = p.gemm_dims();
+    let mut seen = std::collections::HashMap::new();
+    for row in 0..m {
+        for col in 0..k {
+            let id = gen.id((row * k + col) as u64);
+            let v = ws[(row, col)];
+            if let Some(&prev) = seen.get(&(id.batch, id.element)) {
+                let prev: f32 = prev;
+                require_eq!(prev, v, "{} at ({}, {})", p, row, col);
+            } else {
+                seen.insert((id.batch, id.element), v);
             }
         }
-        // The number of distinct IDs never exceeds the padded footprint.
-        let padded = p.input.n
-            * (p.input.h + 2 * p.pad)
-            * (p.input.w + 2 * p.pad)
-            * p.input.c;
-        prop_assert!(seen.len() <= padded, "{}: {} ids > {} padded", p, seen.len(), padded);
     }
+    // The number of distinct IDs never exceeds the padded footprint.
+    let padded = p.input.n * (p.input.h + 2 * p.pad) * (p.input.w + 2 * p.pad) * p.input.c;
+    require!(
+        seen.len() <= padded,
+        "{}: {} ids > {} padded",
+        p,
+        seen.len(),
+        padded
+    );
+    Ok(())
+}
 
-    /// The census is internally consistent and batch-linear.
-    #[test]
-    fn census_invariants(conv in arb_conv()) {
-        prop_assume!(conv.is_some());
-        let p = conv.unwrap();
-        let c = ids::census(&p, 16);
-        prop_assert!(c.unique_elements <= c.total_elements);
-        prop_assert!(c.unique_segments + c.bypass_segments <= c.total_segments);
-        prop_assert!((0.0..=1.0).contains(&c.element_dup_ratio()));
-        prop_assert!((0.0..=1.0).contains(&c.max_hit_rate()));
-    }
+#[test]
+fn equal_ids_imply_equal_values() {
+    check(
+        "equal_ids_imply_equal_values",
+        40,
+        arb_conv_seeded,
+        |&(p, seed)| check_equal_ids_imply_equal_values(&p, seed),
+    );
+}
 
-    /// Lowered GEMM output equals direct output element-for-element when
-    /// reshaped (layout invariant of output_from_gemm).
-    #[test]
-    fn output_reshape_is_layout_faithful(conv in arb_conv(), seed in 0u64..1000) {
-        prop_assume!(conv.is_some());
-        let p = conv.unwrap();
-        let (input, filters) = random_pair(&p, seed);
-        let d = direct::convolve(&p, &input, &filters);
-        let ws = lowering::lower(&p, &input);
-        let fm = lowering::filter_matrix(&p, &filters);
-        let prod = ws.matmul(&fm);
-        let out = lowering::output_from_gemm(&p, &prod);
-        let shape = p.output_shape();
-        for n in 0..shape.n {
-            for oh in [0, shape.h - 1] {
-                for ow in [0, shape.w - 1] {
-                    for k in 0..shape.c {
-                        let got: f32 = out.get(n, oh, ow, k);
-                        let want = d.get(n, oh, ow, k);
-                        prop_assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0));
+/// Regression ported from the retired proptest corpus: a 1x1 filter with
+/// pad 2 exercises workspace rows whose padded taps never touch the input.
+#[test]
+fn regression_pad_exceeds_filter() {
+    let p = ConvParams::new(Nhwc::new(1, 3, 7, 1), 1, 1, 1, 2, 1).unwrap();
+    check_equal_ids_imply_equal_values(&p, 0).unwrap();
+}
+
+/// The census is internally consistent and batch-linear.
+#[test]
+fn census_invariants() {
+    check("census_invariants", 40, arb_conv, |p| {
+        let c = ids::census(p, 16);
+        require!(c.unique_elements <= c.total_elements);
+        require!(c.unique_segments + c.bypass_segments <= c.total_segments);
+        require!((0.0..=1.0).contains(&c.element_dup_ratio()));
+        require!((0.0..=1.0).contains(&c.max_hit_rate()));
+        Ok(())
+    });
+}
+
+/// Lowered GEMM output equals direct output element-for-element when
+/// reshaped (layout invariant of output_from_gemm).
+#[test]
+fn output_reshape_is_layout_faithful() {
+    check(
+        "output_reshape_is_layout_faithful",
+        40,
+        arb_conv_seeded,
+        |&(p, seed)| {
+            let (input, filters) = random_pair(&p, seed);
+            let d = direct::convolve(&p, &input, &filters);
+            let ws = lowering::lower(&p, &input);
+            let fm = lowering::filter_matrix(&p, &filters);
+            let prod = ws.matmul(&fm);
+            let out = lowering::output_from_gemm(&p, &prod);
+            let shape = p.output_shape();
+            for n in 0..shape.n {
+                for oh in [0, shape.h - 1] {
+                    for ow in [0, shape.w - 1] {
+                        for k in 0..shape.c {
+                            let got: f32 = out.get(n, oh, ow, k);
+                            let want = d.get(n, oh, ow, k);
+                            require!((got - want).abs() <= 1e-3 * want.abs().max(1.0));
+                        }
                     }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -216,7 +216,10 @@ mod tests {
         du.record_fill(addr_of(2), 2, PhysReg(2), t1);
 
         // Inst 2: wmma.load.b [%r21] outside the workspace: bypass.
-        assert_eq!(du.probe_load(0x80_0000, 2, LoadToken(2)), LoadDecision::Bypass);
+        assert_eq!(
+            du.probe_load(0x80_0000, 2, LoadToken(2)),
+            LoadDecision::Bypass
+        );
 
         // Inst 3: wmma.load.a [%r14] -> array_idx 10, element 2: hit,
         // register reuse (%r3 -> %p2).
@@ -259,7 +262,10 @@ mod tests {
         du.record_fill(0x1000 + 2 * 2, 2, PhysReg(2), t1);
         du.retire(t1);
         // array_idx 10 has the same element ID but the entry is gone.
-        assert_eq!(du.probe_load(0x1000 + 10 * 2, 2, LoadToken(2)), LoadDecision::Miss);
+        assert_eq!(
+            du.probe_load(0x1000 + 10 * 2, 2, LoadToken(2)),
+            LoadDecision::Miss
+        );
     }
 
     #[test]

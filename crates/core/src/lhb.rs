@@ -167,8 +167,16 @@ impl Lhb {
     /// # Panics
     ///
     /// Panics if a bounded configuration has zero entries, non-power-of-two
-    /// entry count, or `ways` not dividing `entries`.
+    /// entry count, or `ways` not dividing `entries`; also panics on
+    /// `oracle` combined with `addr_match_only` (an infinite WIR buffer is
+    /// not a configuration the paper defines — the oracle models unlimited
+    /// *ID-matched* reuse, while WIR deliberately restricts matching to raw
+    /// addresses).
     pub fn new(config: LhbConfig) -> Lhb {
+        assert!(
+            !(config.oracle && config.addr_match_only),
+            "oracle LHB cannot use WIR address matching (oracle + addr_match_only)"
+        );
         if !config.oracle {
             assert!(config.entries > 0, "LHB needs at least one entry");
             assert!(
@@ -526,8 +534,14 @@ mod tests {
     #[test]
     fn batch_id_disambiguates_images() {
         let mut lhb = Lhb::new(LhbConfig::direct_mapped(16));
-        let a = SegmentKey { element: 4, batch: 0 };
-        let b = SegmentKey { element: 4, batch: 1 };
+        let a = SegmentKey {
+            element: 4,
+            batch: 0,
+        };
+        let b = SegmentKey {
+            element: 4,
+            batch: 1,
+        };
         let t = LoadToken(1);
         lhb.probe(a, 0, t);
         lhb.allocate(a, 0, PhysReg(3), t);
@@ -538,6 +552,34 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_entries_rejected() {
         let _ = Lhb::new(LhbConfig::direct_mapped(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Lhb::new(LhbConfig::direct_mapped(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide entries")]
+    fn ways_not_dividing_entries_rejected() {
+        let _ = Lhb::new(LhbConfig::set_associative(16, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide entries")]
+    fn zero_ways_rejected() {
+        let _ = Lhb::new(LhbConfig::set_associative(16, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle + addr_match_only")]
+    fn oracle_wir_combination_rejected() {
+        let config = LhbConfig {
+            addr_match_only: true,
+            ..LhbConfig::oracle()
+        };
+        let _ = Lhb::new(config);
     }
 
     #[test]

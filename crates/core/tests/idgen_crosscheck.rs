@@ -1,14 +1,16 @@
 //! Cross-checks the hardware shift/mask ID generator (`duplo_core::HwIdGen`)
 //! against the reference implementation (`duplo_conv::ids::IdGen`) and
 //! against ground-truth workspace values.
+//!
+//! Runs on the hermetic `duplo_testkit::prop` runner; set `DUPLO_TEST_SEED`
+//! to reproduce a failure (the panic message prints the seed to use).
 
 use duplo_conv::{ConvParams, ids, lowering};
-use duplo_core::{HwIdGen, LhbConfig, LoadDecision, DetectionUnit, LoadToken, PhysReg};
+use duplo_core::{DetectionUnit, HwIdGen, LhbConfig, LoadDecision, LoadToken, PhysReg};
 use duplo_isa::WorkspaceDesc;
 use duplo_tensor::{Nhwc, Tensor4};
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use duplo_testkit::prop::check;
+use duplo_testkit::{Rng, require, require_eq};
 
 const BASE: u64 = 0x10_0000;
 
@@ -30,7 +32,7 @@ fn desc_of(p: &ConvParams) -> WorkspaceDesc {
     }
 }
 
-fn crosscheck(p: &ConvParams) {
+fn crosscheck(p: &ConvParams) -> Result<(), String> {
     let hw = HwIdGen::new(&desc_of(p));
     let sw = ids::IdGen::from_conv(p);
     let total = p.workspace_len() as u64;
@@ -38,15 +40,24 @@ fn crosscheck(p: &ConvParams) {
         let addr = BASE + idx * 2;
         let hw_key = hw.key(addr, 2).expect("element load always contiguous");
         let sw_id = sw.id(idx);
-        assert_eq!(hw_key.batch, sw_id.batch, "batch mismatch at idx {idx} in {p}");
-        assert_eq!(hw_key.element, sw_id.element, "element mismatch at idx {idx} in {p}");
+        require_eq!(
+            hw_key.batch,
+            sw_id.batch,
+            "batch mismatch at idx {idx} in {p}"
+        );
+        require_eq!(
+            hw_key.element,
+            sw_id.element,
+            "element mismatch at idx {idx} in {p}"
+        );
         // Segment keys must agree too (including bypass decisions).
         for len in [2u64, 8, 16] {
             let hk = hw.key(addr, len * 2).map(|k| (k.batch, k.element));
             let sk = sw.segment_id(idx, len).map(|k| (k.batch, k.element));
-            assert_eq!(hk, sk, "segment key mismatch at idx {idx} len {len} in {p}");
+            require_eq!(hk, sk, "segment key mismatch at idx {idx} len {len} in {p}");
         }
     }
+    Ok(())
 }
 
 #[test]
@@ -58,96 +69,128 @@ fn hw_matches_reference_on_table1_like_shapes() {
         ConvParams::new(Nhwc::new(1, 16, 16, 2), 2, 5, 5, 2, 2).unwrap(),
         ConvParams::new(Nhwc::new(1, 14, 10, 3), 2, 7, 7, 3, 2).unwrap(),
     ] {
-        crosscheck(&p);
+        crosscheck(&p).unwrap();
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Randomized cross-check over arbitrary small convolutions.
+#[test]
+fn hw_matches_reference_random() {
+    check(
+        "hw_matches_reference_random",
+        48,
+        |rng| {
+            let n = rng.gen_range(1usize..3);
+            let h = rng.gen_range(3usize..12);
+            let w = rng.gen_range(3usize..12);
+            let c = rng.gen_range(1usize..6);
+            let f = [1usize, 3, 5][rng.gen_index(3)];
+            let pad = rng.gen_range(0usize..3);
+            let stride = rng.gen_range(1usize..3);
+            if h + 2 * pad < f || w + 2 * pad < f {
+                return None;
+            }
+            ConvParams::new(Nhwc::new(n, h, w, c), 2, f, f, pad, stride).ok()
+        },
+        |p| crosscheck(p),
+    );
+}
 
-    /// Randomized cross-check over arbitrary small convolutions.
-    #[test]
-    fn hw_matches_reference_random(
-        n in 1usize..3,
-        h in 3usize..12,
-        w in 3usize..12,
-        c in 1usize..6,
-        f in prop::sample::select(vec![1usize, 3, 5]),
-        pad in 0usize..3,
-        stride in 1usize..3,
-    ) {
-        prop_assume!(h + 2 * pad >= f && w + 2 * pad >= f);
-        let p = ConvParams::new(Nhwc::new(n, h, w, c), 2, f, f, pad, stride).unwrap();
-        crosscheck(&p);
-    }
+/// End-to-end semantic soundness: run a mini detection unit over every
+/// 1-element workspace load in order; every HIT's recorded register must
+/// hold exactly the value the load would have fetched.
+fn check_detection_hits(
+    seed: u64,
+    h: usize,
+    c: usize,
+    pad: usize,
+    stride: usize,
+) -> Result<(), String> {
+    let p = ConvParams::new(Nhwc::new(2, h, h, c), 2, 3, 3, pad, stride)
+        .map_err(|e| format!("invalid params: {e:?}"))?;
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut input = Tensor4::zeros(p.input);
+    input.fill_random(&mut rng);
+    let ws = lowering::lower(&p, &input);
 
-    /// End-to-end semantic soundness: run a mini detection unit over every
-    /// 1-element workspace load in order; every HIT's recorded register
-    /// must hold exactly the value the load would have fetched.
-    #[test]
-    fn detection_hits_are_value_correct(
-        seed in 0u64..50,
-        h in 4usize..10,
-        c in 1usize..4,
-        pad in 0usize..2,
-        stride in 1usize..3,
-    ) {
-        prop_assume!(h + 2 * pad >= 3);
-        let p = ConvParams::new(Nhwc::new(2, h, h, c), 2, 3, 3, pad, stride).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut input = Tensor4::zeros(p.input);
-        input.fill_random(&mut rng);
-        let ws = lowering::lower(&p, &input);
-
-        let mut du = DetectionUnit::new(&desc_of(&p), LhbConfig::direct_mapped(256), 0);
-        // regfile[preg] = value deposited by the miss load.
-        let mut regfile: Vec<f32> = Vec::new();
-        let (m, _, k) = p.gemm_dims();
-        let mut token = 0u64;
-        // Retirement window: duplicates of an element are roughly one
-        // workspace row apart in scan order, so keep entries alive for two
-        // rows' worth of loads.
-        let window = (2 * p.gemm_dims().2) as u64;
-        let mut live: Vec<(LoadToken, u64)> = Vec::new(); // retire after a delay
-        let mut hits = 0u64;
-        for row in 0..m {
-            for col in 0..k {
-                token += 1;
-                let t = LoadToken(token);
-                let addr = BASE + ((row * k + col) as u64) * 2;
-                let truth = ws[(row, col)];
-                match du.probe_load(addr, 2, t) {
-                    LoadDecision::Hit { preg } => {
-                        prop_assert_eq!(
-                            regfile[preg.0 as usize], truth,
-                            "renamed register holds the wrong value"
-                        );
-                        hits += 1;
-                        live.push((t, token + window));
-                    }
-                    LoadDecision::Miss => {
-                        let preg = PhysReg(regfile.len() as u32);
-                        regfile.push(truth);
-                        du.record_fill(addr, 2, preg, t);
-                        live.push((t, token + window));
-                    }
-                    LoadDecision::Bypass => {}
+    let mut du = DetectionUnit::new(&desc_of(&p), LhbConfig::direct_mapped(256), 0);
+    // regfile[preg] = value deposited by the miss load.
+    let mut regfile: Vec<f32> = Vec::new();
+    let (m, _, k) = p.gemm_dims();
+    let mut token = 0u64;
+    // Retirement window: duplicates of an element are roughly one workspace
+    // row apart in scan order, so keep entries alive for two rows' worth of
+    // loads.
+    let window = (2 * p.gemm_dims().2) as u64;
+    let mut live: Vec<(LoadToken, u64)> = Vec::new(); // retire after a delay
+    let mut hits = 0u64;
+    for row in 0..m {
+        for col in 0..k {
+            token += 1;
+            let t = LoadToken(token);
+            let addr = BASE + ((row * k + col) as u64) * 2;
+            let truth = ws[(row, col)];
+            match du.probe_load(addr, 2, t) {
+                LoadDecision::Hit { preg } => {
+                    require_eq!(
+                        regfile[preg.0 as usize],
+                        truth,
+                        "renamed register holds the wrong value"
+                    );
+                    hits += 1;
+                    live.push((t, token + window));
                 }
-                // Retire loads whose window has passed.
-                while let Some(&(lt, when)) = live.first() {
-                    if when <= token {
-                        du.retire(lt);
-                        live.remove(0);
-                    } else {
-                        break;
-                    }
+                LoadDecision::Miss => {
+                    let preg = PhysReg(regfile.len() as u32);
+                    regfile.push(truth);
+                    du.record_fill(addr, 2, preg, t);
+                    live.push((t, token + window));
+                }
+                LoadDecision::Bypass => {}
+            }
+            // Retire loads whose window has passed.
+            while let Some(&(lt, when)) = live.first() {
+                if when <= token {
+                    du.retire(lt);
+                    live.remove(0);
+                } else {
+                    break;
                 }
             }
         }
-        // With a short retirement window, unit-stride cases must still find
-        // some nearby duplicates (intra-row reuse distance is small).
-        if stride == 1 && pad == 0 {
-            prop_assert!(hits > 0, "expected some hits for unit stride");
-        }
     }
+    // With a short retirement window, unit-stride cases must still find some
+    // nearby duplicates (intra-row reuse distance is small).
+    if stride == 1 && pad == 0 {
+        require!(hits > 0, "expected some hits for unit stride");
+    }
+    Ok(())
+}
+
+#[test]
+fn detection_hits_are_value_correct() {
+    check(
+        "detection_hits_are_value_correct",
+        48,
+        |rng| {
+            let seed = rng.gen_range(0u64..50);
+            let h = rng.gen_range(4usize..10);
+            let c = rng.gen_range(1usize..4);
+            let pad = rng.gen_range(0usize..2);
+            let stride = rng.gen_range(1usize..3);
+            if h + 2 * pad < 3 {
+                return None;
+            }
+            Some((seed, h, c, pad, stride))
+        },
+        |&(seed, h, c, pad, stride)| check_detection_hits(seed, h, c, pad, stride),
+    );
+}
+
+/// Regressions ported from the retired proptest corpus
+/// (`idgen_crosscheck.proptest-regressions`).
+#[test]
+fn regression_detection_hits_small_shapes() {
+    check_detection_hits(0, 4, 2, 0, 1).unwrap();
+    check_detection_hits(0, 5, 1, 0, 1).unwrap();
 }

@@ -2,9 +2,13 @@
 //! allocations, retirements and store invalidations must preserve the
 //! buffer's invariants and never lose or duplicate a physical-register
 //! reference.
+//!
+//! Runs on the hermetic `duplo_testkit::prop` runner; set `DUPLO_TEST_SEED`
+//! to reproduce a failure (the panic message prints the seed to use).
 
 use duplo_core::{Lhb, LhbConfig, LoadToken, PhysReg, SegmentKey};
-use proptest::prelude::*;
+use duplo_testkit::Rng;
+use duplo_testkit::prop::check;
 use std::collections::HashSet;
 
 #[derive(Clone, Debug)]
@@ -14,15 +18,28 @@ enum Action {
     Store { element: u64, batch: u64 },
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u64..64, 0u64..2).prop_map(|(element, batch)| Action::ProbeOrAlloc { element, batch }),
-        (0usize..512).prop_map(|token_ix| Action::Retire { token_ix }),
-        (0u64..64, 0u64..2).prop_map(|(element, batch)| Action::Store { element, batch }),
-    ]
+fn arb_action(rng: &mut Rng) -> Action {
+    match rng.gen_index(3) {
+        0 => Action::ProbeOrAlloc {
+            element: rng.gen_range(0u64..64),
+            batch: rng.gen_range(0u64..2),
+        },
+        1 => Action::Retire {
+            token_ix: rng.gen_range(0usize..512),
+        },
+        _ => Action::Store {
+            element: rng.gen_range(0u64..64),
+            batch: rng.gen_range(0u64..2),
+        },
+    }
 }
 
-fn run_fuzz(config: LhbConfig, actions: &[Action]) {
+fn arb_actions(rng: &mut Rng) -> Option<Vec<Action>> {
+    let len = rng.gen_range(1usize..300);
+    Some((0..len).map(|_| arb_action(rng)).collect())
+}
+
+fn run_fuzz(config: LhbConfig, actions: &[Action]) -> Result<(), String> {
     let mut lhb = Lhb::new(config);
     let mut next_token = 0u64;
     let mut next_preg = 0u32;
@@ -43,7 +60,7 @@ fn run_fuzz(config: LhbConfig, actions: &[Action]) {
                 tokens.push(t);
                 match lhb.probe(key, 0, t) {
                     Some(preg) => {
-                        assert!(
+                        duplo_testkit::require!(
                             lhb_owned.contains(&preg.0),
                             "hit returned a register the LHB does not own"
                         );
@@ -52,19 +69,22 @@ fn run_fuzz(config: LhbConfig, actions: &[Action]) {
                         let preg = PhysReg(next_preg);
                         next_preg += 1;
                         if let Some(evicted) = lhb.allocate(key, 0, preg, t) {
-                            assert!(
+                            duplo_testkit::require!(
                                 lhb_owned.remove(&evicted.0),
                                 "evicted register was not owned"
                             );
                         }
-                        assert!(lhb_owned.insert(preg.0), "double-own on allocate");
+                        duplo_testkit::require!(lhb_owned.insert(preg.0), "double-own on allocate");
                     }
                 }
             }
             Action::Retire { token_ix } => {
                 if let Some(&t) = tokens.get(*token_ix) {
                     if let Some(released) = lhb.retire(t) {
-                        assert!(lhb_owned.remove(&released.0), "released unowned register");
+                        duplo_testkit::require!(
+                            lhb_owned.remove(&released.0),
+                            "released unowned register"
+                        );
                     }
                 }
             }
@@ -74,41 +94,49 @@ fn run_fuzz(config: LhbConfig, actions: &[Action]) {
                     batch: *batch,
                 };
                 if let Some(released) = lhb.store_invalidate(key, 0) {
-                    assert!(lhb_owned.remove(&released.0), "invalidated unowned register");
+                    duplo_testkit::require!(
+                        lhb_owned.remove(&released.0),
+                        "invalidated unowned register"
+                    );
                 }
             }
         }
-        assert_eq!(
+        duplo_testkit::require_eq!(
             lhb.occupancy(),
             lhb_owned.len(),
             "occupancy must equal outstanding references"
         );
         if !config.oracle {
-            assert!(lhb.occupancy() <= config.entries);
+            duplo_testkit::require!(lhb.occupancy() <= config.entries);
         }
     }
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn direct_mapped_invariants() {
+    check("direct_mapped_invariants", 64, arb_actions, |actions| {
+        run_fuzz(LhbConfig::direct_mapped(16), actions)
+    });
+}
 
-    #[test]
-    fn direct_mapped_invariants(actions in prop::collection::vec(arb_action(), 1..300)) {
-        run_fuzz(LhbConfig::direct_mapped(16), &actions);
-    }
+#[test]
+fn set_associative_invariants() {
+    check("set_associative_invariants", 64, arb_actions, |actions| {
+        run_fuzz(LhbConfig::set_associative(16, 4), actions)
+    });
+}
 
-    #[test]
-    fn set_associative_invariants(actions in prop::collection::vec(arb_action(), 1..300)) {
-        run_fuzz(LhbConfig::set_associative(16, 4), &actions);
-    }
+#[test]
+fn oracle_invariants() {
+    check("oracle_invariants", 64, arb_actions, |actions| {
+        run_fuzz(LhbConfig::oracle(), actions)
+    });
+}
 
-    #[test]
-    fn oracle_invariants(actions in prop::collection::vec(arb_action(), 1..300)) {
-        run_fuzz(LhbConfig::oracle(), &actions);
-    }
-
-    #[test]
-    fn wir_invariants(actions in prop::collection::vec(arb_action(), 1..300)) {
-        run_fuzz(LhbConfig::wir(16), &actions);
-    }
+#[test]
+fn wir_invariants() {
+    check("wir_invariants", 64, arb_actions, |actions| {
+        run_fuzz(LhbConfig::wir(16), actions)
+    });
 }

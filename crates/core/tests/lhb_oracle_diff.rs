@@ -1,0 +1,169 @@
+//! Differential test: a finite LHB versus an exhaustive infinite-map
+//! oracle, over the real load stream of lowered convolutions.
+//!
+//! The oracle is a plain `HashMap` keyed by `(batch, element)` that never
+//! evicts — the ground-truth upper bound on eliminable loads. For every
+//! finite configuration:
+//!
+//! * every finite-LHB **hit** must be a hit in the oracle too (a finite
+//!   buffer can only forget, never invent duplicates), and the hit must be
+//!   a *true duplicate*: the workspace entry reads the same source input
+//!   coordinate (per `duplo_conv::lowering::source_coord`) as the entry
+//!   that allocated the register;
+//! * total finite hits never exceed oracle hits;
+//! * the `LhbConfig::oracle()` buffer exactly reproduces the infinite map
+//!   (same hit on every load) when entries live forever.
+
+use duplo_conv::{ConvParams, ids, lowering};
+use duplo_core::{Lhb, LhbConfig, LoadToken, PhysReg};
+use duplo_tensor::Nhwc;
+use duplo_testkit::Rng;
+use duplo_testkit::prop::Config;
+use std::collections::HashMap;
+
+/// Drives one LHB over the element-granularity load stream of `p` without
+/// retirement (entries live forever, isolating capacity effects), checking
+/// every hit against the infinite-map oracle and source-coordinate ground
+/// truth. Returns (finite_hits, oracle_hits).
+fn diff_against_oracle(p: &ConvParams, config: LhbConfig) -> (u64, u64) {
+    let gen = ids::IdGen::from_conv(p);
+    let (m, _, k) = p.gemm_dims();
+
+    let mut lhb = Lhb::new(config);
+    // preg -> (row, col) of the load that allocated it.
+    let mut preg_source: Vec<(usize, usize)> = Vec::new();
+    // The oracle: first occurrence of each (batch, element), never evicted.
+    let mut oracle: HashMap<(u64, u64), (usize, usize)> = HashMap::new();
+    let mut finite_hits = 0u64;
+    let mut oracle_hits = 0u64;
+    let mut token = 0u64;
+
+    for row in 0..m {
+        for col in 0..k {
+            token += 1;
+            let t = LoadToken(token);
+            let id = gen.id((row * k + col) as u64);
+            let key = duplo_core::SegmentKey {
+                element: id.element,
+                batch: id.batch,
+            };
+            let first = oracle.get(&(id.batch, id.element)).copied();
+            if first.is_some() {
+                oracle_hits += 1;
+            } else {
+                oracle.insert((id.batch, id.element), (row, col));
+            }
+            match lhb.probe(key, 0, t) {
+                Some(preg) => {
+                    finite_hits += 1;
+                    let (orow, ocol) = preg_source[preg.0 as usize];
+                    // A finite hit must be an oracle duplicate...
+                    assert!(
+                        first.is_some(),
+                        "finite LHB hit on first occurrence of ({}, {}) in {p}",
+                        id.batch,
+                        id.element
+                    );
+                    // ...and a true duplicate: same source input coordinate.
+                    assert_eq!(
+                        lowering::source_coord(p, orow, ocol),
+                        lowering::source_coord(p, row, col),
+                        "LHB hit renames a non-duplicate: ({orow},{ocol}) vs ({row},{col}) in {p}"
+                    );
+                }
+                None => {
+                    let preg = PhysReg(preg_source.len() as u32);
+                    preg_source.push((row, col));
+                    lhb.allocate(key, 0, preg, t);
+                }
+            }
+        }
+    }
+    assert!(
+        finite_hits <= oracle_hits,
+        "finite LHB ({}) out-hit the oracle: {finite_hits} > {oracle_hits} in {p}",
+        config.label()
+    );
+    (finite_hits, oracle_hits)
+}
+
+fn configs() -> [LhbConfig; 5] {
+    [
+        LhbConfig::direct_mapped(16),
+        LhbConfig::direct_mapped(256),
+        LhbConfig::set_associative(64, 4),
+        LhbConfig::wir(64),
+        LhbConfig::oracle(),
+    ]
+}
+
+#[test]
+fn finite_lhb_never_beats_oracle_on_fixed_shapes() {
+    for p in [
+        ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1).unwrap(),
+        ConvParams::new(Nhwc::new(2, 8, 8, 4), 2, 3, 3, 1, 1).unwrap(),
+        ConvParams::new(Nhwc::new(1, 9, 9, 2), 1, 3, 3, 0, 2).unwrap(),
+        ConvParams::new(Nhwc::new(1, 12, 10, 3), 2, 5, 5, 2, 2).unwrap(),
+    ] {
+        for config in configs() {
+            diff_against_oracle(&p, config);
+        }
+    }
+}
+
+/// The infinite-capacity `Lhb` must reproduce the infinite map exactly:
+/// with entries living forever, it hits on precisely the duplicates.
+#[test]
+fn oracle_config_matches_infinite_map_exactly() {
+    for p in [
+        ConvParams::new(Nhwc::new(1, 6, 6, 2), 1, 3, 3, 1, 1).unwrap(),
+        ConvParams::new(Nhwc::new(2, 7, 5, 3), 2, 3, 3, 0, 1).unwrap(),
+        ConvParams::new(Nhwc::new(1, 10, 10, 1), 1, 5, 5, 2, 2).unwrap(),
+    ] {
+        let (finite, oracle) = diff_against_oracle(&p, LhbConfig::oracle());
+        assert_eq!(
+            finite, oracle,
+            "oracle-config LHB must hit on every duplicate in {p}"
+        );
+    }
+}
+
+/// Capacity is monotone: a larger direct-mapped buffer never hits less on
+/// the same stream (both bounded by the oracle).
+#[test]
+fn hits_grow_with_capacity() {
+    let p = ConvParams::new(Nhwc::new(1, 14, 14, 2), 2, 3, 3, 1, 1).unwrap();
+    let (small, _) = diff_against_oracle(&p, LhbConfig::direct_mapped(16));
+    let (large, oracle) = diff_against_oracle(&p, LhbConfig::direct_mapped(1024));
+    assert!(
+        small <= large && large <= oracle,
+        "expected {small} <= {large} <= {oracle}"
+    );
+}
+
+#[test]
+fn randomized_shapes_against_oracle() {
+    // Honors DUPLO_TEST_SEED like the prop runner, so a failing shape is
+    // reproducible from the printed configuration alone.
+    let seed = Config::from_env(24).seed;
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut checked = 0;
+    while checked < 24 {
+        let n = rng.gen_range(1usize..3);
+        let h = rng.gen_range(3usize..10);
+        let w = rng.gen_range(3usize..10);
+        let c = rng.gen_range(1usize..4);
+        let f = [1usize, 3, 5][rng.gen_index(3)];
+        let pad = rng.gen_range(0usize..3);
+        let stride = rng.gen_range(1usize..3);
+        if h + 2 * pad < f || w + 2 * pad < f {
+            continue;
+        }
+        let Ok(p) = ConvParams::new(Nhwc::new(n, h, w, c), 1, f, f, pad, stride) else {
+            continue;
+        };
+        let config = configs()[rng.gen_index(5)];
+        diff_against_oracle(&p, config);
+        checked += 1;
+    }
+}

@@ -262,7 +262,10 @@ mod tests {
             c: ArchReg(4),
         };
         assert_eq!(mma.dst(), Some(ArchReg(4)));
-        assert_eq!(mma.srcs(), [Some(ArchReg(0)), Some(ArchReg(1)), Some(ArchReg(4))]);
+        assert_eq!(
+            mma.srcs(),
+            [Some(ArchReg(0)), Some(ArchReg(1)), Some(ArchReg(4))]
+        );
         assert!(!mma.is_mem());
 
         let ld = Op::WmmaLoad {

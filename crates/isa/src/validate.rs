@@ -90,7 +90,12 @@ pub fn validate_warp(warp_ix: usize, trace: &WarpTrace) -> Result<(), TraceError
                 written.insert(*c);
                 written.insert(*d);
             }
-            Op::WmmaStore { src, rows, seg_bytes, .. } => {
+            Op::WmmaStore {
+                src,
+                rows,
+                seg_bytes,
+                ..
+            } => {
                 if !written.contains(src) {
                     return Err(TraceError::ReadBeforeWrite {
                         warp: warp_ix,
@@ -102,7 +107,12 @@ pub fn validate_warp(warp_ix: usize, trace: &WarpTrace) -> Result<(), TraceError
                     return Err(TraceError::EmptyAccess { warp: warp_ix, pc });
                 }
             }
-            Op::WmmaLoad { dst, rows, seg_bytes, .. } => {
+            Op::WmmaLoad {
+                dst,
+                rows,
+                seg_bytes,
+                ..
+            } => {
                 if *rows == 0 || *seg_bytes == 0 {
                     return Err(TraceError::EmptyAccess { warp: warp_ix, pc });
                 }
@@ -214,7 +224,10 @@ mod tests {
         };
         assert!(matches!(
             validate_warp(0, &w),
-            Err(TraceError::ReadBeforeWrite { reg: ArchReg(0), .. })
+            Err(TraceError::ReadBeforeWrite {
+                reg: ArchReg(0),
+                ..
+            })
         ));
     }
 
@@ -223,7 +236,9 @@ mod tests {
         let a = WarpTrace {
             ops: vec![Op::Bar, Op::Exit],
         };
-        let b = WarpTrace { ops: vec![Op::Exit] };
+        let b = WarpTrace {
+            ops: vec![Op::Exit],
+        };
         let cta = CtaTrace { warps: vec![a, b] };
         assert!(matches!(
             validate_cta(&cta),
@@ -246,7 +261,10 @@ mod tests {
                 Op::Exit,
             ],
         };
-        assert!(matches!(validate_warp(0, &w), Err(TraceError::EmptyAccess { .. })));
+        assert!(matches!(
+            validate_warp(0, &w),
+            Err(TraceError::EmptyAccess { .. })
+        ));
     }
 
     #[test]

@@ -146,7 +146,10 @@ impl GemmTcKernel {
 
     /// CTA grid extents `(ctas_m, ctas_n)`.
     pub fn grid(&self) -> (usize, usize) {
-        (self.m_pad.div_ceil(self.cta_m), self.n_pad.div_ceil(self.cta_n))
+        (
+            self.m_pad.div_ceil(self.cta_m),
+            self.n_pad.div_ceil(self.cta_n),
+        )
     }
 
     /// The shared-memory policy.
@@ -178,8 +181,16 @@ impl GemmTcKernel {
         let stage_reg = ArchReg(15);
 
         let k2 = (self.k_pad * 2) as u64; // row pitch of A / col pitch of B
-        let a_space = if self.policy.stages_a() { Space::Shared } else { Space::Global };
-        let b_space = if self.policy.stages_b() { Space::Shared } else { Space::Global };
+        let a_space = if self.policy.stages_a() {
+            Space::Shared
+        } else {
+            Space::Global
+        };
+        let b_space = if self.policy.stages_b() {
+            Space::Shared
+        } else {
+            Space::Global
+        };
         let staging = self.policy.stages_a() || self.policy.stages_b();
 
         let emit_loads = |ops: &mut Vec<Op>, buf: usize, k16: usize| {
@@ -225,8 +236,8 @@ impl GemmTcKernel {
             let warps_m = (self.cta_m / wt_m.max(1)).max(1);
             let warps_n = (self.cta_n / wt_n.max(1)).max(1);
             let n_warps = warps_m * warps_n;
-            let wid = ((wm0 % self.cta_m) / wt_m.max(1)) * warps_n
-                + (wn0 % self.cta_n) / wt_n.max(1);
+            let wid =
+                ((wm0 % self.cta_m) / wt_m.max(1)) * warps_n + (wn0 % self.cta_n) / wt_n.max(1);
             let cta_m0 = wm0 - (wm0 % self.cta_m);
             let cta_n0 = wn0 - (wn0 % self.cta_n);
             let mut kp = 0;
@@ -258,7 +269,10 @@ impl GemmTcKernel {
                 }
                 ops.push(Op::Bar);
                 for k16 in (kp..panel_end).step_by(16) {
-                    ops.push(Op::Alu { dst: None, latency: 4 });
+                    ops.push(Op::Alu {
+                        dst: None,
+                        latency: 4,
+                    });
                     emit_loads(&mut ops, 0, k16);
                     emit_mmas(&mut ops, 0);
                 }
@@ -271,7 +285,10 @@ impl GemmTcKernel {
             let ksteps: Vec<usize> = (0..self.k_pad).step_by(16).collect();
             emit_loads(&mut ops, 0, ksteps[0]);
             for (t, _k16) in ksteps.iter().enumerate() {
-                ops.push(Op::Alu { dst: None, latency: 4 });
+                ops.push(Op::Alu {
+                    dst: None,
+                    latency: 4,
+                });
                 if t + 1 < ksteps.len() {
                     emit_loads(&mut ops, (t + 1) % 2, ksteps[t + 1]);
                 }
@@ -402,7 +419,12 @@ mod tests {
         for c in 0..kern.num_ctas() {
             for w in kern.cta(c).warps {
                 for op in w.ops {
-                    if let Op::WmmaLoad { addr, space: Space::Global, .. } = op {
+                    if let Op::WmmaLoad {
+                        addr,
+                        space: Space::Global,
+                        ..
+                    } = op
+                    {
                         if ws.contains(addr) {
                             let idx = (addr - ws.base) / 2;
                             assert_eq!((idx as usize % k_pad) % 16, 0, "k-offset aligned");
@@ -431,17 +453,31 @@ mod tests {
         let k = GemmTcKernel::new(64, 128, 128, SmemPolicy::AllAbc);
         let ops = &k.cta(0).warps[0].ops;
         assert!(ops.iter().any(|o| matches!(o, Op::Bar)));
-        assert!(ops
-            .iter()
-            .any(|o| matches!(o, Op::WmmaLoad { space: Space::Shared, .. })));
-        assert!(ops.iter().any(|o| matches!(o, Op::Ld { space: Space::Global, .. })));
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            Op::WmmaLoad {
+                space: Space::Shared,
+                ..
+            }
+        )));
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            Op::Ld {
+                space: Space::Global,
+                ..
+            }
+        )));
         // COnly streams everything from global.
         let k2 = GemmTcKernel::new(64, 128, 128, SmemPolicy::COnly);
         let ops2 = &k2.cta(0).warps[0].ops;
         assert!(!ops2.iter().any(|o| matches!(o, Op::Bar)));
-        assert!(ops2
-            .iter()
-            .all(|o| !matches!(o, Op::WmmaLoad { space: Space::Shared, .. })));
+        assert!(ops2.iter().all(|o| !matches!(
+            o,
+            Op::WmmaLoad {
+                space: Space::Shared,
+                ..
+            }
+        )));
     }
 
     #[test]

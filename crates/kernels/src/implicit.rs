@@ -48,8 +48,7 @@ impl ImplicitGemmKernel {
         // A 64-row workspace panel of depth PANEL expands from roughly
         // (panel rows / duplication factor) unique input bytes.
         let expansion = params.expansion_factor().max(1.0);
-        let panel_input_bytes =
-            ((cta_m * PANEL * 2) as f64 / expansion).ceil() as usize;
+        let panel_input_bytes = ((cta_m * PANEL * 2) as f64 / expansion).ceil() as usize;
         ImplicitGemmKernel {
             name: format!("conv_implicit_gemm_{params}"),
             m_pad,
@@ -78,7 +77,10 @@ impl ImplicitGemmKernel {
     }
 
     fn grid(&self) -> (usize, usize) {
-        (self.m_pad.div_ceil(self.cta_m), self.n_pad.div_ceil(self.cta_n))
+        (
+            self.m_pad.div_ceil(self.cta_m),
+            self.n_pad.div_ceil(self.cta_n),
+        )
     }
 }
 
@@ -135,7 +137,10 @@ impl Kernel for ImplicitGemmKernel {
                     }
                     ops.push(Op::Bar);
                     for _k16 in (kp..panel_end).step_by(16) {
-                        ops.push(Op::Alu { dst: None, latency: 4 });
+                        ops.push(Op::Alu {
+                            dst: None,
+                            latency: 4,
+                        });
                         for i in 0..a_frags {
                             let row = m0 + wm + i * 16;
                             ops.push(Op::WmmaLoad {
@@ -234,9 +239,17 @@ mod tests {
         let mut saw_global = false;
         for w in k.cta(0).warps {
             for op in w.ops {
-                if let Op::Ld { addr, space: Space::Global, .. } = op {
+                if let Op::Ld {
+                    addr,
+                    space: Space::Global,
+                    ..
+                } = op
+                {
                     saw_global = true;
-                    assert!((INPUT_BASE..input_end + 128).contains(&addr), "addr {addr:#x}");
+                    assert!(
+                        (INPUT_BASE..input_end + 128).contains(&addr),
+                        "addr {addr:#x}"
+                    );
                 }
             }
         }

@@ -328,7 +328,10 @@ mod tests {
             last = last.max(t);
         }
         // 64 lines x 128 B at 8 B/cyc = 1024 cycles of pure service.
-        assert!(last >= 1024, "bandwidth should bound completion, got {last}");
+        assert!(
+            last >= 1024,
+            "bandwidth should bound completion, got {last}"
+        );
     }
 
     #[test]

@@ -1,105 +1,154 @@
 //! Property-based tests of the memory substrate: cache containment, LRU
 //! behaviour, bandwidth-queue ordering, and MSHR bookkeeping.
+//!
+//! Runs on the hermetic `duplo_testkit::prop` runner; set `DUPLO_TEST_SEED`
+//! to reproduce a failure (the panic message prints the seed to use).
 
 use duplo_mem::{BandwidthQueue, BandwidthQueueConfig, Cache, CacheConfig, Mshr, MshrOutcome};
-use proptest::prelude::*;
+use duplo_testkit::prop::check;
+use duplo_testkit::{Rng, require, require_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn addr_vec(rng: &mut Rng, max_addr: u64, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(1usize..max_len);
+    (0..len).map(|_| rng.gen_range(0u64..max_addr)).collect()
+}
 
-    /// After any access sequence, re-touching the most recent address hits
-    /// (it cannot have been the LRU victim of its own set).
-    #[test]
-    fn most_recent_access_always_hits(addrs in prop::collection::vec(0u64..1u64 << 16, 1..200)) {
-        let mut c = Cache::new(CacheConfig {
-            size_bytes: 2048,
-            ways: 2,
-            line_bytes: 64,
-            latency: 1,
-        });
-        for &a in &addrs {
-            c.access(a);
-            prop_assert!(c.contains(a), "just-accessed line must reside");
-        }
-        let last = *addrs.last().unwrap();
-        prop_assert!(c.access(last), "re-access of last line must hit");
-    }
-
-    /// Hits + misses equals the number of accesses.
-    #[test]
-    fn cache_stats_add_up(addrs in prop::collection::vec(0u64..1u64 << 14, 1..300)) {
-        let mut c = Cache::new(CacheConfig {
-            size_bytes: 1024,
-            ways: 4,
-            line_bytes: 32,
-            latency: 1,
-        });
-        for &a in &addrs {
-            c.access(a);
-        }
-        let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
-    }
-
-    /// Bandwidth-queue completions are monotone for in-order arrivals and
-    /// respect the latency floor.
-    #[test]
-    fn queue_completions_monotone(
-        sizes in prop::collection::vec(1u32..512, 1..100),
-        bw in 1u32..64,
-    ) {
-        let mut q = BandwidthQueue::new(BandwidthQueueConfig {
-            latency: 10,
-            bytes_per_cycle: f64::from(bw),
-        });
-        let mut prev = 0;
-        for (i, &s) in sizes.iter().enumerate() {
-            let done = q.request(i as u64, s);
-            prop_assert!(done >= prev, "completion order inverted");
-            prop_assert!(done >= i as u64 + 10, "latency floor violated");
-            prev = done;
-        }
-        // Total bytes accounted exactly.
-        prop_assert_eq!(q.bytes_transferred(), sizes.iter().map(|&s| u64::from(s)).sum::<u64>());
-    }
-
-    /// The queue can never serve faster than its bandwidth.
-    #[test]
-    fn queue_respects_bandwidth(
-        n in 1usize..200,
-        bw in 1u32..32,
-    ) {
-        let mut q = BandwidthQueue::new(BandwidthQueueConfig {
-            latency: 0,
-            bytes_per_cycle: f64::from(bw),
-        });
-        let mut last = 0;
-        for _ in 0..n {
-            last = q.request(0, 128);
-        }
-        let min_cycles = (n as f64 * 128.0 / f64::from(bw)).floor() as u64;
-        prop_assert!(last >= min_cycles, "{last} < {min_cycles}");
-    }
-
-    /// MSHR occupancy never exceeds capacity, and merged misses never
-    /// allocate.
-    #[test]
-    fn mshr_capacity_respected(
-        lines in prop::collection::vec(0u64..32, 1..200),
-        cap in 1usize..16,
-    ) {
-        let mut m = Mshr::new(cap);
-        let mut cycle = 0u64;
-        for &l in &lines {
-            cycle += 1;
-            match m.lookup(cycle, l) {
-                MshrOutcome::Allocated => m.record_fill(l, cycle + 100),
-                MshrOutcome::Merged { fill_cycle } => {
-                    prop_assert!(fill_cycle > cycle);
-                }
-                MshrOutcome::Full => {}
+/// After any access sequence, re-touching the most recent address hits
+/// (it cannot have been the LRU victim of its own set).
+#[test]
+fn most_recent_access_always_hits() {
+    check(
+        "most_recent_access_always_hits",
+        64,
+        |rng| Some(addr_vec(rng, 1 << 16, 200)),
+        |addrs| {
+            let mut c = Cache::new(CacheConfig {
+                size_bytes: 2048,
+                ways: 2,
+                line_bytes: 64,
+                latency: 1,
+            });
+            for &a in addrs {
+                c.access(a);
+                require!(c.contains(a), "just-accessed line must reside");
             }
-            prop_assert!(m.occupancy() <= cap);
-        }
-    }
+            let last = *addrs.last().unwrap();
+            require!(c.access(last), "re-access of last line must hit");
+            Ok(())
+        },
+    );
+}
+
+/// Hits + misses equals the number of accesses.
+#[test]
+fn cache_stats_add_up() {
+    check(
+        "cache_stats_add_up",
+        64,
+        |rng| Some(addr_vec(rng, 1 << 14, 300)),
+        |addrs| {
+            let mut c = Cache::new(CacheConfig {
+                size_bytes: 1024,
+                ways: 4,
+                line_bytes: 32,
+                latency: 1,
+            });
+            for &a in addrs {
+                c.access(a);
+            }
+            let s = c.stats();
+            require_eq!(s.hits + s.misses, addrs.len() as u64);
+            Ok(())
+        },
+    );
+}
+
+/// Bandwidth-queue completions are monotone for in-order arrivals and
+/// respect the latency floor.
+#[test]
+fn queue_completions_monotone() {
+    check(
+        "queue_completions_monotone",
+        64,
+        |rng| {
+            let len = rng.gen_range(1usize..100);
+            let sizes: Vec<u32> = (0..len).map(|_| rng.gen_range(1u32..512)).collect();
+            let bw = rng.gen_range(1u32..64);
+            Some((sizes, bw))
+        },
+        |(sizes, bw)| {
+            let mut q = BandwidthQueue::new(BandwidthQueueConfig {
+                latency: 10,
+                bytes_per_cycle: f64::from(*bw),
+            });
+            let mut prev = 0;
+            for (i, &s) in sizes.iter().enumerate() {
+                let done = q.request(i as u64, s);
+                require!(done >= prev, "completion order inverted");
+                require!(done >= i as u64 + 10, "latency floor violated");
+                prev = done;
+            }
+            // Total bytes accounted exactly.
+            require_eq!(
+                q.bytes_transferred(),
+                sizes.iter().map(|&s| u64::from(s)).sum::<u64>()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The queue can never serve faster than its bandwidth.
+#[test]
+fn queue_respects_bandwidth() {
+    check(
+        "queue_respects_bandwidth",
+        64,
+        |rng| Some((rng.gen_range(1usize..200), rng.gen_range(1u32..32))),
+        |&(n, bw)| {
+            let mut q = BandwidthQueue::new(BandwidthQueueConfig {
+                latency: 0,
+                bytes_per_cycle: f64::from(bw),
+            });
+            let mut last = 0;
+            for _ in 0..n {
+                last = q.request(0, 128);
+            }
+            let min_cycles = (n as f64 * 128.0 / f64::from(bw)).floor() as u64;
+            require!(last >= min_cycles, "{last} < {min_cycles}");
+            Ok(())
+        },
+    );
+}
+
+/// MSHR occupancy never exceeds capacity, and merged misses never allocate.
+#[test]
+fn mshr_capacity_respected() {
+    check(
+        "mshr_capacity_respected",
+        64,
+        |rng| {
+            let len = rng.gen_range(1usize..200);
+            let lines: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..32)).collect();
+            let cap = rng.gen_range(1usize..16);
+            Some((lines, cap))
+        },
+        |(lines, cap)| {
+            let cap = *cap;
+            let mut m = Mshr::new(cap);
+            let mut cycle = 0u64;
+            for &l in lines {
+                cycle += 1;
+                match m.lookup(cycle, l) {
+                    MshrOutcome::Allocated => m.record_fill(l, cycle + 100),
+                    MshrOutcome::Merged { fill_cycle } => {
+                        require!(fill_cycle > cycle);
+                    }
+                    MshrOutcome::Full => {}
+                }
+                require!(m.occupancy() <= cap);
+            }
+            Ok(())
+        },
+    );
 }

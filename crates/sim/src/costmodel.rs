@@ -69,17 +69,17 @@ impl MachineModel {
     pub fn flops(&self, method: ConvMethod, params: &ConvParams) -> f64 {
         let direct = 2.0 * params.macs() as f64;
         match method {
-            ConvMethod::Direct | ConvMethod::Gemm | ConvMethod::GemmTc
+            ConvMethod::Direct
+            | ConvMethod::Gemm
+            | ConvMethod::GemmTc
             | ConvMethod::ExplicitGemmTc => direct,
             ConvMethod::Winograd | ConvMethod::WinogradTc => {
                 // 2.25x fewer multiplies, plus input/output transform work
                 // (~16 adds per 4 outputs per channel and filter).
-                let tiles = (params.output_shape().len() as f64 / params.filters as f64 / 4.0)
-                    .max(1.0);
-                let transforms = 2.0
-                    * 16.0
-                    * tiles
-                    * (params.input.c as f64 + params.filters as f64);
+                let tiles =
+                    (params.output_shape().len() as f64 / params.filters as f64 / 4.0).max(1.0);
+                let transforms =
+                    2.0 * 16.0 * tiles * (params.input.c as f64 + params.filters as f64);
                 direct / 2.25 + transforms
             }
             ConvMethod::Fft => {

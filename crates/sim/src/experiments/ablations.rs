@@ -55,12 +55,36 @@ fn measure(mut mutate: impl FnMut(&mut GpuConfig), opts: &ExpOpts, variant: &str
 /// Runs all ablations.
 pub fn run(opts: &ExpOpts) -> Vec<Row> {
     vec![
-        measure(|_| {}, opts, "default (2-cycle detect, GTO, octet dup, 4096 window)"),
-        measure(|c| c.sm.detect_latency = 3, opts, "3-cycle detection latency"),
-        measure(|c| c.sm.commit_delay = 1024, opts, "1024-cycle commit window"),
-        measure(|c| c.sm.commit_delay = 16384, opts, "16384-cycle commit window"),
-        measure(|c| c.sm.policy = SchedulerPolicy::Lrr, opts, "LRR warp scheduler"),
-        measure(|c| c.sm.octet_dup = false, opts, "octet double-load disabled"),
+        measure(
+            |_| {},
+            opts,
+            "default (2-cycle detect, GTO, octet dup, 4096 window)",
+        ),
+        measure(
+            |c| c.sm.detect_latency = 3,
+            opts,
+            "3-cycle detection latency",
+        ),
+        measure(
+            |c| c.sm.commit_delay = 1024,
+            opts,
+            "1024-cycle commit window",
+        ),
+        measure(
+            |c| c.sm.commit_delay = 16384,
+            opts,
+            "16384-cycle commit window",
+        ),
+        measure(
+            |c| c.sm.policy = SchedulerPolicy::Lrr,
+            opts,
+            "LRR warp scheduler",
+        ),
+        measure(
+            |c| c.sm.octet_dup = false,
+            opts,
+            "octet double-load disabled",
+        ),
     ]
 }
 
@@ -154,8 +178,12 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     h.note("segment element IDs are multiples of 16: plain modulo reaches only 1/16 of the sets");
-    format!("{}
-{}", t.render(), h.render())
+    format!(
+        "{}
+{}",
+        t.render(),
+        h.render()
+    )
 }
 
 #[cfg(test)]
@@ -164,12 +192,17 @@ mod tests {
 
     #[test]
     fn three_cycle_detection_changes_little() {
-        let opts = ExpOpts { sample_ctas: Some(2) };
+        let opts = ExpOpts {
+            sample_ctas: Some(2),
+        };
         let base = measure(|_| {}, &opts, "d2");
         let slow = measure(|c| c.sm.detect_latency = 3, &opts, "d3");
         // Paper: ~0.9% degradation; allow generous slack on a tiny sample.
         let delta = (base.improvement - slow.improvement).abs();
-        assert!(delta < 0.05, "3-cycle detect moved improvement by {delta:.3}");
+        assert!(
+            delta < 0.05,
+            "3-cycle detect moved improvement by {delta:.3}"
+        );
     }
 
     #[test]
@@ -188,7 +221,9 @@ mod tests {
 
     #[test]
     fn longer_commit_window_does_not_reduce_hit_rate() {
-        let opts = ExpOpts { sample_ctas: Some(2) };
+        let opts = ExpOpts {
+            sample_ctas: Some(2),
+        };
         let short = measure(|c| c.sm.commit_delay = 256, &opts, "short");
         let long = measure(|c| c.sm.commit_delay = 16384, &opts, "long");
         assert!(

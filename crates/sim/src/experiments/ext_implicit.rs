@@ -62,7 +62,13 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(
         "EXT — Duplo on implicit GEMM (shared-memory renaming)",
-        &["layer", "baseline cyc", "duplo cyc", "improvement", "renamed"],
+        &[
+            "layer",
+            "baseline cyc",
+            "duplo cyc",
+            "improvement",
+            "renamed",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -83,11 +89,17 @@ mod tests {
 
     #[test]
     fn shared_renaming_eliminates_loads_and_does_not_slow_down() {
-        let opts = ExpOpts { sample_ctas: Some(2) };
+        let opts = ExpOpts {
+            sample_ctas: Some(2),
+        };
         let rows = run(&opts);
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.elimination > 0.0, "{}: no shared renaming happened", r.layer);
+            assert!(
+                r.elimination > 0.0,
+                "{}: no shared renaming happened",
+                r.layer
+            );
             assert!(
                 r.duplo <= r.baseline * 1.02,
                 "{}: duplo {} should not exceed baseline {}",

@@ -82,7 +82,9 @@ mod tests {
 
     #[test]
     fn duplo_eliminates_more_than_wir() {
-        let opts = ExpOpts { sample_ctas: Some(3) };
+        let opts = ExpOpts {
+            sample_ctas: Some(3),
+        };
         let gpu = opts.apply(GpuConfig::titan_v());
         let p = networks::resnet()[1].lowered();
         let wir = layer_run(&p, Some(LhbConfig::wir(1024)), &gpu);
@@ -94,6 +96,9 @@ mod tests {
             wir.stats.eliminated_loads
         );
         // WIR still catches cross-warp same-address fragment loads.
-        assert!(wir.stats.eliminated_loads > 0, "WIR should catch same-address reuse");
+        assert!(
+            wir.stats.eliminated_loads > 0,
+            "WIR should catch same-address reuse"
+        );
     }
 }

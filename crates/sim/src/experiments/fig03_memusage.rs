@@ -58,7 +58,10 @@ pub fn render(fig: &Fig3) -> String {
     for m in ConvMethod::FIG_METHODS {
         header.push(m.label());
     }
-    let mut t = Table::new("Fig. 3 — memory usage relative to direct convolution", &header);
+    let mut t = Table::new(
+        "Fig. 3 — memory usage relative to direct convolution",
+        &header,
+    );
     for r in &fig.rows {
         let mut cells = vec![r.layer.clone()];
         cells.extend(r.usage.iter().map(|s| fmt_x(*s)));
@@ -67,7 +70,9 @@ pub fn render(fig: &Fig3) -> String {
     let mut cells = vec!["gmean".to_string()];
     cells.extend(fig.gmeans.iter().map(|s| fmt_x(*s)));
     t.push_row(cells);
-    t.note("analytic footprints; paper averages: GEMM 9.7x, Winograd 12.2x, FFT 53.5x, GEMM_TC 1.1x");
+    t.note(
+        "analytic footprints; paper averages: GEMM 9.7x, Winograd 12.2x, FFT 53.5x, GEMM_TC 1.1x",
+    );
     t.render()
 }
 

@@ -15,7 +15,10 @@ pub fn render(sweeps: &[LayerSweep]) -> String {
     let mut header = vec!["layer".to_string()];
     header.extend(labels.iter().cloned());
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Fig. 9 — Duplo performance improvement vs LHB size", &header_refs);
+    let mut t = Table::new(
+        "Fig. 9 — Duplo performance improvement vs LHB size",
+        &header_refs,
+    );
     for s in sweeps {
         let mut cells = vec![s.layer.clone()];
         for i in 0..s.runs.len() {

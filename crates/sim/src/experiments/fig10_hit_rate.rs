@@ -24,8 +24,7 @@ pub fn render(sweeps: &[LayerSweep]) -> String {
     }
     let mut cells = vec!["mean".to_string()];
     for i in 0..sweeps[0].runs.len() {
-        let v: f64 =
-            sweeps.iter().map(|s| s.hit_rate(i)).sum::<f64>() / sweeps.len() as f64;
+        let v: f64 = sweeps.iter().map(|s| s.hit_rate(i)).sum::<f64>() / sweeps.len() as f64;
         cells.push(fmt_pct_plain(v));
     }
     t.push_row(cells);

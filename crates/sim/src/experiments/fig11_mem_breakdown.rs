@@ -54,9 +54,8 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
             let p = l.lowered();
             let base = layer_run(&p, None, &gpu);
             let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
-            let dram_delta = duplo.stats.mem.dram_bytes as f64
-                / base.stats.mem.dram_bytes.max(1) as f64
-                - 1.0;
+            let dram_delta =
+                duplo.stats.mem.dram_bytes as f64 / base.stats.mem.dram_bytes.max(1) as f64 - 1.0;
             Row {
                 layer: l.qualified_name(),
                 baseline: Shares::of(&base),
@@ -71,7 +70,17 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(
         "Fig. 11 — memory service breakdown, baseline (B) vs Duplo (D)",
-        &["layer", "B:L1", "B:L2", "B:DRAM", "D:LHB", "D:L1", "D:L2", "D:DRAM", "DRAM bytes"],
+        &[
+            "layer",
+            "B:L1",
+            "B:L2",
+            "B:DRAM",
+            "D:LHB",
+            "D:L1",
+            "D:L2",
+            "D:DRAM",
+            "DRAM bytes",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -88,7 +97,10 @@ pub fn render(rows: &[Row]) -> String {
     }
     let n = rows.len() as f64;
     let avg_dram: f64 = rows.iter().map(|r| r.dram_delta).sum::<f64>() / n;
-    t.note(format!("average DRAM traffic change: {:+.1}% (paper: -26.6%)", avg_dram * 100.0));
+    t.note(format!(
+        "average DRAM traffic change: {:+.1}% (paper: -26.6%)",
+        avg_dram * 100.0
+    ));
     t.render()
 }
 
@@ -102,7 +114,9 @@ mod tests {
     fn duplo_shifts_service_share_into_lhb() {
         // ResNet C2 has channel count 64 => short duplicate-reuse distance,
         // so even a 3-CTA sample shows the service-share shift clearly.
-        let opts = ExpOpts { sample_ctas: Some(3) };
+        let opts = ExpOpts {
+            sample_ctas: Some(3),
+        };
         let gpu = opts.apply(GpuConfig::titan_v());
         let p = networks::resnet()[1].lowered();
         let base = layer_run(&p, None, &gpu);

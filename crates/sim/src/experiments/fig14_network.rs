@@ -4,8 +4,8 @@ use super::ExpOpts;
 use crate::networks::{self, LayerKind, LayerSpec, Network};
 use crate::report::{Table, fmt_pct_plain};
 use crate::{GpuConfig, GpuSim, layer_run};
-use duplo_conv::transposed::TransposedConvParams;
 use duplo_conv::ConvParams;
+use duplo_conv::transposed::TransposedConvParams;
 use duplo_core::LhbConfig;
 use duplo_kernels::{GemmTcKernel, SmemPolicy};
 

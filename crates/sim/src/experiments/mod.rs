@@ -15,8 +15,8 @@ pub mod fig11_mem_breakdown;
 pub mod fig12_assoc;
 pub mod fig13_batch;
 pub mod fig14_network;
-pub mod sec5h_energy;
 pub mod sec2c_smem;
+pub mod sec5h_energy;
 pub mod table02_workflow;
 pub mod table03_config;
 
@@ -84,7 +84,11 @@ impl LayerSweep {
 }
 
 /// Sweeps every Table I layer over `configs` (plus a baseline run each).
-pub fn sweep_layers(layers: &[LayerSpec], configs: &[LhbConfig], opts: &ExpOpts) -> Vec<LayerSweep> {
+pub fn sweep_layers(
+    layers: &[LayerSpec],
+    configs: &[LhbConfig],
+    opts: &ExpOpts,
+) -> Vec<LayerSweep> {
     let gpu = opts.apply(crate::GpuConfig::titan_v());
     layers
         .iter()

@@ -101,13 +101,18 @@ mod tests {
 
     #[test]
     fn duplo_saves_energy_on_duplication_heavy_layer() {
-        let opts = ExpOpts { sample_ctas: Some(3) };
+        let opts = ExpOpts {
+            sample_ctas: Some(3),
+        };
         let gpu = opts.apply(GpuConfig::titan_v());
         let p = networks::resnet()[1].lowered();
         let base = layer_run(&p, None, &gpu);
         let duplo = layer_run(&p, Some(Lc::paper_default()), &gpu);
         let saving = EnergyReport::saving_over(&duplo.energy(), &base.energy());
-        assert!(saving > 0.0, "expected positive energy saving, got {saving:.3}");
+        assert!(
+            saving > 0.0,
+            "expected positive energy saving, got {saving:.3}"
+        );
     }
 
     #[test]
@@ -119,7 +124,10 @@ mod tests {
                 .iter()
                 .map(|&n| {
                     let bits = Lc::direct_mapped(n).storage_bits();
-                    (n, duplo_energy::AreaModel::for_lhb_bits(bits).overhead_fraction())
+                    (
+                        n,
+                        duplo_energy::AreaModel::for_lhb_bits(bits).overhead_fraction(),
+                    )
                 })
                 .collect(),
         };

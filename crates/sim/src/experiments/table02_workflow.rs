@@ -117,7 +117,15 @@ pub fn run() -> Vec<Step> {
 pub fn render(steps: &[Step]) -> String {
     let mut t = Table::new(
         "Table II — Duplo workflow using the LHB",
-        &["#", "instruction", "array_idx", "element_ID", "LHB", "renaming", "LHB operation"],
+        &[
+            "#",
+            "instruction",
+            "array_idx",
+            "element_ID",
+            "LHB",
+            "renaming",
+            "LHB operation",
+        ],
     );
     for s in steps {
         t.push_row(vec![

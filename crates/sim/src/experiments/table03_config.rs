@@ -14,10 +14,17 @@ pub fn render(cfg: &GpuConfig) -> String {
     kv("Warp schedulers/SM", cfg.sm.schedulers.to_string());
     kv("Warp scheduling policy", format!("{:?}", cfg.sm.policy));
     kv("Tensor cores/SM", cfg.sm.tensor_cores.to_string());
-    kv("Register file/SM", format!("{} KB", cfg.sm.regfile_bytes / 1024));
+    kv(
+        "Register file/SM",
+        format!("{} KB", cfg.sm.regfile_bytes / 1024),
+    );
     kv(
         "Unified L1 cache/SM",
-        format!("{} KB, {}-cycle", cfg.sm.hierarchy.l1.size_bytes / 1024, cfg.sm.hierarchy.l1.latency),
+        format!(
+            "{} KB, {}-cycle",
+            cfg.sm.hierarchy.l1.size_bytes / 1024,
+            cfg.sm.hierarchy.l1.latency
+        ),
     );
     kv(
         "L2 cache (slice modeled)",
@@ -30,9 +37,15 @@ pub fn render(cfg: &GpuConfig) -> String {
     );
     kv(
         "DRAM bandwidth (slice)",
-        format!("{:.1} B/cycle per SM (652.8 GB/s chip)", cfg.sm.hierarchy.dram.bytes_per_cycle),
+        format!(
+            "{:.1} B/cycle per SM (652.8 GB/s chip)",
+            cfg.sm.hierarchy.dram.bytes_per_cycle
+        ),
     );
-    kv("Representative SMs simulated", cfg.sms_simulated.to_string());
+    kv(
+        "Representative SMs simulated",
+        cfg.sms_simulated.to_string(),
+    );
     t.render()
 }
 

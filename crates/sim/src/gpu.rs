@@ -236,7 +236,11 @@ mod tests {
 
     #[test]
     fn energy_counts_nonzero_after_run() {
-        let r = layer_run(&small_conv(), Some(LhbConfig::paper_default()), &GpuConfig::titan_v());
+        let r = layer_run(
+            &small_conv(),
+            Some(LhbConfig::paper_default()),
+            &GpuConfig::titan_v(),
+        );
         let c = r.energy_counts();
         assert!(c.dram_bytes > 0);
         assert!(c.lhb_events > 0);

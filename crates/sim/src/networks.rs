@@ -1,2 +1,77 @@
-//! Network definitions: thin re-export of the Table I catalog.
-pub use duplo_conv::layers::{LayerKind, LayerSpec, Network, all_layers, gan, layers_of, resnet, yolo};
+//! The Table I network catalog, as used by the experiment drivers.
+//!
+//! The layer definitions themselves live in `duplo_conv::layers` (they are
+//! pure convolution geometry); this module re-exports them under the
+//! simulator's namespace and adds the simulator-side views the drivers
+//! share: per-network layer groups and a Table I-style summary of the
+//! catalog.
+
+pub use duplo_conv::layers::{
+    LayerKind, LayerSpec, Network, all_layers, gan, layers_of, resnet, yolo,
+};
+
+use crate::report::Table;
+
+/// The Table I catalog grouped by network, in paper order
+/// (ResNet, GAN, YOLO).
+pub fn by_network() -> Vec<(Network, Vec<LayerSpec>)> {
+    Network::ALL.iter().map(|&n| (n, layers_of(n))).collect()
+}
+
+/// Renders the full catalog as a Table I-style summary: one row per layer
+/// with its lowered GEMM dimensions and workspace footprint.
+pub fn table1_summary() -> Table {
+    let mut t = Table::new(
+        "Table I: evaluated convolution layers",
+        &[
+            "layer",
+            "input (NxHxWxC)",
+            "K",
+            "filter",
+            "stride",
+            "pad",
+            "M",
+            "N",
+            "Kdim",
+        ],
+    );
+    for (_, layers) in by_network() {
+        for l in &layers {
+            let p = l.lowered();
+            let (m, n, k) = p.gemm_dims();
+            t.push_row(vec![
+                l.qualified_name(),
+                format!("{}x{}x{}x{}", p.input.n, p.input.h, p.input.w, p.input.c),
+                p.filters.to_string(),
+                format!("{}x{}", p.fh, p.fw),
+                p.stride.to_string(),
+                p.pad.to_string(),
+                m.to_string(),
+                n.to_string(),
+                k.to_string(),
+            ]);
+        }
+    }
+    t.note("lowered GEMM is M x N x Kdim; workspace holds M x Kdim half-precision elements");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_network_covers_all_layers() {
+        let grouped: usize = by_network().iter().map(|(_, ls)| ls.len()).sum();
+        assert_eq!(grouped, all_layers().len());
+        // Paper order.
+        let order: Vec<Network> = by_network().iter().map(|&(n, _)| n).collect();
+        assert_eq!(order, Network::ALL.to_vec());
+    }
+
+    #[test]
+    fn summary_has_one_row_per_layer() {
+        let t = table1_summary();
+        assert_eq!(t.len(), all_layers().len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Golden-snapshot tests: pin the rendered output of the report tables and
+//! of the cheap experiment drivers, so formatting or model drift shows up
+//! as a reviewable diff instead of silently changing EXPERIMENTS.md.
+//!
+//! Snapshots live under `tests/golden/`. To regenerate after an intentional
+//! change, run:
+//!
+//! ```text
+//! DUPLO_BLESS=1 cargo test -p duplo-sim --test golden
+//! ```
+
+use duplo_sim::experiments::{ExpOpts, fig02_speedup, fig10_hit_rate, size_configs, sweep_layers};
+use duplo_sim::networks::all_layers;
+use duplo_sim::report::{Table, fmt_pct, fmt_x, gmean};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the named snapshot, or rewrites the snapshot
+/// when `DUPLO_BLESS` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("DUPLO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             `DUPLO_BLESS=1 cargo test -p duplo-sim --test golden`",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or_else(
+                || expected.lines().count().min(actual.lines().count()),
+                |i| i,
+            );
+        panic!(
+            "golden snapshot {} is stale (first difference at line {}):\n\
+             --- expected ---\n{expected}\n--- actual ---\n{actual}\n\
+             If the change is intentional, regenerate with \
+             `DUPLO_BLESS=1 cargo test -p duplo-sim --test golden`.",
+            path.display(),
+            diff_line + 1,
+        );
+    }
+}
+
+/// Pin the Table renderer itself: alignment, separators, notes, and the
+/// formatting helpers it is normally fed.
+#[test]
+fn table_rendering_golden() {
+    let mut t = Table::new(
+        "Demo table (renderer golden)",
+        &["layer", "speedup", "hit rate"],
+    );
+    t.push_row(vec![
+        "ResNet/C1".to_string(),
+        fmt_x(Some(1.234)),
+        fmt_pct(0.5),
+    ]);
+    t.push_row(vec![
+        "GAN/TC1 (long name to force column growth)".to_string(),
+        fmt_x(None),
+        fmt_pct(0.07125),
+    ]);
+    t.push_row(vec![
+        "geomean".to_string(),
+        fmt_x(Some(gmean(&[1.2, 1.3, 1.4]))),
+        String::new(),
+    ]);
+    t.note("A note line attached to the table.");
+    t.note("And a second one.");
+    assert_golden("table_render.txt", &t.render());
+}
+
+/// Pin the Fig. 2 analytic speedup table (pure cost model, cheap and fully
+/// deterministic).
+#[test]
+fn fig02_speedup_golden() {
+    let fig = fig02_speedup::run();
+    assert_golden("fig02_speedup.txt", &fig02_speedup::render(&fig));
+}
+
+/// Pin the Fig. 10 hit-rate table on a small fixed subset of Table I
+/// layers under `ExpOpts::quick()`. The subset keeps debug-mode test time
+/// bounded (the full 22-layer sweep belongs to the experiment binaries);
+/// the three smallest-GEMM layers are picked deterministically from the
+/// catalog so the choice tracks any catalog change.
+#[test]
+fn fig10_hit_rate_golden() {
+    let mut layers = all_layers();
+    layers.sort_by_key(|l| {
+        let (m, n, k) = l.lowered().gemm_dims();
+        (m * n * k, l.qualified_name())
+    });
+    layers.truncate(3);
+    let sweeps = sweep_layers(&layers, &size_configs(), &ExpOpts::quick());
+    assert_golden("fig10_hit_rate_quick.txt", &fig10_hit_rate::render(&sweeps));
+}

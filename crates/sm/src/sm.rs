@@ -315,7 +315,17 @@ impl Sm {
                 seg_bytes,
                 row_stride,
                 space,
-            } => self.issue_mem(w, s, MemKind::TensorStore, None, addr, rows, seg_bytes, row_stride, space),
+            } => self.issue_mem(
+                w,
+                s,
+                MemKind::TensorStore,
+                None,
+                addr,
+                rows,
+                seg_bytes,
+                row_stride,
+                space,
+            ),
             Op::Ld {
                 dst,
                 addr,
@@ -323,7 +333,17 @@ impl Sm {
                 space,
             } => {
                 let rows = bytes.div_ceil(32).max(1) as u8;
-                self.issue_mem(w, s, MemKind::ScalarLoad, Some(dst), addr, rows, 32, 32, space)
+                self.issue_mem(
+                    w,
+                    s,
+                    MemKind::ScalarLoad,
+                    Some(dst),
+                    addr,
+                    rows,
+                    32,
+                    32,
+                    space,
+                )
             }
             Op::St {
                 src: _,
@@ -739,7 +759,10 @@ pub fn run_kernel(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> S
             break;
         }
         sm.tick();
-        assert!(sm.cycle() < LIMIT, "simulation exceeded {LIMIT} cycles — deadlock?");
+        assert!(
+            sm.cycle() < LIMIT,
+            "simulation exceeded {LIMIT} cycles — deadlock?"
+        );
     }
     sm.into_stats()
 }

@@ -1,10 +1,14 @@
 //! Randomized SM pipeline tests: arbitrary well-formed kernels must run to
 //! completion (no deadlock), and the statistics must stay self-consistent.
+//!
+//! Runs on the hermetic `duplo_testkit::prop` runner; set `DUPLO_TEST_SEED`
+//! to reproduce a failure (the panic message prints the seed to use).
 
 use duplo_core::LhbConfig;
 use duplo_isa::{ArchReg, CtaTrace, Kernel, Op, Space, WarpTrace, WorkspaceDesc};
 use duplo_sm::{SmConfig, run_kernel};
-use proptest::prelude::*;
+use duplo_testkit::prop::check;
+use duplo_testkit::{Rng, require_eq};
 
 struct FuzzKernel {
     ctas: Vec<CtaTrace>,
@@ -53,7 +57,7 @@ fn ws_desc() -> WorkspaceDesc {
 /// Generates a well-formed warp: random mix of ALU, loads, MMAs and a
 /// final Exit; barriers are emitted CTA-uniformly (same count per warp) to
 /// avoid ill-formed programs.
-fn arb_warp(ops_seed: Vec<(u8, u8)>, barriers: usize) -> WarpTrace {
+fn arb_warp(ops_seed: &[(u8, u8)], barriers: usize) -> WarpTrace {
     let mut ops = Vec::new();
     let bar_every = if barriers > 0 {
         (ops_seed.len() / (barriers + 1)).max(1)
@@ -72,7 +76,11 @@ fn arb_warp(ops_seed: Vec<(u8, u8)>, barriers: usize) -> WarpTrace {
                 rows: 4 + (arg % 12),
                 seg_bytes: 32,
                 row_stride: 288,
-                space: if arg % 5 == 0 { Space::Shared } else { Space::Global },
+                space: if arg % 5 == 0 {
+                    Space::Shared
+                } else {
+                    Space::Global
+                },
             }),
             2 => ops.push(Op::WmmaMma {
                 d: ArchReg(8 + u16::from(arg % 4)),
@@ -97,54 +105,76 @@ fn arb_warp(ops_seed: Vec<(u8, u8)>, barriers: usize) -> WarpTrace {
     WarpTrace { ops }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[derive(Debug)]
+struct Case {
+    ops_seed: Vec<(u8, u8)>,
+    warps: usize,
+    barriers: usize,
+    duplo: bool,
+}
 
-    /// Any generated kernel completes, with and without Duplo, and the
-    /// statistics add up.
-    #[test]
-    fn random_kernels_complete_and_stats_are_consistent(
-        ops_seed in prop::collection::vec((0u8..4, 0u8..=255), 1..40),
-        warps in 1usize..5,
-        barriers in 0usize..3,
-        duplo in any::<bool>(),
-    ) {
-        let cta = CtaTrace {
-            warps: (0..warps).map(|_| arb_warp(ops_seed.clone(), barriers)).collect(),
-        };
-        let kernel = FuzzKernel {
-            ctas: vec![cta.clone(), cta],
-            workspace: Some(ws_desc()),
-        };
-        let mut cfg = SmConfig::titan_v(80);
-        if duplo {
-            cfg.lhb = Some(LhbConfig::direct_mapped(64));
-        }
-        let stats = run_kernel(&kernel, &[0, 1], cfg);
-        prop_assert_eq!(stats.ctas_run, 2);
-        // Every eliminated load was served by the LHB.
-        prop_assert_eq!(stats.eliminated_loads, stats.services.lhb);
-        // Row loads are global tensor rows: they equal the global service
-        // events minus scalar loads (this fuzz issues no scalar loads).
-        prop_assert_eq!(
-            stats.services.total_global(),
-            stats.row_loads,
-            "every tensor row must be attributed to exactly one level"
-        );
-        if !duplo {
-            prop_assert_eq!(stats.services.lhb, 0);
-            prop_assert_eq!(stats.lhb.hits + stats.lhb.misses, 0);
-        }
-        // Determinism.
-        let mut cfg2 = SmConfig::titan_v(80);
-        if duplo {
-            cfg2.lhb = Some(LhbConfig::direct_mapped(64));
-        }
-        let kernel2 = FuzzKernel {
-            ctas: (0..2).map(|i| kernel.cta(i)).collect(),
-            workspace: Some(ws_desc()),
-        };
-        let stats2 = run_kernel(&kernel2, &[0, 1], cfg2);
-        prop_assert_eq!(stats.cycles, stats2.cycles);
-    }
+fn arb_case(rng: &mut Rng) -> Option<Case> {
+    let len = rng.gen_range(1usize..40);
+    let ops_seed = (0..len)
+        .map(|_| (rng.gen_range(0u8..4), rng.gen_range(0u8..=255)))
+        .collect();
+    Some(Case {
+        ops_seed,
+        warps: rng.gen_range(1usize..5),
+        barriers: rng.gen_range(0usize..3),
+        duplo: rng.gen_bool(0.5),
+    })
+}
+
+/// Any generated kernel completes, with and without Duplo, and the
+/// statistics add up.
+#[test]
+fn random_kernels_complete_and_stats_are_consistent() {
+    check(
+        "random_kernels_complete_and_stats_are_consistent",
+        24,
+        arb_case,
+        |case| {
+            let cta = CtaTrace {
+                warps: (0..case.warps)
+                    .map(|_| arb_warp(&case.ops_seed, case.barriers))
+                    .collect(),
+            };
+            let kernel = FuzzKernel {
+                ctas: vec![cta.clone(), cta],
+                workspace: Some(ws_desc()),
+            };
+            let mut cfg = SmConfig::titan_v(80);
+            if case.duplo {
+                cfg.lhb = Some(LhbConfig::direct_mapped(64));
+            }
+            let stats = run_kernel(&kernel, &[0, 1], cfg);
+            require_eq!(stats.ctas_run, 2);
+            // Every eliminated load was served by the LHB.
+            require_eq!(stats.eliminated_loads, stats.services.lhb);
+            // Row loads are global tensor rows: they equal the global service
+            // events minus scalar loads (this fuzz issues no scalar loads).
+            require_eq!(
+                stats.services.total_global(),
+                stats.row_loads,
+                "every tensor row must be attributed to exactly one level"
+            );
+            if !case.duplo {
+                require_eq!(stats.services.lhb, 0);
+                require_eq!(stats.lhb.hits + stats.lhb.misses, 0);
+            }
+            // Determinism.
+            let mut cfg2 = SmConfig::titan_v(80);
+            if case.duplo {
+                cfg2.lhb = Some(LhbConfig::direct_mapped(64));
+            }
+            let kernel2 = FuzzKernel {
+                ctas: (0..2).map(|i| kernel.cta(i)).collect(),
+                workspace: Some(ws_desc()),
+            };
+            let stats2 = run_kernel(&kernel2, &[0, 1], cfg2);
+            require_eq!(stats.cycles, stats2.cycles);
+            Ok(())
+        },
+    );
 }

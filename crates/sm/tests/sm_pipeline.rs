@@ -76,7 +76,9 @@ fn frag_load(dst: u16, addr: u64, row_stride: u64) -> Op {
 fn empty_kernel_finishes_immediately() {
     let k = TestKernel {
         ctas: vec![CtaTrace {
-            warps: vec![WarpTrace { ops: vec![Op::Exit] }],
+            warps: vec![WarpTrace {
+                ops: vec![Op::Exit],
+            }],
         }],
         shared: 0,
         workspace: None,
@@ -139,7 +141,11 @@ fn barrier_synchronizes_cta() {
     };
     let stats = run_kernel(&k, &[0], config());
     // Warp 1 must wait for warp 0's ~200 cycles of ALU latency.
-    assert!(stats.cycles >= 200, "barrier released early: {}", stats.cycles);
+    assert!(
+        stats.cycles >= 200,
+        "barrier released early: {}",
+        stats.cycles
+    );
     assert_eq!(stats.ctas_run, 1);
 }
 
@@ -198,8 +204,7 @@ fn duplicate_fragment_hits_lhb_and_saves_traffic() {
     // ties here; the savings appear in L1/L2 accesses and latency.
     assert!(duplo.mem.dram_bytes <= baseline.mem.dram_bytes);
     assert!(
-        duplo.mem.l1_hits + duplo.mem.l1_misses
-            < baseline.mem.l1_hits + baseline.mem.l1_misses,
+        duplo.mem.l1_hits + duplo.mem.l1_misses < baseline.mem.l1_hits + baseline.mem.l1_misses,
         "duplo must touch the L1 less: {:?} vs {:?}",
         duplo.mem,
         baseline.mem

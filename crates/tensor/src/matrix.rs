@@ -124,7 +124,11 @@ impl Matrix {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dims {} vs {}", self.cols, rhs.rows);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dims {} vs {}",
+            self.cols, rhs.rows
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for j in 0..rhs.cols {
@@ -147,7 +151,11 @@ impl Matrix {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dims {} vs {}", self.cols, rhs.rows);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dims {} vs {}",
+            self.cols, rhs.rows
+        );
         const BK: usize = 64;
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
@@ -214,9 +222,7 @@ impl fmt::Debug for Matrix {
 mod tests {
     use super::*;
     use crate::approx_eq;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use duplo_testkit::Rng;
 
     #[test]
     fn identity_multiplication() {
@@ -228,13 +234,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_on_random_shapes() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..10 {
-            let m = rng.gen_range(1..40);
-            let k = rng.gen_range(1..70);
-            let n = rng.gen_range(1..40);
-            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0..1.0));
-            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0..1.0));
+            let m = rng.gen_range(1usize..40);
+            let k = rng.gen_range(1usize..70);
+            let n = rng.gen_range(1usize..40);
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0f32..1.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0f32..1.0));
             let x = a.matmul_naive(&b);
             let y = a.matmul(&b);
             assert!(approx_eq(x.as_slice(), y.as_slice(), 1e-4), "{m}x{k}x{n}");

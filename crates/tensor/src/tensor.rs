@@ -1,7 +1,7 @@
 //! Dense `NHWC` tensors.
 
 use crate::{F16, Nhwc};
-use rand::Rng;
+use duplo_testkit::Rng;
 use std::fmt;
 
 /// An owned, dense, row-major tensor in `NHWC` layout with `f32` storage.
@@ -66,10 +66,11 @@ impl Tensor4 {
 
     /// Fills the tensor with uniform random values in `[-1, 1)` that are
     /// exactly representable in half precision, so f16 round-trips are
-    /// lossless in functional cross-checks.
-    pub fn fill_random<R: Rng>(&mut self, rng: &mut R) {
+    /// lossless in functional cross-checks. Deterministic for a given
+    /// [`Rng`] seed (used by tests, benches and examples).
+    pub fn fill_random(&mut self, rng: &mut Rng) {
         for v in &mut self.data {
-            let raw: f32 = rng.gen_range(-1.0..1.0);
+            let raw: f32 = rng.gen_range(-1.0f32..1.0);
             *v = F16::round_trip(raw);
         }
     }
@@ -140,15 +141,18 @@ impl Tensor4 {
 
 impl fmt::Debug for Tensor4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor4({} elements, shape {})", self.data.len(), self.shape)
+        write!(
+            f,
+            "Tensor4({} elements, shape {})",
+            self.data.len(),
+            self.shape
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
 
     #[test]
     fn from_fn_matches_get() {
@@ -172,8 +176,8 @@ mod tests {
         let s = Nhwc::new(1, 4, 4, 4);
         let mut a = Tensor4::zeros(s);
         let mut b = Tensor4::zeros(s);
-        a.fill_random(&mut StdRng::seed_from_u64(42));
-        b.fill_random(&mut StdRng::seed_from_u64(42));
+        a.fill_random(&mut Rng::seed_from_u64(42));
+        b.fill_random(&mut Rng::seed_from_u64(42));
         assert_eq!(a, b);
         for &v in a.as_slice() {
             assert_eq!(F16::round_trip(v), v, "fill must be f16-exact");

@@ -1,94 +1,180 @@
 //! Property-based tests of the tensor substrate: f16 conversion laws,
 //! shape index bijectivity, and matrix algebra identities.
+//!
+//! Runs on the hermetic `duplo_testkit::prop` runner; set `DUPLO_TEST_SEED`
+//! to reproduce a failure (the panic message prints the seed to use).
 
 use duplo_tensor::{F16, Matrix, Nhwc, Tensor4, approx_eq};
-use proptest::prelude::*;
+use duplo_testkit::prop::check;
+use duplo_testkit::{Rng, require, require_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Rounding through f16 is idempotent.
+#[test]
+fn f16_round_trip_idempotent() {
+    check(
+        "f16_round_trip_idempotent",
+        256,
+        |rng| Some(rng.gen_range(-1.0e5f32..1.0e5)),
+        |&x| {
+            let once = F16::round_trip(x);
+            let twice = F16::round_trip(once);
+            require_eq!(once.to_bits(), twice.to_bits());
+            Ok(())
+        },
+    );
+}
 
-    /// Rounding through f16 is idempotent.
-    #[test]
-    fn f16_round_trip_idempotent(x in -1.0e5f32..1.0e5) {
-        let once = F16::round_trip(x);
-        let twice = F16::round_trip(once);
-        prop_assert_eq!(once.to_bits(), twice.to_bits());
-    }
+/// f16 conversion is monotone on finite values.
+#[test]
+fn f16_conversion_monotone() {
+    check(
+        "f16_conversion_monotone",
+        256,
+        |rng| {
+            Some((
+                rng.gen_range(-6.0e4f32..6.0e4),
+                rng.gen_range(-6.0e4f32..6.0e4),
+            ))
+        },
+        |&(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            require!(F16::round_trip(lo) <= F16::round_trip(hi));
+            Ok(())
+        },
+    );
+}
 
-    /// f16 conversion is monotone on finite values.
-    #[test]
-    fn f16_conversion_monotone(a in -6.0e4f32..6.0e4, b in -6.0e4f32..6.0e4) {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(F16::round_trip(lo) <= F16::round_trip(hi));
-    }
+/// Rounding error is bounded by half a ULP (2^-11 relative) in the
+/// normal range.
+#[test]
+fn f16_error_bounded() {
+    check(
+        "f16_error_bounded",
+        256,
+        |rng| Some(rng.gen_range(0.001f32..6.0e4)),
+        |&x| {
+            let r = F16::round_trip(x);
+            let rel = ((r - x) / x).abs();
+            require!(rel <= (2.0f32).powi(-11), "x={x} r={r} rel={rel}");
+            Ok(())
+        },
+    );
+}
 
-    /// Rounding error is bounded by half a ULP (2^-11 relative) in the
-    /// normal range.
-    #[test]
-    fn f16_error_bounded(x in 0.001f32..6.0e4) {
-        let r = F16::round_trip(x);
-        let rel = ((r - x) / x).abs();
-        prop_assert!(rel <= (2.0f32).powi(-11), "x={x} r={r} rel={rel}");
-    }
+/// Negation commutes with conversion.
+#[test]
+fn f16_negation_symmetric() {
+    check(
+        "f16_negation_symmetric",
+        256,
+        |rng| Some(rng.gen_range(-6.0e4f32..6.0e4)),
+        |&x| {
+            require_eq!(F16::round_trip(-x), -F16::round_trip(x));
+            Ok(())
+        },
+    );
+}
 
-    /// Negation commutes with conversion.
-    #[test]
-    fn f16_negation_symmetric(x in -6.0e4f32..6.0e4) {
-        prop_assert_eq!(F16::round_trip(-x), -F16::round_trip(x));
-    }
+/// index/coords are inverse bijections over the whole shape.
+#[test]
+fn shape_index_bijective() {
+    check(
+        "shape_index_bijective",
+        256,
+        |rng| {
+            Some((
+                rng.gen_range(1usize..4),
+                rng.gen_range(1usize..6),
+                rng.gen_range(1usize..6),
+                rng.gen_range(1usize..6),
+                rng.gen_range(0usize..10_000),
+            ))
+        },
+        |&(n, h, w, c, pick)| {
+            let s = Nhwc::new(n, h, w, c);
+            let idx = pick % s.len();
+            let (a, b, cc, d) = s.coords(idx);
+            require_eq!(s.index(a, b, cc, d), idx);
+            Ok(())
+        },
+    );
+}
 
-    /// index/coords are inverse bijections over the whole shape.
-    #[test]
-    fn shape_index_bijective(
-        n in 1usize..4, h in 1usize..6, w in 1usize..6, c in 1usize..6,
-        pick in 0usize..10_000,
-    ) {
-        let s = Nhwc::new(n, h, w, c);
-        let idx = pick % s.len();
-        let (a, b, cc, d) = s.coords(idx);
-        prop_assert_eq!(s.index(a, b, cc, d), idx);
-    }
+/// Blocked matmul agrees with naive evaluation on random shapes.
+#[test]
+fn matmul_matches_naive() {
+    check(
+        "matmul_matches_naive",
+        256,
+        |rng| {
+            Some((
+                rng.gen_range(1usize..12),
+                rng.gen_range(1usize..16),
+                rng.gen_range(1usize..12),
+                rng.gen_range(0u64..100),
+            ))
+        },
+        |&(m, k, n, seed)| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0f32..1.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0f32..1.0));
+            let fast = a.matmul(&b);
+            let slow = a.matmul_naive(&b);
+            require!(approx_eq(fast.as_slice(), slow.as_slice(), 1e-4));
+            Ok(())
+        },
+    );
+}
 
-    /// Matrix multiplication distributes over addition of the rhs
-    /// (checked against naive evaluation).
-    #[test]
-    fn matmul_matches_naive(
-        m in 1usize..12, k in 1usize..16, n in 1usize..12, seed in 0u64..100
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0..1.0));
-        let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0..1.0));
-        let fast = a.matmul(&b);
-        let slow = a.matmul_naive(&b);
-        prop_assert!(approx_eq(fast.as_slice(), slow.as_slice(), 1e-4));
-    }
+/// (A * B)^T == B^T * A^T.
+#[test]
+fn transpose_of_product() {
+    check(
+        "transpose_of_product",
+        256,
+        |rng| {
+            Some((
+                rng.gen_range(1usize..8),
+                rng.gen_range(1usize..8),
+                rng.gen_range(1usize..8),
+                rng.gen_range(0u64..100),
+            ))
+        },
+        |&(m, k, n, seed)| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0f32..1.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0f32..1.0));
+            let lhs = a.matmul_naive(&b).transpose();
+            let rhs = b.transpose().matmul_naive(&a.transpose());
+            require!(approx_eq(lhs.as_slice(), rhs.as_slice(), 1e-4));
+            Ok(())
+        },
+    );
+}
 
-    /// (A * B)^T == B^T * A^T.
-    #[test]
-    fn transpose_of_product(
-        m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..100
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0..1.0));
-        let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0..1.0));
-        let lhs = a.matmul_naive(&b).transpose();
-        let rhs = b.transpose().matmul_naive(&a.transpose());
-        prop_assert!(approx_eq(lhs.as_slice(), rhs.as_slice(), 1e-4));
-    }
-
-    /// Tensor from_fn/get agree on arbitrary coordinates.
-    #[test]
-    fn tensor_from_fn_get(
-        n in 1usize..3, h in 1usize..5, w in 1usize..5, c in 1usize..5,
-        pick in 0usize..10_000,
-    ) {
-        let s = Nhwc::new(n, h, w, c);
-        let t = Tensor4::from_fn(s, |a, b, cc, d| (a * 7 + b * 5 + cc * 3 + d) as f32);
-        let idx = pick % s.len();
-        let (a, b, cc, d) = s.coords(idx);
-        prop_assert_eq!(t.get(a, b, cc, d), (a * 7 + b * 5 + cc * 3 + d) as f32);
-        prop_assert_eq!(t.as_slice()[idx], t.get(a, b, cc, d));
-    }
+/// Tensor from_fn/get agree on arbitrary coordinates.
+#[test]
+fn tensor_from_fn_get() {
+    check(
+        "tensor_from_fn_get",
+        256,
+        |rng| {
+            Some((
+                rng.gen_range(1usize..3),
+                rng.gen_range(1usize..5),
+                rng.gen_range(1usize..5),
+                rng.gen_range(1usize..5),
+                rng.gen_range(0usize..10_000),
+            ))
+        },
+        |&(n, h, w, c, pick)| {
+            let s = Nhwc::new(n, h, w, c);
+            let t = Tensor4::from_fn(s, |a, b, cc, d| (a * 7 + b * 5 + cc * 3 + d) as f32);
+            let idx = pick % s.len();
+            let (a, b, cc, d) = s.coords(idx);
+            require_eq!(t.get(a, b, cc, d), (a * 7 + b * 5 + cc * 3 + d) as f32);
+            require_eq!(t.as_slice()[idx], t.get(a, b, cc, d));
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,475 @@
+//! A minimal, hermetic property-testing runner.
+//!
+//! [`check`] generates N random cases from a fixed seed, runs a property
+//! over each, and — on failure — **shrinks** the failing case before
+//! panicking with a reproducible report.
+//!
+//! # Model
+//!
+//! A *generator* is a function `Fn(&mut Rng) -> Option<T>`: it draws from
+//! the RNG and returns the case, or `None` to discard (the `prop_assume!`
+//! equivalent). A *property* is `Fn(&T) -> Result<(), String>`; the
+//! [`crate::require!`]/[`crate::require_eq!`] macros build the `Err` arm,
+//! and plain `assert!` panics are caught and treated as failures too.
+//!
+//! # Shrinking
+//!
+//! Instead of requiring a `Shrink` impl per type, the runner records the
+//! raw 64-bit *choice tape* the generator consumed (the Hypothesis
+//! approach) and searches for a shorter/smaller tape that still fails:
+//! truncating the tape (exhausted replays draw zeros) and moving
+//! individual choices toward zero. Because every `gen_range` maps the zero
+//! draw to its range minimum, smaller tapes mean structurally smaller
+//! cases — no per-type shrinking code needed.
+//!
+//! # Reproducibility
+//!
+//! The seed defaults to a fixed constant, so CI runs are deterministic.
+//! Set `DUPLO_TEST_SEED=<u64>` to explore a different universe of cases,
+//! and `DUPLO_TEST_CASES=<n>` to scale the case count; a failure report
+//! names the seed that produced it.
+
+use crate::rng::{Rng, splitmix64};
+use std::fmt::Debug;
+use std::panic::{AssertUnwindSafe, catch_unwind};
+
+/// The default seed of every property in the workspace.
+pub const DEFAULT_SEED: u64 = 0xD0_D1_D2_D3_00C0FFEE;
+
+/// Runner configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct Config {
+    /// Number of accepted (non-discarded) cases to run.
+    pub cases: u32,
+    /// Master seed; each case derives an independent stream from it.
+    pub seed: u64,
+    /// Cap on property evaluations spent shrinking a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    /// Builds a configuration from the environment: `DUPLO_TEST_SEED`
+    /// overrides the seed, `DUPLO_TEST_CASES` overrides `default_cases`.
+    pub fn from_env(default_cases: u32) -> Config {
+        let seed = std::env::var("DUPLO_TEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let cases = std::env::var("DUPLO_TEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_cases);
+        Config {
+            cases,
+            seed,
+            max_shrink_iters: 512,
+        }
+    }
+}
+
+/// Runs `prop` over `cases` generated cases; panics with a shrunk,
+/// reproducible report on the first failure.
+///
+/// # Panics
+///
+/// Panics if the property fails for any generated case, or if the
+/// generator discards too many candidates (> 20x the case target).
+///
+/// # Examples
+///
+/// ```
+/// duplo_testkit::prop::check("addition commutes", 64, |rng| {
+///     Some((rng.gen_range(0u32..1000), rng.gen_range(0u32..1000)))
+/// }, |&(a, b)| {
+///     duplo_testkit::require_eq!(a + b, b + a);
+///     Ok(())
+/// });
+/// ```
+pub fn check<T, G, P>(name: &str, cases: u32, gen: G, prop: P)
+where
+    T: Debug,
+    G: Fn(&mut Rng) -> Option<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check_with(&Config::from_env(cases), name, gen, prop)
+}
+
+/// [`check`] with an explicit [`Config`].
+pub fn check_with<T, G, P>(config: &Config, name: &str, gen: G, prop: P)
+where
+    T: Debug,
+    G: Fn(&mut Rng) -> Option<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = u64::from(config.cases) * 20;
+    while accepted < config.cases {
+        assert!(
+            attempt < max_attempts,
+            "property '{name}': generator discarded too many cases \
+             ({accepted}/{} accepted after {attempt} attempts)",
+            config.cases
+        );
+        // Independent stream per attempt, derived from the master seed.
+        let mut sm = config.seed ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
+        let case_seed = splitmix64(&mut sm);
+        attempt += 1;
+        let mut rng = Rng::recording(case_seed);
+        let Some(value) = gen(&mut rng) else {
+            continue;
+        };
+        accepted += 1;
+        if let Err(msg) = eval(&prop, &value) {
+            let tape = rng.into_tape();
+            let best = shrink(&tape, &gen, &prop, config.max_shrink_iters);
+            let (shrunk, shrunk_msg) =
+                replay_failure(&best, &gen, &prop).unwrap_or((format!("{value:?}"), msg.clone()));
+            panic!(
+                "property '{name}' failed at case {accepted} \
+                 (seed {seed}):\n  {shrunk_msg}\n  shrunk input: {shrunk}\n  \
+                 original input: {value:?}\n  original failure: {msg}\n  \
+                 rerun with DUPLO_TEST_SEED={seed}",
+                seed = config.seed,
+            );
+        }
+    }
+}
+
+/// Evaluates the property, converting panics into `Err`.
+fn eval<T, P>(prop: &P, value: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}
+
+/// Whether a choice tape still produces a failing case.
+fn tape_fails<T, G, P>(tape: &[u64], gen: &G, prop: &P) -> bool
+where
+    G: Fn(&mut Rng) -> Option<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    replay_failure_value(tape, gen, prop).is_some()
+}
+
+fn replay_failure_value<T, G, P>(tape: &[u64], gen: &G, prop: &P) -> Option<T>
+where
+    G: Fn(&mut Rng) -> Option<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut rng = Rng::replaying(tape);
+    let value = catch_unwind(AssertUnwindSafe(|| gen(&mut rng))).ok()??;
+    match eval(prop, &value) {
+        Err(_) => Some(value),
+        Ok(()) => None,
+    }
+}
+
+fn replay_failure<T, G, P>(tape: &[u64], gen: &G, prop: &P) -> Option<(String, String)>
+where
+    T: Debug,
+    G: Fn(&mut Rng) -> Option<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let value = replay_failure_value(tape, gen, prop)?;
+    let msg = eval(prop, &value).err()?;
+    Some((format!("{value:?}"), msg))
+}
+
+/// Greedy choice-tape shrinking: truncation passes, then per-element
+/// reduction toward zero, repeated until a fixpoint or the iteration cap.
+fn shrink<T, G, P>(tape: &[u64], gen: &G, prop: &P, max_iters: u32) -> Vec<u64>
+where
+    G: Fn(&mut Rng) -> Option<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut best = tape.to_vec();
+    let mut iters = 0u32;
+    let try_candidate = |cand: Vec<u64>, best: &mut Vec<u64>, iters: &mut u32| -> bool {
+        if *iters >= max_iters {
+            return false;
+        }
+        *iters += 1;
+        if tape_fails(&cand, gen, prop) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+    loop {
+        let mut improved = false;
+        // Pass 1: drop the tail (halving steps). Replay serves zeros past
+        // the end, so truncation zeroes the remaining structure.
+        let mut n = best.len();
+        while n > 0 {
+            n /= 2;
+            if try_candidate(best[..n].to_vec(), &mut best, &mut iters) {
+                improved = true;
+                break;
+            }
+        }
+        // Pass 2: delete individual choices (shifts the tail left —
+        // the "remove one element" shrink for variable-length cases).
+        let mut i = 0;
+        while i < best.len() {
+            let mut cand = best.clone();
+            cand.remove(i);
+            if try_candidate(cand, &mut best, &mut iters) {
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Pass 3: move individual choices toward zero.
+        let mut i = 0;
+        while i < best.len() {
+            let orig = best[i];
+            for cand_val in [0, orig >> 32, orig >> 1, orig.wrapping_sub(1)] {
+                if cand_val == orig || (cand_val == 0 && orig == 0) {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand[i] = cand_val;
+                if try_candidate(cand, &mut best, &mut iters) {
+                    improved = true;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        if !improved || iters >= max_iters {
+            break;
+        }
+    }
+    // Strip trailing zeros: replay treats them identically to absence.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    best
+}
+
+/// Builds the `Err(String)` arm of a property on a false condition.
+///
+/// `require!(cond)` or `require!(cond, "format", args...)`; the enclosing
+/// function must return `Result<(), String>`.
+#[macro_export]
+macro_rules! require {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "requirement failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "requirement failed: {} — {} ({}:{})",
+                stringify!($cond),
+                format!($($arg)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Equality-asserting counterpart of [`require!`].
+#[macro_export]
+macro_rules! require_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "requirement failed: {} == {} (left: {:?}, right: {:?}) ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "requirement failed: {} == {} (left: {:?}, right: {:?}) — {} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($arg)+),
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "u32 addition is monotone here",
+            64,
+            |rng| Some((rng.gen_range(0u32..1000), rng.gen_range(0u32..1000))),
+            |&(a, b)| {
+                counter.set(counter.get() + 1);
+                require!(a + b >= a);
+                Ok(())
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    fn discards_are_regenerated() {
+        // Half the candidates are discarded; the runner must still reach
+        // the case target.
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "discards",
+            32,
+            |rng| {
+                let v = rng.gen_range(0u32..100);
+                if v % 2 == 0 { Some(v) } else { None }
+            },
+            |&v| {
+                counter.set(counter.get() + 1);
+                require!(v % 2 == 0);
+                Ok(())
+            },
+        );
+        assert_eq!(counter.get(), 32);
+    }
+
+    #[test]
+    fn failure_is_reported_and_shrunk() {
+        let result = catch_unwind(|| {
+            check_with(
+                &Config {
+                    cases: 256,
+                    seed: 7,
+                    max_shrink_iters: 50_000,
+                },
+                "values below 50",
+                |rng| Some(rng.gen_range(0u64..1000)),
+                |&v| {
+                    require!(v < 50, "v = {v}");
+                    Ok(())
+                },
+            )
+        });
+        let msg = panic_message(&result.expect_err("property must fail"));
+        assert!(msg.contains("values below 50"), "{msg}");
+        assert!(msg.contains("DUPLO_TEST_SEED=7"), "{msg}");
+        // The shrunk counterexample must be the boundary value: the
+        // smallest failing input is exactly 50.
+        assert!(msg.contains("shrunk input: 50"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_handles_composite_cases() {
+        // Vec generation: length + elements. The minimal failing case for
+        // "no element >= 7" is a single-element vector [7].
+        let result = catch_unwind(|| {
+            check_with(
+                &Config {
+                    cases: 64,
+                    seed: 3,
+                    max_shrink_iters: 50_000,
+                },
+                "all elements below 7",
+                |rng| {
+                    let len = rng.gen_range(0usize..20);
+                    Some(
+                        (0..len)
+                            .map(|_| rng.gen_range(0u32..100))
+                            .collect::<Vec<_>>(),
+                    )
+                },
+                |v| {
+                    for &x in v {
+                        require!(x < 7, "x = {x}");
+                    }
+                    Ok(())
+                },
+            )
+        });
+        let msg = panic_message(&result.expect_err("property must fail"));
+        assert!(msg.contains("shrunk input: [7]"), "{msg}");
+    }
+
+    #[test]
+    fn plain_panics_are_caught_as_failures() {
+        let result = catch_unwind(|| {
+            check_with(
+                &Config {
+                    cases: 16,
+                    seed: 1,
+                    max_shrink_iters: 64,
+                },
+                "asserting property",
+                |rng| Some(rng.gen_range(0u32..10)),
+                |&v| {
+                    assert!(v < 100, "unreachable");
+                    if v > 1_000_000 {
+                        return Err("never".into());
+                    }
+                    std::panic::panic_any(format!("boom {v}"));
+                },
+            )
+        });
+        let msg = panic_message(&result.expect_err("must fail"));
+        assert!(msg.contains("panicked: boom"), "{msg}");
+    }
+
+    #[test]
+    fn same_seed_same_cases() {
+        let collect = |seed: u64| {
+            let log = std::cell::RefCell::new(Vec::new());
+            check_with(
+                &Config {
+                    cases: 32,
+                    seed,
+                    max_shrink_iters: 0,
+                },
+                "log",
+                |rng| Some(rng.gen_range(0u64..1_000_000)),
+                |&v| {
+                    log.borrow_mut().push(v);
+                    Ok(())
+                },
+            );
+            log.into_inner()
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(collect(42), collect(43));
+    }
+}

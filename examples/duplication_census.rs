@@ -12,7 +12,9 @@ fn main() {
     let params = ConvParams::new(Nhwc::new(1, 4, 4, 1), 1, 3, 3, 0, 1).unwrap();
     let input = Tensor4::from_vec(
         params.input,
-        vec![3., 1., 4., -2., 1., 0., -2., 1., 4., -2., 4., 0., -2., 1., 0., 3.],
+        vec![
+            3., 1., 4., -2., 1., 0., -2., 1., 4., -2., 4., 0., -2., 1., 0., 3.,
+        ],
     );
     let ws = lowering::lower(&params, &input);
     let gen = ids::IdGen::from_conv(&params);
@@ -23,7 +25,11 @@ fn main() {
         let idv: Vec<String> = (0..ws.cols())
             .map(|c| format!("{:3}", gen.id((row * ws.cols() + c) as u64).element))
             .collect();
-        println!("  row {row}: [{}]   ids [{}]", vals.join(" "), idv.join(" "));
+        println!(
+            "  row {row}: [{}]   ids [{}]",
+            vals.join(" "),
+            idv.join(" ")
+        );
     }
     let census = ids::census(&params, 1);
     println!(
@@ -34,7 +40,10 @@ fn main() {
     );
 
     println!("Table I duplication census (16-element tensor-core segments):");
-    println!("{:<12} {:>8} {:>10} {:>12} {:>14}", "layer", "expand", "dup(elem)", "bypass(seg)", "max hit rate");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>14}",
+        "layer", "expand", "dup(elem)", "bypass(seg)", "max hit rate"
+    );
     for layer in layers::all_layers() {
         let p = layer.lowered();
         let c = ids::census(&p, 16);

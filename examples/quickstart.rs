@@ -7,17 +7,16 @@ use duplo_conv::{ConvParams, direct, gemm, ids};
 use duplo_core::LhbConfig;
 use duplo_sim::{GpuConfig, layer_run};
 use duplo_tensor::{Nhwc, Tensor4, approx_eq};
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use duplo_testkit::Rng;
 
 fn main() {
     // A small convolutional layer: 8 images of 28x28x32, 32 3x3 filters.
-    let params = ConvParams::new(Nhwc::new(8, 28, 28, 32), 32, 3, 3, 1, 1)
-        .expect("valid convolution");
+    let params =
+        ConvParams::new(Nhwc::new(8, 28, 28, 32), 32, 3, 3, 1, 1).expect("valid convolution");
     println!("layer: {params}");
 
     // Functional check: GEMM-based convolution equals direct convolution.
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     let mut input = Tensor4::zeros(params.input);
     input.fill_random(&mut rng);
     let mut filters = Tensor4::zeros(params.filter_shape());

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the Duplo workspace. Fully hermetic: the workspace has no
+# external dependencies, so everything runs with --offline and no registry
+# or network access is ever needed.
+#
+# Usage: scripts/ci.sh
+#
+# Env knobs honored by the test suite (see README "Building & testing"):
+#   DUPLO_TEST_SEED=<u64>   master seed for the property-test runner
+#   DUPLO_TEST_CASES=<u32>  override per-property case counts
+#   DUPLO_BENCH_ITERS=<u32> timed iterations in `cargo bench`
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check ==" >&2
+cargo fmt --check
+
+echo "== cargo build --release --offline ==" >&2
+cargo build --release --offline
+
+echo "== cargo test -q --offline ==" >&2
+cargo test -q --offline
+
+echo "tier-1 gate: OK" >&2

@@ -15,8 +15,7 @@ use duplo_kernels::{A_BASE, GemmTcKernel, SmemPolicy};
 use duplo_sim::GpuConfig;
 use duplo_sm::run_kernel;
 use duplo_tensor::{Nhwc, Tensor4};
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use duplo_testkit::Rng;
 
 fn segment_values(
     params: &ConvParams,
@@ -47,7 +46,7 @@ fn check_layer(params: ConvParams, lhb: LhbConfig) -> (usize, u64) {
     let ctas: Vec<usize> = (0..kernel.num_ctas().min(6)).collect();
     let stats = run_kernel(&kernel, &ctas, cfg);
 
-    let mut rng = StdRng::seed_from_u64(1234);
+    let mut rng = Rng::seed_from_u64(1234);
     let mut input = Tensor4::zeros(params.input);
     input.fill_random(&mut rng);
 
@@ -66,8 +65,14 @@ fn check_layer(params: ConvParams, lhb: LhbConfig) -> (usize, u64) {
 fn renames_are_value_correct_unit_stride() {
     let p = ConvParams::new(Nhwc::new(1, 16, 16, 16), 16, 3, 3, 1, 1).unwrap();
     let (checked, eliminated) = check_layer(p, LhbConfig::paper_default());
-    assert!(eliminated > 100, "expected substantial elimination, got {eliminated}");
-    assert!(checked as u64 == eliminated, "every elimination must be logged and checked");
+    assert!(
+        eliminated > 100,
+        "expected substantial elimination, got {eliminated}"
+    );
+    assert!(
+        checked as u64 == eliminated,
+        "every elimination must be logged and checked"
+    );
 }
 
 #[test]

@@ -4,11 +4,10 @@
 
 use duplo_conv::{ConvParams, direct, fft, gemm, layers, transposed, winograd};
 use duplo_tensor::{Nhwc, Tensor4, approx_eq};
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use duplo_testkit::Rng;
 
 fn random_pair(p: &ConvParams, seed: u64) -> (Tensor4, Tensor4) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut input = Tensor4::zeros(p.input);
     input.fill_random(&mut rng);
     let mut filters = Tensor4::zeros(p.filter_shape());
@@ -80,7 +79,10 @@ fn winograd_matches_direct_where_applicable() {
         );
         checked += 1;
     }
-    assert!(checked >= 6, "expected many Winograd-eligible layers, got {checked}");
+    assert!(
+        checked >= 6,
+        "expected many Winograd-eligible layers, got {checked}"
+    );
 }
 
 #[test]
@@ -101,14 +103,17 @@ fn fft_matches_direct_where_applicable() {
         );
         checked += 1;
     }
-    assert!(checked >= 6, "expected many FFT-eligible layers, got {checked}");
+    assert!(
+        checked >= 6,
+        "expected many FFT-eligible layers, got {checked}"
+    );
 }
 
 #[test]
 fn gan_generator_chain_composes() {
     // Drive a shrunk TC chain end-to-end: each transposed layer upsamples
     // 2x, and the lowered path equals the independent scatter reference.
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Rng::seed_from_u64(9);
     let mut x = Tensor4::zeros(Nhwc::new(1, 4, 4, 8));
     x.fill_random(&mut rng);
     for step in 0..2 {

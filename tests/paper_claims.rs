@@ -23,10 +23,18 @@ fn lhb_size_monotonicity_on_unit_stride_layers() {
         let big = sweep.improvement(3);
         let small = sweep.improvement(0);
         assert!(oracle > 0.05, "{}: oracle {:.3}", sweep.layer, oracle);
-        assert!(big >= small - 0.02, "{}: 2048 {big:.3} vs 256 {small:.3}", sweep.layer);
+        assert!(
+            big >= small - 0.02,
+            "{}: 2048 {big:.3} vs 256 {small:.3}",
+            sweep.layer
+        );
         // The oracle pins more physical registers (entries never conflict
         // away), so a large finite LHB can edge it out by a few points.
-        assert!(oracle >= big - 0.06, "{}: oracle {oracle:.3} vs 2048 {big:.3}", sweep.layer);
+        assert!(
+            oracle >= big - 0.06,
+            "{}: oracle {oracle:.3} vs 2048 {big:.3}",
+            sweep.layer
+        );
     }
 }
 
