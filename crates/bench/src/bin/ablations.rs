@@ -1,9 +1,10 @@
 //! Ablations of Duplo's design choices.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::ablations;
 
 fn main() {
     let opts = opts_from_args(Some(8));
     banner("ablations", &opts);
-    print!("{}", ablations::render(&ablations::run(&opts)));
+    let rows = timed("ablations", || ablations::run(&opts));
+    print!("{}", ablations::render(&rows));
 }

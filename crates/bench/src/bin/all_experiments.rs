@@ -1,24 +1,59 @@
 //! Runs every experiment in sequence (the EXPERIMENTS.md generator).
-use duplo_bench::{banner, opts_from_args};
+//!
+//! Tables go to stdout; per-experiment wall-clock lines go to stderr, so
+//! stdout stays byte-identical across `DUPLO_THREADS` settings.
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::GpuConfig;
 use duplo_sim::experiments::*;
 
 fn main() {
     let opts = opts_from_args(Some(8));
     banner("all", &opts);
+    let total = std::time::Instant::now();
     print!("{}", table03_config::render(&GpuConfig::titan_v()));
-    print!("{}", fig02_speedup::render(&fig02_speedup::run()));
-    print!("{}", fig03_memusage::render(&fig03_memusage::run()));
-    print!("{}", table02_workflow::render(&table02_workflow::run()));
-    print!("{}", fig09_lhb_size::render(&fig09_lhb_size::run(&opts)));
-    print!("{}", fig10_hit_rate::render(&fig10_hit_rate::run(&opts)));
     print!(
         "{}",
-        fig11_mem_breakdown::render(&fig11_mem_breakdown::run(&opts))
+        fig02_speedup::render(&timed("fig02", fig02_speedup::run))
     );
-    print!("{}", fig12_assoc::render(&fig12_assoc::run(&opts)));
-    print!("{}", fig13_batch::render(&fig13_batch::run(&opts)));
-    print!("{}", fig14_network::render(&fig14_network::run(&opts)));
-    print!("{}", sec5h_energy::render(&sec5h_energy::run(&opts)));
-    print!("{}", sec2c_smem::render(&sec2c_smem::run(&opts)));
+    print!(
+        "{}",
+        fig03_memusage::render(&timed("fig03", fig03_memusage::run))
+    );
+    print!(
+        "{}",
+        table02_workflow::render(&timed("table02", table02_workflow::run))
+    );
+    print!(
+        "{}",
+        fig09_lhb_size::render(&timed("fig09", || fig09_lhb_size::run(&opts)))
+    );
+    print!(
+        "{}",
+        fig10_hit_rate::render(&timed("fig10", || fig10_hit_rate::run(&opts)))
+    );
+    print!(
+        "{}",
+        fig11_mem_breakdown::render(&timed("fig11", || fig11_mem_breakdown::run(&opts)))
+    );
+    print!(
+        "{}",
+        fig12_assoc::render(&timed("fig12", || fig12_assoc::run(&opts)))
+    );
+    print!(
+        "{}",
+        fig13_batch::render(&timed("fig13", || fig13_batch::run(&opts)))
+    );
+    print!(
+        "{}",
+        fig14_network::render(&timed("fig14", || fig14_network::run(&opts)))
+    );
+    print!(
+        "{}",
+        sec5h_energy::render(&timed("sec5h", || sec5h_energy::run(&opts)))
+    );
+    print!(
+        "{}",
+        sec2c_smem::render(&timed("sec2c", || sec2c_smem::run(&opts)))
+    );
+    eprintln!("[all] wall-clock: {:.3}s", total.elapsed().as_secs_f64());
 }

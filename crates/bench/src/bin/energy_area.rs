@@ -1,10 +1,10 @@
 //! §V-H — energy reduction and area overhead.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::sec5h_energy;
 
 fn main() {
     let opts = opts_from_args(None);
     banner("energy", &opts);
-    let e = sec5h_energy::run(&opts);
+    let e = timed("energy", || sec5h_energy::run(&opts));
     print!("{}", sec5h_energy::render(&e));
 }

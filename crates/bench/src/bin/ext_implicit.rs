@@ -1,9 +1,10 @@
 //! Extension: Duplo on implicit GEMM (shared-memory renaming).
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::ext_implicit;
 
 fn main() {
     let opts = opts_from_args(Some(8));
     banner("ext_implicit", &opts);
-    print!("{}", ext_implicit::render(&ext_implicit::run(&opts)));
+    let rows = timed("ext_implicit", || ext_implicit::run(&opts));
+    print!("{}", ext_implicit::render(&rows));
 }

@@ -1,9 +1,10 @@
 //! Extension: Duplo vs WIR-style same-address elimination.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::ext_wir;
 
 fn main() {
     let opts = opts_from_args(None);
     banner("ext_wir", &opts);
-    print!("{}", ext_wir::render(&ext_wir::run(&opts)));
+    let rows = timed("ext_wir", || ext_wir::run(&opts));
+    print!("{}", ext_wir::render(&rows));
 }

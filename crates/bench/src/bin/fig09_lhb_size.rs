@@ -1,10 +1,10 @@
 //! Fig. 9 — Duplo performance improvement vs LHB size.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::fig09_lhb_size;
 
 fn main() {
     let opts = opts_from_args(None);
     banner("fig09", &opts);
-    let sweeps = fig09_lhb_size::run(&opts);
+    let sweeps = timed("fig09", || fig09_lhb_size::run(&opts));
     print!("{}", fig09_lhb_size::render(&sweeps));
 }

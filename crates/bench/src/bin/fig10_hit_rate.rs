@@ -1,10 +1,10 @@
 //! Fig. 10 — LHB hit rate vs buffer size.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::fig10_hit_rate;
 
 fn main() {
     let opts = opts_from_args(None);
     banner("fig10", &opts);
-    let sweeps = fig10_hit_rate::run(&opts);
+    let sweeps = timed("fig10", || fig10_hit_rate::run(&opts));
     print!("{}", fig10_hit_rate::render(&sweeps));
 }

@@ -1,10 +1,10 @@
 //! Fig. 11 — memory service breakdown, baseline vs Duplo.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::fig11_mem_breakdown;
 
 fn main() {
     let opts = opts_from_args(None);
     banner("fig11", &opts);
-    let rows = fig11_mem_breakdown::run(&opts);
+    let rows = timed("fig11", || fig11_mem_breakdown::run(&opts));
     print!("{}", fig11_mem_breakdown::render(&rows));
 }

@@ -1,10 +1,10 @@
 //! Fig. 12 — set-associative LHB study.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::fig12_assoc;
 
 fn main() {
     let opts = opts_from_args(None);
     banner("fig12", &opts);
-    let sweeps = fig12_assoc::run(&opts);
+    let sweeps = timed("fig12", || fig12_assoc::run(&opts));
     print!("{}", fig12_assoc::render(&sweeps));
 }

@@ -1,10 +1,10 @@
 //! Fig. 13 — batch-size sensitivity.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::fig13_batch;
 
 fn main() {
     let opts = opts_from_args(Some(8));
     banner("fig13", &opts);
-    let rows = fig13_batch::run(&opts);
+    let rows = timed("fig13", || fig13_batch::run(&opts));
     print!("{}", fig13_batch::render(&rows));
 }

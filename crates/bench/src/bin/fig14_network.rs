@@ -1,10 +1,10 @@
 //! Fig. 14 — network-level inference/training execution time.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::fig14_network;
 
 fn main() {
     let opts = opts_from_args(Some(8));
     banner("fig14", &opts);
-    let rows = fig14_network::run(&opts);
+    let rows = timed("fig14", || fig14_network::run(&opts));
     print!("{}", fig14_network::render(&rows));
 }

@@ -1,10 +1,10 @@
 //! §II-C — shared-memory operand placement study.
-use duplo_bench::{banner, opts_from_args};
+use duplo_bench::{banner, opts_from_args, timed};
 use duplo_sim::experiments::sec2c_smem;
 
 fn main() {
     let opts = opts_from_args(None);
     banner("smem", &opts);
-    let rows = sec2c_smem::run(&opts);
+    let rows = timed("smem", || sec2c_smem::run(&opts));
     print!("{}", sec2c_smem::render(&rows));
 }

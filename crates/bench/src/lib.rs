@@ -35,12 +35,30 @@ pub fn opts_from_args(default_sample: Option<usize>) -> ExpOpts {
     }
 }
 
-/// Prints the sampling banner all binaries share.
+/// Prints the sampling banner all binaries share. The worker-thread count
+/// goes to **stderr**: stdout must stay byte-identical across
+/// `DUPLO_THREADS` settings (the determinism guarantee the golden tables
+/// and `scripts/ci.sh` rely on).
 pub fn banner(name: &str, opts: &ExpOpts) {
     match opts.sample_ctas {
         Some(n) => println!("[{name}] CTA sampling: at most {n} CTAs per representative SM"),
         None => println!("[{name}] full CTA shares simulated"),
     }
+    eprintln!(
+        "[{name}] worker threads: {} (override with DUPLO_THREADS)",
+        duplo_sim::runner::max_threads()
+    );
+}
+
+/// Runs `f`, reporting its wall-clock time on stderr as
+/// `[name] wall-clock: 1.234s`. Timing stays off stdout for the same
+/// reason as the thread-count banner: experiment tables must not vary
+/// with machine speed or thread count.
+pub fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    eprintln!("[{name}] wall-clock: {:.3}s", start.elapsed().as_secs_f64());
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,115 @@
+//! Property test for `Lhb` under the parallel experiment driver's usage
+//! pattern: every simulated SM owns a *private* LHB, but each SM's stream
+//! interleaves probe/allocate/retire traffic from many warps, whose load
+//! tokens come from disjoint namespaces of one shared counter space.
+//!
+//! The invariant under test: however probes, allocations, relays,
+//! conflict evictions, store invalidations, and retirements interleave,
+//! the buffer never leaks an `owners` entry — once every issued token has
+//! retired, `occupancy()` returns to exactly 0.
+
+use duplo_core::{Lhb, LhbConfig, LoadToken, PhysReg, SegmentKey};
+use duplo_testkit::{prop, require, require_eq};
+
+/// One interleaved multi-namespace stream against a single LHB.
+#[derive(Debug)]
+struct Case {
+    config: LhbConfig,
+    namespaces: usize,
+    /// (namespace, element, batch, action) — action 0..=7: mostly
+    /// probe+allocate, sometimes an early retire or a store invalidation.
+    ops: Vec<(usize, u64, u64, u8)>,
+}
+
+fn gen_case(rng: &mut duplo_testkit::Rng) -> Option<Case> {
+    let config = match rng.gen_range(0u32..4) {
+        0 => LhbConfig::direct_mapped(1 << rng.gen_range(4u32..9)),
+        1 => LhbConfig::set_associative(64, 1 << rng.gen_range(1u32..4)),
+        2 => LhbConfig::wir(64),
+        _ => LhbConfig::oracle(),
+    };
+    let namespaces = rng.gen_range(2usize..5);
+    let len = rng.gen_range(1usize..200);
+    let ops = (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0usize..namespaces),
+                rng.gen_range(0u64..64) * 16, // segment-aligned element IDs
+                rng.gen_range(0u64..3),
+                rng.gen_range(0u8..8),
+            )
+        })
+        .collect();
+    Some(Case {
+        config,
+        namespaces,
+        ops,
+    })
+}
+
+fn run_case(case: &Case) -> Result<(), String> {
+    let mut lhb = Lhb::new(case.config);
+    // Disjoint token namespaces, as the parallel driver hands each warp
+    // stream its own token range.
+    let token = |ns: usize, seq: u64| LoadToken((ns as u64) << 32 | seq);
+    let mut next_seq = vec![0u64; case.namespaces];
+    let mut outstanding: Vec<LoadToken> = Vec::new();
+    let mut preg_counter = 0u32;
+
+    for &(ns, element, batch, action) in &case.ops {
+        let key = SegmentKey { element, batch };
+        match action {
+            // Early retirement of a random outstanding token: the LHB must
+            // tolerate retires racing ahead of the rest of the stream.
+            6 if !outstanding.is_empty() => {
+                let t = outstanding.swap_remove(element as usize % outstanding.len());
+                lhb.retire(t);
+            }
+            // A store to workspace data invalidates any matching entry.
+            7 => {
+                lhb.store_invalidate(key, 0);
+            }
+            _ => {
+                let t = token(ns, next_seq[ns]);
+                next_seq[ns] += 1;
+                outstanding.push(t);
+                if lhb.probe(key, 0, t).is_none() {
+                    preg_counter += 1;
+                    lhb.allocate(key, 0, PhysReg(preg_counter), t);
+                }
+            }
+        }
+        if !case.config.oracle {
+            require!(
+                lhb.occupancy() <= case.config.entries,
+                "occupancy {} exceeds capacity {}",
+                lhb.occupancy(),
+                case.config.entries
+            );
+        }
+    }
+
+    // Drain: retire everything still outstanding (any order — take the
+    // issue order here; mid-stream retires already exercised randomness).
+    for t in outstanding {
+        lhb.retire(t);
+    }
+    require_eq!(lhb.occupancy(), 0);
+    let s = lhb.stats();
+    require_eq!(
+        s.retire_releases + s.conflict_evictions + s.store_invalidations,
+        s.misses,
+        "every allocation must be released exactly once"
+    );
+    Ok(())
+}
+
+#[test]
+fn interleaved_namespaces_never_leak_owner_entries() {
+    prop::check(
+        "lhb interleaved probe/allocate/retire streams never leak owners",
+        256,
+        gen_case,
+        run_case,
+    );
+}

@@ -223,7 +223,13 @@ impl WorkspaceDesc {
 
 /// A kernel the simulator can run: a named collection of CTAs generated on
 /// demand (large GEMMs would not fit in memory if fully materialized).
-pub trait Kernel {
+///
+/// Kernels are `Send + Sync`: the whole-GPU simulator fans representative
+/// SMs out across threads, each generating CTA traces from the shared
+/// kernel. Trace generation must therefore be a pure function of
+/// (`self`, `idx`) — interior mutability would break run-to-run
+/// determinism.
+pub trait Kernel: Send + Sync {
     /// Kernel name for reports.
     fn name(&self) -> &str;
 

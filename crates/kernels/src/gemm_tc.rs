@@ -115,21 +115,7 @@ impl GemmTcKernel {
     pub fn from_conv(params: &ConvParams, policy: SmemPolicy) -> GemmTcKernel {
         let (m, n, k) = params.gemm_dims();
         let mut kernel = GemmTcKernel::new(m, n, k, policy);
-        kernel.workspace = Some(WorkspaceDesc {
-            base: A_BASE,
-            bytes: (m * kernel.k_pad) as u64 * 2,
-            elem_bytes: 2,
-            row_stride_elems: kernel.k_pad as u32,
-            input_w: params.input.w as u32,
-            channels: params.input.c as u32,
-            fw: params.fw as u32,
-            fh: params.fh as u32,
-            out_w: params.out_w() as u32,
-            out_h: params.out_h() as u32,
-            stride: params.stride as u32,
-            pad: params.pad as u32,
-            batch: params.input.n as u32,
-        });
+        kernel.workspace = Some(crate::conv_workspace_desc(params));
         kernel.name = format!("conv_gemm_tc_{params}");
         kernel
     }

@@ -58,21 +58,7 @@ impl ImplicitGemmKernel {
             cta_n,
             panel_input_bytes: panel_input_bytes.max(128),
             input_bytes: params.input.len() as u64 * 2,
-            workspace: WorkspaceDesc {
-                base: A_BASE,
-                bytes: (m * k_pad) as u64 * 2,
-                elem_bytes: 2,
-                row_stride_elems: k_pad as u32,
-                input_w: params.input.w as u32,
-                channels: params.input.c as u32,
-                fw: params.fw as u32,
-                fh: params.fh as u32,
-                out_w: params.out_w() as u32,
-                out_h: params.out_h() as u32,
-                stride: params.stride as u32,
-                pad: params.pad as u32,
-                batch: params.input.n as u32,
-            },
+            workspace: crate::conv_workspace_desc(params),
         }
     }
 

@@ -42,6 +42,34 @@ pub fn pad16(x: usize) -> usize {
     x.div_ceil(16) * 16
 }
 
+/// Builds the [`duplo_isa::WorkspaceDesc`] (the §IV-A compile-time
+/// information programmed into the detection unit at launch) for the
+/// lowered GEMM of `params`, with workspace rows padded to
+/// `row_stride_elems = pad16(k)` elements.
+///
+/// Every kernel whose `A` operand is the lowered-convolution workspace
+/// must describe it identically — the explicit and implicit GEMM trace
+/// generators both call this, so their metadata cannot drift.
+pub fn conv_workspace_desc(params: &duplo_conv::ConvParams) -> duplo_isa::WorkspaceDesc {
+    let (m, _, k) = params.gemm_dims();
+    let k_pad = pad16(k);
+    duplo_isa::WorkspaceDesc {
+        base: A_BASE,
+        bytes: (m * k_pad) as u64 * 2,
+        elem_bytes: 2,
+        row_stride_elems: k_pad as u32,
+        input_w: params.input.w as u32,
+        channels: params.input.c as u32,
+        fw: params.fw as u32,
+        fh: params.fh as u32,
+        out_w: params.out_w() as u32,
+        out_h: params.out_h() as u32,
+        stride: params.stride as u32,
+        pad: params.pad as u32,
+        batch: params.input.n as u32,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +80,28 @@ mod tests {
         assert_eq!(pad16(16), 16);
         assert_eq!(pad16(17), 32);
         assert_eq!(pad16(147), 160);
+    }
+
+    #[test]
+    fn explicit_and_implicit_kernels_share_workspace_metadata() {
+        use duplo_conv::ConvParams;
+        use duplo_isa::Kernel as _;
+        use duplo_tensor::Nhwc;
+        // Mix of strides, paddings, and non-multiple-of-16 K dims.
+        let cases = [
+            ConvParams::new(Nhwc::new(1, 16, 16, 16), 16, 3, 3, 1, 1).unwrap(),
+            ConvParams::new(Nhwc::new(2, 28, 28, 32), 64, 3, 3, 2, 1).unwrap(),
+            ConvParams::new(Nhwc::new(1, 14, 14, 3), 8, 5, 5, 1, 2).unwrap(),
+        ];
+        for p in &cases {
+            let explicit = GemmTcKernel::from_conv(p, SmemPolicy::COnly)
+                .workspace()
+                .expect("explicit conv kernel has a workspace");
+            let implicit = ImplicitGemmKernel::from_conv(p)
+                .workspace()
+                .expect("implicit conv kernel has a workspace");
+            assert_eq!(explicit, implicit, "workspace metadata drifted for {p}");
+            assert_eq!(explicit, conv_workspace_desc(p));
+        }
     }
 }

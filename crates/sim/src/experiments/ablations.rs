@@ -36,15 +36,14 @@ fn probe_layers() -> Vec<duplo_conv::layers::LayerSpec> {
 fn measure(mut mutate: impl FnMut(&mut GpuConfig), opts: &ExpOpts, variant: &str) -> Row {
     let mut cfg = opts.apply(GpuConfig::titan_v());
     mutate(&mut cfg);
-    let mut ratios = Vec::new();
-    let mut hit_rates = Vec::new();
-    for l in probe_layers() {
+    let per_layer = crate::runner::par_map(&probe_layers(), |l| {
         let p = l.lowered();
         let base = layer_run(&p, None, &cfg);
         let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &cfg);
-        ratios.push(base.cycles / duplo.cycles);
-        hit_rates.push(duplo.stats.lhb.hit_rate());
-    }
+        (base.cycles / duplo.cycles, duplo.stats.lhb.hit_rate())
+    });
+    let ratios: Vec<f64> = per_layer.iter().map(|&(r, _)| r).collect();
+    let hit_rates: Vec<f64> = per_layer.iter().map(|&(_, h)| h).collect();
     Row {
         variant: variant.to_string(),
         improvement: crate::report::gmean(&ratios) - 1.0,

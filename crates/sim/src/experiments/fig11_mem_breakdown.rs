@@ -45,25 +45,23 @@ pub struct Row {
     pub dram_delta: f64,
 }
 
-/// Runs the Fig. 11 reproduction over all Table I layers.
+/// Runs the Fig. 11 reproduction over all Table I layers (one parallel
+/// job per layer; each job runs its baseline and Duplo pair).
 pub fn run(opts: &ExpOpts) -> Vec<Row> {
     let gpu = opts.apply(GpuConfig::titan_v());
-    table1_layers()
-        .iter()
-        .map(|l| {
-            let p = l.lowered();
-            let base = layer_run(&p, None, &gpu);
-            let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
-            let dram_delta =
-                duplo.stats.mem.dram_bytes as f64 / base.stats.mem.dram_bytes.max(1) as f64 - 1.0;
-            Row {
-                layer: l.qualified_name(),
-                baseline: Shares::of(&base),
-                duplo: Shares::of(&duplo),
-                dram_delta,
-            }
-        })
-        .collect()
+    crate::runner::par_map(&table1_layers(), |l| {
+        let p = l.lowered();
+        let base = layer_run(&p, None, &gpu);
+        let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
+        let dram_delta =
+            duplo.stats.mem.dram_bytes as f64 / base.stats.mem.dram_bytes.max(1) as f64 - 1.0;
+        Row {
+            layer: l.qualified_name(),
+            baseline: Shares::of(&base),
+            duplo: Shares::of(&duplo),
+            dram_delta,
+        }
+    })
 }
 
 /// Renders the breakdown table.

@@ -17,25 +17,31 @@ pub struct Row {
 /// The batch sizes of Fig. 13.
 pub const BATCHES: [usize; 3] = [8, 16, 32];
 
-/// Runs the batch sweep with the default 1024-entry LHB.
+/// Runs the batch sweep with the default 1024-entry LHB. The full
+/// (layer, batch) grid fans out in parallel; each job runs its
+/// baseline/Duplo pair and results regroup in input order.
 pub fn run(opts: &ExpOpts) -> Vec<Row> {
     let gpu = opts.apply(GpuConfig::titan_v());
-    table1_layers()
+    let layers = table1_layers();
+    let jobs: Vec<(usize, usize)> = (0..layers.len())
+        .flat_map(|li| BATCHES.iter().map(move |&b| (li, b)))
+        .collect();
+    let results = crate::runner::par_map(&jobs, |&(li, b)| {
+        let p = layers[li].with_batch(b).lowered();
+        let base = layer_run(&p, None, &gpu);
+        let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
+        base.cycles / duplo.cycles - 1.0
+    });
+
+    let mut it = results.into_iter();
+    layers
         .iter()
-        .map(|l| {
-            let improvements = BATCHES
+        .map(|l| Row {
+            layer: l.qualified_name(),
+            improvements: BATCHES
                 .iter()
-                .map(|&b| {
-                    let p = l.with_batch(b).lowered();
-                    let base = layer_run(&p, None, &gpu);
-                    let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
-                    base.cycles / duplo.cycles - 1.0
-                })
-                .collect();
-            Row {
-                layer: l.qualified_name(),
-                improvements,
-            }
+                .map(|_| it.next().expect("one per job"))
+                .collect(),
         })
         .collect()
 }

@@ -60,34 +60,54 @@ fn dw_dims(layer: &LayerSpec) -> (usize, usize, usize) {
     (k, n, m)
 }
 
+/// Per-layer cycle contributions, computed independently per layer so the
+/// network fans out over the parallel runner.
+struct LayerCycles {
+    fwd: (f64, f64),
+    dx: (f64, f64),
+    dw: f64,
+}
+
 fn run_network(net: Network, opts: &ExpOpts) -> Row {
     let gpu = opts.apply(GpuConfig::titan_v());
     let lhb = LhbConfig::paper_default();
     let layers = networks::layers_of(net);
-    let mut infer = (0.0, 0.0);
-    let mut train = (0.0, 0.0);
-    for (i, layer) in layers.iter().enumerate() {
+    let jobs: Vec<(usize, &LayerSpec)> = layers.iter().enumerate().collect();
+    let per_layer = crate::runner::par_map(&jobs, |&(i, layer)| {
         let p = layer.lowered();
-        let fwd_b = layer_run(&p, None, &gpu).cycles;
-        let fwd_d = layer_run(&p, Some(lhb), &gpu).cycles;
-        infer.0 += fwd_b;
-        infer.1 += fwd_d;
-        train.0 += fwd_b;
-        train.1 += fwd_d;
+        let fwd = (
+            layer_run(&p, None, &gpu).cycles,
+            layer_run(&p, Some(lhb), &gpu).cycles,
+        );
         // dX (skipped for the first layer, which needs no input gradient).
-        if i > 0 {
-            if let Some(dx) = dx_conv(layer) {
-                train.0 += layer_run(&dx, None, &gpu).cycles;
-                train.1 += layer_run(&dx, Some(lhb), &gpu).cycles;
-            }
-        }
+        let dx = match if i > 0 { dx_conv(layer) } else { None } {
+            Some(dx) => (
+                layer_run(&dx, None, &gpu).cycles,
+                layer_run(&dx, Some(lhb), &gpu).cycles,
+            ),
+            None => (0.0, 0.0),
+        };
         // dW: plain GEMM, no workspace; identical under both configs but
         // simulated once and charged to both.
         let (m, n, k) = dw_dims(layer);
         let kern = GemmTcKernel::new(m, n, k, SmemPolicy::COnly);
         let dw = GpuSim::new(gpu.clone()).run(&kern).cycles;
-        train.0 += dw;
-        train.1 += dw;
+        LayerCycles { fwd, dx, dw }
+    });
+
+    // Sum in layer order: float addition is not associative, so the fold
+    // order must not depend on worker completion order.
+    let mut infer = (0.0, 0.0);
+    let mut train = (0.0, 0.0);
+    for lc in &per_layer {
+        infer.0 += lc.fwd.0;
+        infer.1 += lc.fwd.1;
+        train.0 += lc.fwd.0;
+        train.1 += lc.fwd.1;
+        train.0 += lc.dx.0;
+        train.1 += lc.dx.1;
+        train.0 += lc.dw;
+        train.1 += lc.dw;
     }
     Row {
         network: net,

@@ -84,20 +84,33 @@ impl LayerSweep {
 }
 
 /// Sweeps every Table I layer over `configs` (plus a baseline run each).
+///
+/// The whole (layer, config) grid is flattened and fanned out over
+/// [`crate::runner::par_map`], so slow layers don't serialize behind each
+/// other; results are regrouped in input order, keeping the rendered
+/// tables identical at any thread count.
 pub fn sweep_layers(
     layers: &[LayerSpec],
     configs: &[LhbConfig],
     opts: &ExpOpts,
 ) -> Vec<LayerSweep> {
     let gpu = opts.apply(crate::GpuConfig::titan_v());
+    let params: Vec<_> = layers.iter().map(|l| l.lowered()).collect();
+    let jobs: Vec<(usize, Option<LhbConfig>)> = (0..layers.len())
+        .flat_map(|li| {
+            std::iter::once((li, None)).chain(configs.iter().map(move |c| (li, Some(*c))))
+        })
+        .collect();
+    let results = crate::runner::par_map(&jobs, |&(li, lhb)| layer_run(&params[li], lhb, &gpu));
+
+    let mut it = results.into_iter();
     layers
         .iter()
         .map(|l| {
-            let p = l.lowered();
-            let baseline = layer_run(&p, None, &gpu);
+            let baseline = it.next().expect("one result per job");
             let runs = configs
                 .iter()
-                .map(|c| (c.label(), layer_run(&p, Some(*c), &gpu)))
+                .map(|c| (c.label(), it.next().expect("one result per job")))
                 .collect();
             LayerSweep {
                 layer: l.qualified_name(),

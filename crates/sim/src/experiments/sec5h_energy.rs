@@ -30,25 +30,23 @@ pub struct Energy {
     pub area: Vec<(usize, f64)>,
 }
 
-/// Runs the energy/area assessment with the default 1024-entry LHB.
+/// Runs the energy/area assessment with the default 1024-entry LHB (one
+/// parallel job per layer; rows stay in catalog order).
 pub fn run(opts: &ExpOpts) -> Energy {
     let gpu = opts.apply(GpuConfig::titan_v());
-    let rows: Vec<Row> = table1_layers()
-        .iter()
-        .map(|l| {
-            let p = l.lowered();
-            let base = layer_run(&p, None, &gpu);
-            let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
-            let be = base.energy();
-            let de = duplo.energy();
-            Row {
-                layer: l.qualified_name(),
-                baseline_nj: be.total_nj(),
-                duplo_nj: de.total_nj(),
-                saving: EnergyReport::saving_over(&de, &be),
-            }
-        })
-        .collect();
+    let rows: Vec<Row> = crate::runner::par_map(&table1_layers(), |l| {
+        let p = l.lowered();
+        let base = layer_run(&p, None, &gpu);
+        let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
+        let be = base.energy();
+        let de = duplo.energy();
+        Row {
+            layer: l.qualified_name(),
+            baseline_nj: be.total_nj(),
+            duplo_nj: de.total_nj(),
+            saving: EnergyReport::saving_over(&de, &be),
+        }
+    });
     let mean_saving = rows.iter().map(|r| r.saving).sum::<f64>() / rows.len() as f64;
     let area = [256usize, 512, 1024, 2048]
         .iter()

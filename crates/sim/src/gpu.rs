@@ -84,9 +84,11 @@ impl GpuRunResult {
         let lhb_probes = s.lhb.hits + s.lhb.misses;
         EnergyCounts {
             lhb_events: lhb_probes + s.lhb.misses, // probes + allocations
-            // Row fills for misses, row reads for every MMA operand
-            // (2 operands + accumulator read/write per MMA, in rows).
-            rf_rows: s.row_loads + 4 * 16 * s.issued_mma / 16,
+            // Row fills for load misses (LHB hits rename instead of
+            // filling a row), plus per-MMA fragment traffic: 2 operand
+            // reads + accumulator read + write = 4 fragments, each a
+            // 16-row-slot 16x16 tile.
+            rf_rows: (s.row_loads - s.eliminated_loads) + 4 * 16 * s.issued_mma,
             l1_accesses: s.mem.l1_hits + s.mem.l1_misses + s.octet_dup_l1 + s.services.lhb,
             l2_accesses: s.mem.l2_accesses,
             dram_bytes: s.mem.dram_bytes + s.mem.store_bytes,
@@ -116,27 +118,44 @@ impl GpuSim {
     }
 
     /// Runs `kernel` on the simulated GPU.
+    ///
+    /// Each representative SM's `run_kernel` is independent, so the SMs
+    /// fan out over [`crate::runner::par_map`]; per-SM results are folded
+    /// in `sm_id` order, so the outcome is identical at any thread count.
+    ///
+    /// A kernel with no CTAs (every share empty) reports
+    /// `sampled_fraction: 0.0` — nothing ran, and the `cycles: 0.0`
+    /// estimate covers none of the grid.
     pub fn run(&self, kernel: &dyn Kernel) -> GpuRunResult {
         let cfg = &self.config;
         let n_ctas = kernel.num_ctas();
+        let sm_ids: Vec<usize> = (0..cfg.sms_simulated).collect();
+        let per_sm = crate::runner::par_map(&sm_ids, |&sm_id| {
+            // Round-robin CTA assignment, matching real rasterization.
+            let share: Vec<usize> = (sm_id..n_ctas).step_by(cfg.total_sms).collect();
+            if share.is_empty() {
+                return None;
+            }
+            let take = cfg.sample_ctas.unwrap_or(share.len()).min(share.len());
+            let stats = run_kernel(kernel, &share[..take], cfg.sm.clone());
+            Some((share.len(), take, stats))
+        });
+
         let mut worst_cycles = 0.0f64;
         let mut agg = SmStats::default();
         let mut ctas_simulated = 0usize;
         let mut sampled_fraction = 1.0f64;
-
-        for sm_id in 0..cfg.sms_simulated {
-            // Round-robin CTA assignment, matching real rasterization.
-            let share: Vec<usize> = (sm_id..n_ctas).step_by(cfg.total_sms).collect();
-            if share.is_empty() {
-                continue;
-            }
-            let take = cfg.sample_ctas.unwrap_or(share.len()).min(share.len());
-            let scale = share.len() as f64 / take as f64;
-            sampled_fraction = (take as f64 / share.len() as f64).min(sampled_fraction);
-            let stats = run_kernel(kernel, &share[..take], cfg.sm.clone());
+        let mut any_ran = false;
+        for (share_len, take, stats) in per_sm.into_iter().flatten() {
+            any_ran = true;
+            let scale = share_len as f64 / take as f64;
+            sampled_fraction = (take as f64 / share_len as f64).min(sampled_fraction);
             worst_cycles = worst_cycles.max(stats.cycles as f64 * scale);
             ctas_simulated += take;
             accumulate(&mut agg, &stats);
+        }
+        if !any_ran {
+            sampled_fraction = 0.0;
         }
         GpuRunResult {
             cycles: worst_cycles,
@@ -232,6 +251,73 @@ mod tests {
         // The scaled estimate should be within 2x of the full run.
         let ratio = sampled.cycles / full.cycles;
         assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rf_rows_counts_fills_and_mma_fragments() {
+        // Pin the energy accounting: RF rows = load fills (probed rows
+        // minus renamed ones) + 4 fragments/MMA x 16 row slots/fragment.
+        let mut stats = SmStats::default();
+        stats.row_loads = 100;
+        stats.eliminated_loads = 30;
+        stats.issued_mma = 7;
+        let r = GpuRunResult {
+            cycles: 0.0,
+            stats,
+            sampled_fraction: 1.0,
+            ctas_simulated: 0,
+        };
+        assert_eq!(r.energy_counts().rf_rows, (100 - 30) + 4 * 16 * 7);
+    }
+
+    /// A grid with zero CTAs (nothing to run on any SM).
+    struct EmptyKernel;
+
+    impl duplo_isa::Kernel for EmptyKernel {
+        fn name(&self) -> &str {
+            "empty"
+        }
+        fn num_ctas(&self) -> usize {
+            0
+        }
+        fn cta(&self, idx: usize) -> duplo_isa::CtaTrace {
+            panic!("empty kernel has no CTA {idx}");
+        }
+        fn shared_mem_per_cta(&self) -> u32 {
+            0
+        }
+        fn regs_per_warp(&self) -> u32 {
+            1
+        }
+    }
+
+    #[test]
+    fn zero_cta_kernel_reports_nothing_sampled() {
+        let r = GpuSim::new(GpuConfig::titan_v()).run(&EmptyKernel);
+        assert_eq!(r.sampled_fraction, 0.0, "no share ran: nothing sampled");
+        assert_eq!(r.cycles, 0.0);
+        assert_eq!(r.ctas_simulated, 0);
+        assert_eq!(r.stats.ctas_run, 0);
+    }
+
+    #[test]
+    fn multi_sm_run_is_thread_count_invariant() {
+        // 392 CTAs over 80 SMs: 5 simulated SMs get distinct shares; the
+        // fold over per-SM results must not depend on completion order.
+        let p = ConvParams::new(Nhwc::new(8, 56, 56, 16), 16, 3, 3, 1, 1).unwrap();
+        let mut cfg = GpuConfig::titan_v().with_sample(2);
+        cfg.sms_simulated = 5;
+        cfg.sm.lhb = Some(LhbConfig::paper_default());
+        let kernel = GemmTcKernel::from_conv(&p, SmemPolicy::COnly);
+        let serial = {
+            let _g = crate::runner::override_threads(1);
+            GpuSim::new(cfg.clone()).run(&kernel)
+        };
+        let parallel = {
+            let _g = crate::runner::override_threads(4);
+            GpuSim::new(cfg).run(&kernel)
+        };
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
     }
 
     #[test]

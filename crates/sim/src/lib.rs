@@ -8,7 +8,11 @@
 //!   (Table III machine) of a kernel, baseline or Duplo,
 //! * [`layer_run`] — simulate one convolutional layer's lowered GEMM,
 //! * [`experiments`] — drivers reproducing every figure and table of the
-//!   paper's evaluation (see `DESIGN.md` §5 for the index).
+//!   paper's evaluation (see `DESIGN.md` §5 for the index),
+//! * [`runner`] — the zero-dependency parallel execution engine behind
+//!   both (bounded scoped-thread pool, `DUPLO_THREADS` override,
+//!   order-stable and therefore byte-identical results at any thread
+//!   count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,5 +22,6 @@ pub mod experiments;
 pub mod gpu;
 pub mod networks;
 pub mod report;
+pub mod runner;
 
 pub use gpu::{GpuConfig, GpuRunResult, GpuSim, layer_run};

@@ -1,0 +1,219 @@
+//! Zero-dependency parallel execution engine for the simulator.
+//!
+//! The paper's §V evaluation sweeps hundreds of independent
+//! (layer, LHB-config) simulations; each is a pure function of its inputs,
+//! so the experiment drivers and [`crate::GpuSim::run`] fan their grids out
+//! over a bounded pool of scoped threads ([`par_map`]).
+//!
+//! # Determinism
+//!
+//! Results are collected *order-stably*: the output vector is ordered by
+//! input index, never by completion order, and every downstream reduction
+//! (stat accumulation, float sums, table rows) folds that vector
+//! sequentially. Identical inputs therefore produce byte-identical tables
+//! at any thread count — `DUPLO_THREADS=1` and `DUPLO_THREADS=64` render
+//! the same output.
+//!
+//! # Thread-count selection
+//!
+//! [`max_threads`] resolves, in order: an active [`override_threads`]
+//! guard (tests), the `DUPLO_THREADS` environment variable (a positive
+//! integer; `1` forces the serial fallback), and finally
+//! [`std::thread::available_parallelism`].
+//!
+//! # Nesting
+//!
+//! `par_map` inside a `par_map` worker spawns its own scoped pool, so
+//! nested grids multiply thread counts. The two built-in layers avoid
+//! this in the common case: the default [`crate::GpuConfig`] simulates one
+//! representative SM, which takes the serial fallback (a single-item map
+//! never spawns), while the experiment grids above it fan out.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Test-only scoped override; `0` means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`override_threads`] scopes so concurrent tests cannot
+/// clobber each other's setting.
+static OVERRIDE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+/// Maximum worker threads a [`par_map`] call may use.
+///
+/// Resolution order: active [`override_threads`] guard, then the
+/// `DUPLO_THREADS` environment variable (positive integer; invalid or
+/// zero values are ignored), then [`std::thread::available_parallelism`]
+/// (falling back to 1 if unknown).
+pub fn max_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Acquire);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("DUPLO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// RAII guard returned by [`override_threads`]; restores the previous
+/// override (and releases the serialization lock) on drop.
+pub struct ThreadOverrideGuard {
+    prev: usize,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ThreadOverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev, Ordering::Release);
+    }
+}
+
+/// Forces [`max_threads`] to `n` for the guard's lifetime (test aid: the
+/// determinism suite runs the same experiment at 1 and N threads within
+/// one process). Guards serialize on a global lock, so concurrent tests
+/// queue rather than interleave their overrides.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn override_threads(n: usize) -> ThreadOverrideGuard {
+    assert!(n > 0, "thread override must be positive");
+    let lock = OVERRIDE_LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let prev = THREAD_OVERRIDE.swap(n, Ordering::AcqRel);
+    ThreadOverrideGuard { prev, _lock: lock }
+}
+
+/// Applies `f` to every item of `items` on a bounded pool of scoped
+/// threads and returns the results **in input order**.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven item
+/// costs — large layers next to small ones — balance across workers. With
+/// one thread (or one item) the map runs serially on the calling thread,
+/// spawning nothing.
+///
+/// # Panics
+///
+/// A panic in `f` is propagated to the caller after the remaining workers
+/// drain.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = max_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(items.len());
+        let mut panicked = None;
+        for h in handles {
+            match h.join() {
+                Ok(chunk) => all.extend(chunk),
+                Err(payload) => panicked = Some(payload),
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+        all
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_input_ordered() {
+        let _g = override_threads(4);
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven work per item: later items finish first.
+        let out = par_map(&items, |&x| {
+            if x % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallback_matches_parallel() {
+        let items: Vec<u32> = (0..37).collect();
+        let serial = {
+            let _g = override_threads(1);
+            par_map(&items, |&x| x.wrapping_mul(2654435761))
+        };
+        let parallel = {
+            let _g = override_threads(8);
+            par_map(&items, |&x| x.wrapping_mul(2654435761))
+        };
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_item_maps() {
+        let _g = override_threads(4);
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[42u8], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        {
+            let _a = override_threads(3);
+            assert_eq!(max_threads(), 3);
+        }
+        // After the guard drops, the env/default path is back in charge.
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _g = override_threads(4);
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                assert!(x != 11, "boom at {x}");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_override_rejected() {
+        let _ = override_threads(0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Determinism gate for the parallel execution engine: the same experiment
+//! must render byte-identical tables at every thread count.
+//!
+//! `scripts/ci.sh` runs this test binary twice, under `DUPLO_THREADS=1`
+//! and `DUPLO_THREADS=4`, so both the env-variable path and the in-process
+//! override path of `duplo_sim::runner` are exercised.
+
+use duplo_sim::experiments::{ExpOpts, fig09_lhb_size, fig10_hit_rate, size_configs, sweep_layers};
+use duplo_sim::networks::all_layers;
+use duplo_sim::runner;
+
+/// The three smallest Table I layers (deterministically picked), keeping
+/// debug-mode runtime bounded while still fanning 15 jobs out.
+fn probe_layers() -> Vec<duplo_sim::networks::LayerSpec> {
+    let mut layers = all_layers();
+    layers.sort_by_key(|l| {
+        let (m, n, k) = l.lowered().gemm_dims();
+        (m * n * k, l.qualified_name())
+    });
+    layers.truncate(3);
+    layers
+}
+
+fn render_once() -> String {
+    let sweeps = sweep_layers(&probe_layers(), &size_configs(), &ExpOpts::quick());
+    format!(
+        "{}{}",
+        fig09_lhb_size::render(&sweeps),
+        fig10_hit_rate::render(&sweeps)
+    )
+}
+
+#[test]
+fn experiment_tables_identical_at_one_and_many_threads() {
+    let serial = {
+        let _g = runner::override_threads(1);
+        render_once()
+    };
+    let parallel = {
+        let _g = runner::override_threads(4);
+        render_once()
+    };
+    assert_eq!(
+        serial, parallel,
+        "rendered tables must be byte-identical regardless of thread count"
+    );
+}
+
+#[test]
+fn ambient_thread_count_matches_forced_serial() {
+    // Under ci.sh this runs with DUPLO_THREADS set in the environment;
+    // whatever the ambient configuration is, output must match serial.
+    let ambient = render_once();
+    let serial = {
+        let _g = runner::override_threads(1);
+        render_once()
+    };
+    assert_eq!(ambient, serial);
+}

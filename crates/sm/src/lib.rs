@@ -31,3 +31,14 @@ pub mod warp;
 pub use config::{SchedulerPolicy, SmConfig};
 pub use sm::{Sm, run_kernel};
 pub use stats::{ServiceCounts, SmStats, StallBreakdown};
+
+// `run_kernel` calls are fanned out across threads by the whole-GPU
+// simulator: its inputs must be sendable and its result collectable from a
+// worker. Compile-time proof, so a stray `Rc`/`RefCell` in a config or
+// stats field fails here rather than at the distant call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SmConfig>();
+    assert_send_sync::<SmStats>();
+    assert_send_sync::<SchedulerPolicy>();
+};

@@ -9,6 +9,8 @@
 #   DUPLO_TEST_SEED=<u64>   master seed for the property-test runner
 #   DUPLO_TEST_CASES=<u32>  override per-property case counts
 #   DUPLO_BENCH_ITERS=<u32> timed iterations in `cargo bench`
+#   DUPLO_THREADS=<usize>   worker threads for the parallel runner
+#                           (the determinism gate below pins 1 and 4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,5 +22,14 @@ cargo build --release --offline
 
 echo "== cargo test -q --offline ==" >&2
 cargo test -q --offline
+
+# Determinism gate: the parallel experiment engine must render
+# byte-identical tables at any thread count. Run the dedicated suite once
+# with the serial fallback and once with a 4-worker pool.
+echo "== determinism: DUPLO_THREADS=1 ==" >&2
+DUPLO_THREADS=1 cargo test -q --offline -p duplo-sim --test determinism
+
+echo "== determinism: DUPLO_THREADS=4 ==" >&2
+DUPLO_THREADS=4 cargo test -q --offline -p duplo-sim --test determinism
 
 echo "tier-1 gate: OK" >&2
