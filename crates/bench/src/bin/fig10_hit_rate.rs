@@ -1,10 +1,13 @@
 //! Fig. 10 — LHB hit rate vs buffer size.
-use duplo_bench::{banner, opts_from_args, timed};
+use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
 use duplo_sim::experiments::fig10_hit_rate;
 
 fn main() {
-    let opts = opts_from_args(None);
-    banner("fig10", &opts);
-    let sweeps = timed("fig10", || fig10_hit_rate::run(&opts));
+    let cli = cli_from_args(None);
+    banner("fig10", &cli.opts);
+    let (sweeps, secs) = timed_secs("fig10", || fig10_hit_rate::run(&cli.opts));
     print!("{}", fig10_hit_rate::render(&sweeps));
+    if let Some(path) = &cli.json {
+        write_result(path, fig10_hit_rate::result(&sweeps, &cli.opts), secs);
+    }
 }

@@ -1,10 +1,13 @@
 //! Fig. 13 — batch-size sensitivity.
-use duplo_bench::{banner, opts_from_args, timed};
+use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
 use duplo_sim::experiments::fig13_batch;
 
 fn main() {
-    let opts = opts_from_args(Some(8));
-    banner("fig13", &opts);
-    let rows = timed("fig13", || fig13_batch::run(&opts));
+    let cli = cli_from_args(Some(8));
+    banner("fig13", &cli.opts);
+    let (rows, secs) = timed_secs("fig13", || fig13_batch::run(&cli.opts));
     print!("{}", fig13_batch::render(&rows));
+    if let Some(path) = &cli.json {
+        write_result(path, fig13_batch::result(&rows, &cli.opts), secs);
+    }
 }

@@ -1,0 +1,42 @@
+//! Validates Duplo result JSON files with the in-tree parser.
+//!
+//! Usage: `json_check <file.json>...` — exits non-zero (with a message on
+//! stderr) on the first file that does not parse or lacks the
+//! `schema_version` marker. Used by `scripts/ci.sh` to gate the JSON
+//! output path without any external tooling.
+use duplo_sim::json::{Json, parse};
+use duplo_sim::results::SCHEMA_VERSION;
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version".to_string())?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != expected {SCHEMA_VERSION}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: json_check <file.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check(path) {
+            Ok(()) => eprintln!("[json_check] ok: {path}"),
+            Err(e) => {
+                eprintln!("[json_check] FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -4,16 +4,48 @@
 //!
 //! * `--sample <N>` — simulate at most `N` CTAs per representative SM and
 //!   scale time linearly (the default for the heaviest sweeps),
-//! * `--full` — simulate every CTA of each SM's share.
+//! * `--full` — simulate every CTA of each SM's share,
+//! * `--json <path>` — additionally write the experiment's structured
+//!   result (see `duplo_sim::results`) to `path`.
+//!
+//! `all_experiments` also accepts `--json-dir <dir>` (or the
+//! `DUPLO_JSON_DIR` environment variable) and writes one file per
+//! experiment plus a `BENCH_duplo.json` roll-up.
+//!
+//! JSON files normally carry a `host` block (wall-clock seconds, worker
+//! threads). Setting `DUPLO_JSON_STABLE` omits it, making the files
+//! byte-identical across machines and `DUPLO_THREADS` settings — the CI
+//! determinism gate diffs two such runs.
+
+use std::path::PathBuf;
 
 use duplo_sim::experiments::ExpOpts;
+use duplo_sim::results::ExperimentResult;
+
+/// Parsed command line shared by the experiment binaries.
+#[derive(Clone, Debug, Default)]
+pub struct CliArgs {
+    /// Sampling options forwarded to the experiment driver.
+    pub opts: ExpOpts,
+    /// `--json <path>`: write the structured result here.
+    pub json: Option<PathBuf>,
+    /// `--json-dir <dir>` (or `DUPLO_JSON_DIR`): per-experiment files.
+    pub json_dir: Option<PathBuf>,
+}
 
 /// Parses experiment options from `std::env::args`.
 ///
 /// `default_sample` is used when neither `--sample` nor `--full` is given.
 pub fn opts_from_args(default_sample: Option<usize>) -> ExpOpts {
+    cli_from_args(default_sample).opts
+}
+
+/// Parses the full shared command line (sampling + JSON output).
+pub fn cli_from_args(default_sample: Option<usize>) -> CliArgs {
     let args: Vec<String> = std::env::args().collect();
     let mut sample = default_sample;
+    let mut json = None;
+    let mut json_dir = std::env::var_os("DUPLO_JSON_DIR").map(PathBuf::from);
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -26,12 +58,28 @@ pub fn opts_from_args(default_sample: Option<usize>) -> ExpOpts {
                 sample = Some(n);
                 i += 1;
             }
-            other => panic!("unknown argument: {other} (use --sample <N> or --full)"),
+            "--json" => {
+                let p = args.get(i + 1).expect("--json requires a path");
+                json = Some(PathBuf::from(p));
+                i += 1;
+            }
+            "--json-dir" => {
+                let p = args.get(i + 1).expect("--json-dir requires a directory");
+                json_dir = Some(PathBuf::from(p));
+                i += 1;
+            }
+            other => panic!(
+                "unknown argument: {other} (use --sample <N>, --full, --json <path>, --json-dir <dir>)"
+            ),
         }
         i += 1;
     }
-    ExpOpts {
-        sample_ctas: sample,
+    CliArgs {
+        opts: ExpOpts {
+            sample_ctas: sample,
+        },
+        json,
+        json_dir,
     }
 }
 
@@ -55,10 +103,36 @@ pub fn banner(name: &str, opts: &ExpOpts) {
 /// reason as the thread-count banner: experiment tables must not vary
 /// with machine speed or thread count.
 pub fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    timed_secs(name, f).0
+}
+
+/// Like [`timed`], but also returns the elapsed seconds so the caller can
+/// stamp them into a JSON `host` block.
+pub fn timed_secs<T>(name: &str, f: impl FnOnce() -> T) -> (T, f64) {
     let start = std::time::Instant::now();
     let out = f();
-    eprintln!("[{name}] wall-clock: {:.3}s", start.elapsed().as_secs_f64());
-    out
+    let secs = start.elapsed().as_secs_f64();
+    eprintln!("[{name}] wall-clock: {secs:.3}s");
+    (out, secs)
+}
+
+/// Whether volatile host metadata must be left out of JSON files
+/// (`DUPLO_JSON_STABLE` set): byte-identical output across thread counts.
+pub fn json_stable() -> bool {
+    std::env::var_os("DUPLO_JSON_STABLE").is_some()
+}
+
+/// Stamps host metadata (unless `DUPLO_JSON_STABLE` is set) and writes the
+/// result to `path`, noting the write on stderr.
+pub fn write_result(path: &std::path::Path, mut result: ExperimentResult, wall_clock_s: f64) {
+    if !json_stable() {
+        result.wall_clock_s = Some(wall_clock_s);
+        result.workers = Some(duplo_sim::runner::max_threads());
+    }
+    result
+        .write(path)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("[{}] wrote {}", result.name, path.display());
 }
 
 #[cfg(test)]
@@ -75,5 +149,24 @@ mod tests {
         assert_eq!(opts.sample_ctas, Some(4));
         let quick = ExpOpts::quick();
         assert_eq!(quick.sample_ctas, Some(2));
+    }
+
+    #[test]
+    fn write_result_produces_parseable_json() {
+        use duplo_sim::json::{Json, parse};
+        let dir = std::env::temp_dir().join(format!("duplo-bench-test-{}", std::process::id()));
+        let path = dir.join("demo.json");
+        let r = ExperimentResult::new(
+            "demo",
+            "Demo",
+            Json::Obj(vec![]),
+            vec![],
+            Json::obj().field("k", 1u64).build(),
+        );
+        write_result(&path, r, 0.5);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = parse(&text).expect("file must parse");
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("demo"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

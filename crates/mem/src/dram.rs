@@ -24,7 +24,10 @@ pub struct BandwidthQueue {
     /// Total requests served.
     requests: u64,
     /// Accumulated queueing delay (cycles spent waiting for the server).
-    queue_delay: u64,
+    /// Kept in f64: at fractional bandwidths individual waits are
+    /// fractional (e.g. 0.5 cycles at 6.8 B/cyc), and truncating each one
+    /// would systematically undercount the total.
+    queue_delay: f64,
 }
 
 impl BandwidthQueue {
@@ -36,7 +39,7 @@ impl BandwidthQueue {
             next_free: 0.0,
             bytes: 0,
             requests: 0,
-            queue_delay: 0,
+            queue_delay: 0.0,
         }
     }
 
@@ -49,7 +52,7 @@ impl BandwidthQueue {
         self.next_free = start + service;
         self.bytes += u64::from(bytes);
         self.requests += 1;
-        self.queue_delay += (start - arrival) as u64;
+        self.queue_delay += start - arrival;
         (start + service).ceil() as u64 + u64::from(self.config.latency)
     }
 
@@ -63,12 +66,17 @@ impl BandwidthQueue {
         self.requests
     }
 
+    /// Total queueing delay accumulated over all requests, in cycles.
+    pub fn total_queue_delay(&self) -> f64 {
+        self.queue_delay
+    }
+
     /// Mean queueing delay per request, in cycles.
     pub fn mean_queue_delay(&self) -> f64 {
         if self.requests == 0 {
             0.0
         } else {
-            self.queue_delay as f64 / self.requests as f64
+            self.queue_delay / self.requests as f64
         }
     }
 
@@ -123,6 +131,34 @@ mod tests {
         }
         // 1000 requests x 32 B at 8 B/cyc = 4000 cycles of service.
         assert!((last as i64 - (4000 + 50)).abs() <= 2, "last={last}");
+    }
+
+    #[test]
+    fn fractional_queue_delay_is_not_truncated() {
+        // Regression: queue_delay used to be accumulated with
+        // `(start - arrival) as u64`, flooring each request's fractional
+        // wait. Pairs of 16-byte requests at 32 B/cyc make the second
+        // request of each pair wait exactly 0.5 cycles; spacing the pairs
+        // far apart keeps every wait fractional, so the truncating
+        // accumulator reported a mean delay of 0.
+        let mut d = q(32.0, 0);
+        let pairs = 10;
+        for i in 0..pairs {
+            let cycle = i * 1000;
+            d.request(cycle, 16); // idle server: no wait
+            d.request(cycle, 16); // waits 0.5 cycles for the first
+        }
+        let exact = 0.5 * pairs as f64;
+        assert!(
+            (d.total_queue_delay() - exact).abs() < 1e-9,
+            "total delay {} != {exact}",
+            d.total_queue_delay()
+        );
+        let mean = d.mean_queue_delay();
+        assert!(
+            (mean - exact / (2.0 * pairs as f64)).abs() < 1e-9,
+            "mean delay {mean} lost the fractional waits"
+        );
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl HierarchyConfig {
 }
 
 /// Aggregated hierarchy statistics.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
 pub struct MemStats {
     /// Load sectors that hit in L1.
     pub l1_hits: u64,
@@ -97,6 +97,8 @@ pub struct MemStats {
     pub l1_misses: u64,
     /// Secondary misses merged in the L1 MSHRs.
     pub mshr_merges: u64,
+    /// Accesses rejected because the MSHR file was full.
+    pub mshr_stalls: u64,
     /// Accesses that reached the L2 slice.
     pub l2_accesses: u64,
     /// L2 hits.
@@ -109,6 +111,14 @@ pub struct MemStats {
     pub stores: u64,
     /// Store bytes written through to DRAM.
     pub store_bytes: u64,
+    /// Requests that went through the L2 port server (loads + stores).
+    pub l2_port_requests: u64,
+    /// Total queueing delay at the L2 port, in cycles.
+    pub l2_queue_delay: f64,
+    /// Requests that went through the DRAM server (fills + stores).
+    pub dram_requests: u64,
+    /// Total queueing delay at the DRAM server, in cycles.
+    pub dram_queue_delay: f64,
 }
 
 /// One simulated SM's memory system.
@@ -216,9 +226,17 @@ impl MemoryHierarchy {
         let _ = self.dram.request(after_l2, bytes);
     }
 
-    /// Statistics snapshot (L1/L2/DRAM counters).
+    /// Statistics snapshot (L1/L2/DRAM counters), with the MSHR and
+    /// bandwidth-server counters folded in so "where did the cycles go"
+    /// is visible from one struct.
     pub fn stats(&self) -> MemStats {
-        self.stats
+        let mut s = self.stats;
+        s.mshr_stalls = self.mshr.stalls();
+        s.l2_port_requests = self.l2_port.requests();
+        s.l2_queue_delay = self.l2_port.total_queue_delay();
+        s.dram_requests = self.dram.requests();
+        s.dram_queue_delay = self.dram.total_queue_delay();
+        s
     }
 
     /// L1 cache stats.
@@ -332,6 +350,24 @@ mod tests {
             last >= 1024,
             "bandwidth should bound completion, got {last}"
         );
+    }
+
+    #[test]
+    fn stats_expose_mshr_stalls_and_queue_delays() {
+        let mut m = small();
+        // Saturate the 4-entry MSHR file: the 5th distinct miss stalls.
+        for i in 0..4 {
+            assert!(m.load(0, 0x10_000 + i * 128, 32).is_some());
+        }
+        assert!(m.load(0, 0x20_000, 32).is_none());
+        let s = m.stats();
+        assert_eq!(s.mshr_stalls, 1, "full-MSHR rejection must be counted");
+        // Four concurrent 128-byte fills over the 32 B/cyc port and the
+        // 8 B/cyc DRAM slice queue behind each other.
+        assert_eq!(s.l2_port_requests, 4);
+        assert_eq!(s.dram_requests, 4);
+        assert!(s.l2_queue_delay > 0.0, "port contention must accumulate");
+        assert!(s.dram_queue_delay > 0.0, "DRAM contention must accumulate");
     }
 
     #[test]

@@ -82,10 +82,33 @@ impl Mshr {
     }
 
     /// Records the actual completion cycle of the fill for `line_addr`.
+    ///
+    /// Calling this for a line that holds no reservation is a protocol
+    /// violation (the caller lost track of its `lookup` outcome); it used
+    /// to be silently ignored, which hid exactly the accounting bugs the
+    /// exported counters are meant to surface.
     pub fn record_fill(&mut self, line_addr: u64, fill_cycle: u64) {
-        if let Some(slot) = self.pending.get_mut(&line_addr) {
-            *slot = fill_cycle;
+        match self.pending.get_mut(&line_addr) {
+            Some(slot) => *slot = fill_cycle,
+            None => debug_assert!(
+                false,
+                "record_fill for line {line_addr:#x} without a reservation"
+            ),
         }
+    }
+
+    /// Cancels the reservation for `line_addr` without a fill.
+    ///
+    /// [`Mshr::lookup`] reserves an entry with a provisional `u64::MAX`
+    /// fill time; if the caller decides not to fetch after all it must
+    /// abort, otherwise the reservation never expires and permanently eats
+    /// one entry of MSHR capacity.
+    pub fn abort(&mut self, line_addr: u64) {
+        let removed = self.pending.remove(&line_addr);
+        debug_assert!(
+            removed.is_some(),
+            "abort for line {line_addr:#x} without a reservation"
+        );
     }
 
     /// Number of merged (secondary) misses.
@@ -128,6 +151,44 @@ mod tests {
         assert_eq!(m.stalls(), 1);
         // After the fills complete, capacity frees up.
         assert_eq!(m.lookup(501, 0x300), MshrOutcome::Allocated);
+    }
+
+    /// Regression: a provisional reservation whose fill is never recorded
+    /// carries a `u64::MAX` completion cycle, so `expire` can never retire
+    /// it — without an explicit `abort` it eats one entry of capacity for
+    /// the rest of the simulation.
+    #[test]
+    fn leaked_reservation_permanently_eats_capacity_until_aborted() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.lookup(0, 0xA00), MshrOutcome::Allocated);
+        // The caller "forgets" to record a fill for 0xA00.
+        assert_eq!(m.lookup(0, 0xB00), MshrOutcome::Allocated);
+        m.record_fill(0xB00, 10);
+        // Far in the future 0xB00 has expired, but the leaked 0xA00
+        // reservation still occupies a slot...
+        assert_eq!(m.lookup(1_000_000, 0xC00), MshrOutcome::Allocated);
+        m.record_fill(0xC00, 1_000_010);
+        assert_eq!(m.lookup(1_000_000, 0xD00), MshrOutcome::Full);
+        assert_eq!(m.occupancy(), 2);
+        // ...until the caller aborts it, restoring full capacity.
+        m.abort(0xA00);
+        assert_eq!(m.lookup(1_000_000, 0xD00), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "without a reservation")]
+    fn record_fill_for_unknown_line_is_a_protocol_violation() {
+        let mut m = Mshr::new(2);
+        m.record_fill(0xDEAD, 100);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "without a reservation")]
+    fn abort_for_unknown_line_is_a_protocol_violation() {
+        let mut m = Mshr::new(2);
+        m.abort(0xDEAD);
     }
 
     #[test]

@@ -156,7 +156,7 @@ mod tests {
                 v.push(s);
             }
         }
-        gmean(&v)
+        gmean(&v).expect("every method covers at least one layer")
     }
 
     #[test]

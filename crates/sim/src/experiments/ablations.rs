@@ -46,7 +46,7 @@ fn measure(mut mutate: impl FnMut(&mut GpuConfig), opts: &ExpOpts, variant: &str
     let hit_rates: Vec<f64> = per_layer.iter().map(|&(_, h)| h).collect();
     Row {
         variant: variant.to_string(),
-        improvement: crate::report::gmean(&ratios) - 1.0,
+        improvement: crate::report::gmean(&ratios).expect("probe layers are nonempty") - 1.0,
         hit_rate: hit_rates.iter().sum::<f64>() / hit_rates.len() as f64,
     }
 }
@@ -149,6 +149,40 @@ pub fn hash_study() -> Vec<HashRow> {
             }
         })
         .collect()
+}
+
+/// Structured result: ablation variants plus the index-function study.
+pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("variant", r.variant.as_str())
+                .field("improvement", r.improvement)
+                .field("hit_rate", r.hit_rate)
+                .build()
+        })
+        .collect();
+    let hashes: Vec<Json> = hash_study()
+        .iter()
+        .map(|h| {
+            Json::obj()
+                .field("hash", h.hash)
+                .field("sets_touched", h.sets_touched)
+                .field("max_per_set", h.max_per_set)
+                .build()
+        })
+        .collect();
+    let summary = Json::obj().field("hash_study", hashes).build();
+    ExperimentResult::new(
+        "ablations",
+        "Ablations — Duplo design-choice sensitivity",
+        opts_json(opts),
+        json_rows,
+        summary,
+    )
 }
 
 /// Renders the ablation table.

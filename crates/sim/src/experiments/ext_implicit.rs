@@ -58,6 +58,36 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
         .collect()
 }
 
+/// Structured result: per-layer implicit-GEMM comparison.
+pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::report::gmean;
+    use crate::results::{ExperimentResult, opts_json};
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("layer", r.layer.as_str())
+                .field("baseline_cycles", r.baseline)
+                .field("duplo_cycles", r.duplo)
+                .field("improvement", r.baseline / r.duplo - 1.0)
+                .field("elimination", r.elimination)
+                .build()
+        })
+        .collect();
+    let ratios: Vec<f64> = rows.iter().map(|r| r.baseline / r.duplo).collect();
+    let summary = Json::obj()
+        .field("gmean_improvement", gmean(&ratios).map(|g| g - 1.0))
+        .build();
+    ExperimentResult::new(
+        "ext_implicit",
+        "Ext — Duplo on implicit GEMM (shared-memory renaming)",
+        opts_json(opts),
+        json_rows,
+        summary,
+    )
+}
+
 /// Renders the study.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(

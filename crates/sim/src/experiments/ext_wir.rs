@@ -7,7 +7,7 @@
 //! versus keyed by workspace identity (Duplo).
 
 use super::{ExpOpts, table1_layers};
-use crate::report::{Table, fmt_pct, fmt_pct_plain, gmean};
+use crate::report::{Table, fmt_pct, fmt_pct_opt, fmt_pct_plain, gmean};
 use crate::{GpuConfig, layer_run};
 use duplo_core::LhbConfig;
 
@@ -47,6 +47,37 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
         .collect()
 }
 
+/// Structured result: per-layer WIR-vs-Duplo comparison.
+pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("layer", r.layer.as_str())
+                .field("wir_improvement", r.wir_improvement)
+                .field("duplo_improvement", r.duplo_improvement)
+                .field("wir_elimination", r.wir_elimination)
+                .field("duplo_elimination", r.duplo_elimination)
+                .build()
+        })
+        .collect();
+    let gw: Vec<f64> = rows.iter().map(|r| 1.0 + r.wir_improvement).collect();
+    let gd: Vec<f64> = rows.iter().map(|r| 1.0 + r.duplo_improvement).collect();
+    let summary = Json::obj()
+        .field("gmean_wir_improvement", gmean(&gw).map(|g| g - 1.0))
+        .field("gmean_duplo_improvement", gmean(&gd).map(|g| g - 1.0))
+        .build();
+    ExperimentResult::new(
+        "ext_wir",
+        "Ext — Duplo vs WIR-style same-address elimination",
+        opts_json(opts),
+        json_rows,
+        summary,
+    )
+}
+
 /// Renders the comparison.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(
@@ -66,8 +97,8 @@ pub fn render(rows: &[Row]) -> String {
     let gd: Vec<f64> = rows.iter().map(|r| 1.0 + r.duplo_improvement).collect();
     t.push_row(vec![
         "gmean".into(),
-        fmt_pct(gmean(&gw) - 1.0),
-        fmt_pct(gmean(&gd) - 1.0),
+        fmt_pct_opt(gmean(&gw).map(|g| g - 1.0)),
+        fmt_pct_opt(gmean(&gd).map(|g| g - 1.0)),
         String::new(),
         String::new(),
     ]);

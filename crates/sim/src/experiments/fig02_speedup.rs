@@ -44,10 +44,34 @@ pub fn run() -> Fig2 {
     let gmeans = (0..ConvMethod::FIG_METHODS.len())
         .map(|i| {
             let v: Vec<f64> = rows.iter().filter_map(|r| r.speedups[i]).collect();
-            if v.is_empty() { None } else { Some(gmean(&v)) }
+            gmean(&v)
         })
         .collect();
     Fig2 { rows, gmeans }
+}
+
+/// Structured result for the JSON layer.
+pub fn result(fig: &Fig2) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    let methods: Vec<&str> = ConvMethod::FIG_METHODS.iter().map(|m| m.label()).collect();
+    let row_json = |r: &Row| {
+        let mut b = Json::obj().field("layer", r.layer.as_str());
+        for (m, s) in methods.iter().zip(&r.speedups) {
+            b = b.field(m, *s);
+        }
+        b.build()
+    };
+    let mut summary = Json::obj();
+    for (m, g) in methods.iter().zip(&fig.gmeans) {
+        summary = summary.field(&format!("gmean_{m}"), *g);
+    }
+    crate::results::ExperimentResult::new(
+        "fig02_speedup",
+        "Fig. 2 — speedup over direct convolution",
+        Json::obj().field("model", "roofline").build(),
+        fig.rows.iter().map(row_json).collect(),
+        summary.build(),
+    )
 }
 
 /// Renders the result as a text table.

@@ -1,12 +1,67 @@
 //! Fig. 9: performance improvement of Duplo with variable-sized LHBs.
 
 use super::{ExpOpts, LayerSweep, size_configs, sweep_layers, table1_layers};
-use crate::report::{Table, fmt_pct, gmean};
+use crate::report::{Table, fmt_pct, fmt_pct_opt, gmean};
 
 /// Runs the Fig. 9 sweep: every Table I layer against
 /// {256, 512, 1024, 2048, oracle} LHBs.
 pub fn run(opts: &ExpOpts) -> Vec<LayerSweep> {
     sweep_layers(&table1_layers(), &size_configs(), opts)
+}
+
+/// Structured result: per-layer improvements plus the full per-run
+/// stall-attribution block ([`crate::results::run_metrics`]) for the
+/// baseline and every LHB configuration.
+pub fn result(sweeps: &[LayerSweep], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json, run_metrics};
+    let rows: Vec<Json> = sweeps
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .field("layer", s.layer.as_str())
+                .field("baseline", run_metrics(&s.baseline))
+                .field(
+                    "runs",
+                    s.runs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (label, run))| {
+                            Json::obj()
+                                .field("config", label.as_str())
+                                .field("improvement", s.improvement(i))
+                                .field("metrics", run_metrics(run))
+                                .build()
+                        })
+                        .collect::<Vec<_>>(),
+                )
+                .build()
+        })
+        .collect();
+    let mut summary = Json::obj();
+    let mut lhb1024_speedup = None;
+    for (i, (label, _)) in sweeps[0].runs.iter().enumerate() {
+        let v: Vec<f64> = sweeps.iter().map(|s| 1.0 + s.improvement(i)).collect();
+        let g = gmean(&v);
+        if label == "1024-entry" {
+            lhb1024_speedup = g;
+        }
+        summary = summary.field(&format!("gmean_improvement_{label}"), g.map(|g| g - 1.0));
+    }
+    let total_cycles: f64 = sweeps
+        .iter()
+        .map(|s| s.baseline.cycles + s.runs.iter().map(|(_, r)| r.cycles).sum::<f64>())
+        .sum();
+    summary = summary
+        .field("gmean_speedup_lhb1024", lhb1024_speedup)
+        .field("total_cycles", total_cycles);
+    ExperimentResult::new(
+        "fig09_lhb_size",
+        "Fig. 9 — Duplo performance improvement vs LHB size",
+        opts_json(opts),
+        rows,
+        summary.build(),
+    )
 }
 
 /// Renders per-layer improvements plus the geometric mean row.
@@ -29,7 +84,7 @@ pub fn render(sweeps: &[LayerSweep]) -> String {
     let mut cells = vec!["gmean".to_string()];
     for i in 0..sweeps[0].runs.len() {
         let v: Vec<f64> = sweeps.iter().map(|s| 1.0 + s.improvement(i)).collect();
-        cells.push(fmt_pct(gmean(&v) - 1.0));
+        cells.push(fmt_pct_opt(gmean(&v).map(|g| g - 1.0)));
     }
     t.push_row(cells);
     t.note("paper: 1024-entry ~22.1% gmean, oracle ~25.9%");

@@ -8,6 +8,52 @@ pub fn run(opts: &ExpOpts) -> Vec<LayerSweep> {
     sweep_layers(&table1_layers(), &size_configs(), opts)
 }
 
+/// Structured result: per-layer hit rates per configuration.
+pub fn result(sweeps: &[LayerSweep], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let rows: Vec<Json> = sweeps
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .field("layer", s.layer.as_str())
+                .field(
+                    "hit_rates",
+                    s.runs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (label, run))| {
+                            Json::obj()
+                                .field("config", label.as_str())
+                                .field("hit_rate", s.hit_rate(i))
+                                .field("lhb_hits", run.stats.lhb.hits)
+                                .field("lhb_misses", run.stats.lhb.misses)
+                                .build()
+                        })
+                        .collect::<Vec<_>>(),
+                )
+                .build()
+        })
+        .collect();
+    let mut summary = Json::obj();
+    let mut lhb1024 = None;
+    for (i, (label, _)) in sweeps[0].runs.iter().enumerate() {
+        let mean = sweeps.iter().map(|s| s.hit_rate(i)).sum::<f64>() / sweeps.len() as f64;
+        if label == "1024-entry" {
+            lhb1024 = Some(mean);
+        }
+        summary = summary.field(&format!("mean_hit_rate_{label}"), mean);
+    }
+    summary = summary.field_opt("mean_hit_rate_lhb1024", lhb1024);
+    ExperimentResult::new(
+        "fig10_hit_rate",
+        "Fig. 10 — LHB hit rate vs buffer size",
+        opts_json(opts),
+        rows,
+        summary.build(),
+    )
+}
+
 /// Renders per-layer hit rates plus the mean row.
 pub fn render(sweeps: &[LayerSweep]) -> String {
     let labels: Vec<String> = sweeps[0].runs.iter().map(|(l, _)| l.clone()).collect();

@@ -43,6 +43,10 @@ pub struct Row {
     pub duplo: Shares,
     /// Relative change in DRAM bytes (negative = saved).
     pub dram_delta: f64,
+    /// Full baseline metrics block ([`crate::results::run_metrics`]).
+    pub baseline_metrics: crate::json::Json,
+    /// Full Duplo metrics block.
+    pub duplo_metrics: crate::json::Json,
 }
 
 /// Runs the Fig. 11 reproduction over all Table I layers (one parallel
@@ -60,8 +64,46 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
             baseline: Shares::of(&base),
             duplo: Shares::of(&duplo),
             dram_delta,
+            baseline_metrics: crate::results::run_metrics(&base),
+            duplo_metrics: crate::results::run_metrics(&duplo),
         }
     })
+}
+
+/// Structured result: service shares, DRAM delta, and the full metrics
+/// blocks of both runs.
+pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let shares_json = |s: &Shares| {
+        Json::obj()
+            .field("lhb", s.lhb)
+            .field("l1", s.l1)
+            .field("l2", s.l2)
+            .field("dram", s.dram)
+            .build()
+    };
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("layer", r.layer.as_str())
+                .field("baseline_shares", shares_json(&r.baseline))
+                .field("duplo_shares", shares_json(&r.duplo))
+                .field("dram_delta", r.dram_delta)
+                .field("baseline", r.baseline_metrics.clone())
+                .field("duplo", r.duplo_metrics.clone())
+                .build()
+        })
+        .collect();
+    let mean_dram = rows.iter().map(|r| r.dram_delta).sum::<f64>() / rows.len().max(1) as f64;
+    ExperimentResult::new(
+        "fig11_mem_breakdown",
+        "Fig. 11 — memory service breakdown, baseline vs Duplo",
+        opts_json(opts),
+        json_rows,
+        Json::obj().field("mean_dram_delta", mean_dram).build(),
+    )
 }
 
 /// Renders the breakdown table.

@@ -1,7 +1,7 @@
 //! Fig. 12: set-associative LHBs (capacity fixed at 1024 entries).
 
 use super::{ExpOpts, LayerSweep, sweep_layers, table1_layers};
-use crate::report::{Table, fmt_pct, gmean};
+use crate::report::{Table, fmt_pct, fmt_pct_opt, gmean};
 use duplo_core::LhbConfig;
 
 /// The associativity configurations of Fig. 12.
@@ -17,6 +17,49 @@ pub fn assoc_configs() -> Vec<LhbConfig> {
 /// Runs the associativity sweep.
 pub fn run(opts: &ExpOpts) -> Vec<LayerSweep> {
     sweep_layers(&table1_layers(), &assoc_configs(), opts)
+}
+
+/// Structured result: per-layer improvement per associativity.
+pub fn result(sweeps: &[LayerSweep], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let rows: Vec<Json> = sweeps
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .field("layer", s.layer.as_str())
+                .field(
+                    "runs",
+                    s.runs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (label, _))| {
+                            Json::obj()
+                                .field("config", label.as_str())
+                                .field("improvement", s.improvement(i))
+                                .field("hit_rate", s.hit_rate(i))
+                                .build()
+                        })
+                        .collect::<Vec<_>>(),
+                )
+                .build()
+        })
+        .collect();
+    let mut summary = Json::obj();
+    for (i, (label, _)) in sweeps[0].runs.iter().enumerate() {
+        let v: Vec<f64> = sweeps.iter().map(|s| 1.0 + s.improvement(i)).collect();
+        summary = summary.field(
+            &format!("gmean_improvement_{label}"),
+            gmean(&v).map(|g| g - 1.0),
+        );
+    }
+    ExperimentResult::new(
+        "fig12_assoc",
+        "Fig. 12 — set-associative LHB (1024 entries)",
+        opts_json(opts),
+        rows,
+        summary.build(),
+    )
 }
 
 /// Renders improvements per associativity.
@@ -35,7 +78,7 @@ pub fn render(sweeps: &[LayerSweep]) -> String {
     let mut cells = vec!["gmean".to_string()];
     for i in 0..sweeps[0].runs.len() {
         let v: Vec<f64> = sweeps.iter().map(|s| 1.0 + s.improvement(i)).collect();
-        cells.push(fmt_pct(gmean(&v) - 1.0));
+        cells.push(fmt_pct_opt(gmean(&v).map(|g| g - 1.0)));
     }
     t.push_row(cells);
     t.note("paper: 8-way only ~3.6% better than direct-mapped — associativity is unnecessary");

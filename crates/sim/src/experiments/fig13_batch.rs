@@ -1,7 +1,7 @@
 //! Fig. 13: performance implications of variable-sized batches.
 
 use super::{ExpOpts, table1_layers};
-use crate::report::{Table, fmt_pct, gmean};
+use crate::report::{Table, fmt_pct, fmt_pct_opt, gmean};
 use crate::{GpuConfig, layer_run};
 use duplo_core::LhbConfig;
 
@@ -46,6 +46,37 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
         .collect()
 }
 
+/// Structured result: per-layer improvement per batch size.
+pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            let mut b = Json::obj().field("layer", r.layer.as_str());
+            for (batch, imp) in BATCHES.iter().zip(&r.improvements) {
+                b = b.field(&format!("batch_{batch}"), *imp);
+            }
+            b.build()
+        })
+        .collect();
+    let mut summary = Json::obj();
+    for (i, batch) in BATCHES.iter().enumerate() {
+        let v: Vec<f64> = rows.iter().map(|r| 1.0 + r.improvements[i]).collect();
+        summary = summary.field(
+            &format!("gmean_improvement_batch_{batch}"),
+            gmean(&v).map(|g| g - 1.0),
+        );
+    }
+    ExperimentResult::new(
+        "fig13_batch",
+        "Fig. 13 — Duplo improvement vs batch size (1024-entry LHB)",
+        opts_json(opts),
+        json_rows,
+        summary.build(),
+    )
+}
+
 /// Renders the batch table.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(
@@ -60,7 +91,7 @@ pub fn render(rows: &[Row]) -> String {
     let mut cells = vec!["gmean".to_string()];
     for i in 0..BATCHES.len() {
         let v: Vec<f64> = rows.iter().map(|r| 1.0 + r.improvements[i]).collect();
-        cells.push(fmt_pct(gmean(&v) - 1.0));
+        cells.push(fmt_pct_opt(gmean(&v).map(|g| g - 1.0)));
     }
     t.push_row(cells);
     t.note("paper: batch 8 -> 32 loses ~8.2% overall (no duplication across images)");

@@ -121,6 +121,48 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
     Network::ALL.iter().map(|n| run_network(*n, opts)).collect()
 }
 
+/// Structured result: network-level cycle totals and reductions.
+pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("network", r.network.to_string())
+                .field("infer_baseline_cycles", r.infer.0)
+                .field("infer_duplo_cycles", r.infer.1)
+                .field("infer_reduction", r.infer_reduction())
+                .field("train_baseline_cycles", r.train.0)
+                .field("train_duplo_cycles", r.train.1)
+                .field("train_reduction", r.train_reduction())
+                .build()
+        })
+        .collect();
+    let n = rows.len().max(1) as f64;
+    let summary = Json::obj()
+        .field(
+            "mean_infer_reduction",
+            rows.iter().map(Row::infer_reduction).sum::<f64>() / n,
+        )
+        .field(
+            "mean_train_reduction",
+            rows.iter().map(Row::train_reduction).sum::<f64>() / n,
+        )
+        .field(
+            "total_cycles",
+            rows.iter().map(|r| r.train.0 + r.train.1).sum::<f64>(),
+        )
+        .build();
+    ExperimentResult::new(
+        "fig14_network",
+        "Fig. 14 — network execution time reduction",
+        opts_json(opts),
+        json_rows,
+        summary,
+    )
+}
+
 /// Renders the Fig. 14 table.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(

@@ -20,6 +20,8 @@ pub struct Row {
     pub resident_ctas: u32,
     /// Kernel cycles.
     pub cycles: f64,
+    /// Full metrics block ([`crate::results::run_metrics`]).
+    pub metrics: crate::json::Json,
 }
 
 /// Runs the study on a representative GEMM (ResNet C4-sized).
@@ -35,9 +37,44 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
                 policy: policy.label(),
                 resident_ctas: 96 * 1024 / per_cta,
                 cycles: r.cycles,
+                metrics: crate::results::run_metrics(&r),
             }
         })
         .collect()
+}
+
+/// Structured result: per-policy cycles, residency, and metrics.
+pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let all = rows[0].cycles;
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("policy", r.policy)
+                .field("resident_ctas", r.resident_ctas)
+                .field("cycles", r.cycles)
+                .field("vs_all_abc", all / r.cycles - 1.0)
+                .field("metrics", r.metrics.clone())
+                .build()
+        })
+        .collect();
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.cycles.total_cmp(&b.cycles))
+        .expect("at least one policy");
+    let summary = Json::obj()
+        .field("best_policy", best.policy)
+        .field("best_vs_all_abc", all / best.cycles - 1.0)
+        .build();
+    ExperimentResult::new(
+        "smem_policy",
+        "Sec. II-C — shared-memory operand placement",
+        opts_json(opts),
+        json_rows,
+        summary,
+    )
 }
 
 /// Renders the comparison, normalized to the all-in-smem case.

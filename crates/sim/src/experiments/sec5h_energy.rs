@@ -62,6 +62,46 @@ pub fn run(opts: &ExpOpts) -> Energy {
     }
 }
 
+/// Structured result: per-layer energy plus the area sweep.
+pub fn result(e: &Energy, opts: &ExpOpts) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    use crate::results::{ExperimentResult, opts_json};
+    let rows: Vec<Json> = e
+        .rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("layer", r.layer.as_str())
+                .field("baseline_nj", r.baseline_nj)
+                .field("duplo_nj", r.duplo_nj)
+                .field("saving", r.saving)
+                .build()
+        })
+        .collect();
+    let summary = Json::obj()
+        .field("mean_saving", e.mean_saving)
+        .field(
+            "area_overhead",
+            e.area
+                .iter()
+                .map(|&(entries, frac)| {
+                    Json::obj()
+                        .field("lhb_entries", entries)
+                        .field("rf_fraction", frac)
+                        .build()
+                })
+                .collect::<Vec<_>>(),
+        )
+        .build();
+    ExperimentResult::new(
+        "sec5h_energy",
+        "Sec. V-H — energy and area, baseline vs Duplo",
+        opts_json(opts),
+        rows,
+        summary,
+    )
+}
+
 /// Renders the energy and area tables.
 pub fn render(e: &Energy) -> String {
     let mut t = Table::new(

@@ -113,6 +113,33 @@ pub fn run() -> Vec<Step> {
     steps
 }
 
+/// Structured result: the observed workflow steps.
+pub fn result(steps: &[Step]) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    let rows: Vec<Json> = steps
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .field("inst", s.inst)
+                .field("text", s.text)
+                .field("array_idx", s.array_idx)
+                .field("element_id", s.element_id)
+                .field("lhb_status", s.lhb_status)
+                .field("renaming", s.renaming.as_str())
+                .field("operation", s.operation)
+                .build()
+        })
+        .collect();
+    let summary = Json::obj().field("steps", steps.len()).build();
+    crate::results::ExperimentResult::new(
+        "table02_workflow",
+        "Table II — Duplo workflow using the LHB",
+        Json::Obj(vec![]),
+        rows,
+        summary,
+    )
+}
+
 /// Renders the workflow as the paper's Table II.
 pub fn render(steps: &[Step]) -> String {
     let mut t = Table::new(

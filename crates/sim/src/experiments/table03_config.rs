@@ -3,6 +3,38 @@
 use crate::GpuConfig;
 use crate::report::Table;
 
+/// Structured result: the machine parameters actually simulated.
+pub fn result(cfg: &GpuConfig) -> crate::results::ExperimentResult {
+    use crate::json::Json;
+    let machine = Json::obj()
+        .field("total_sms", cfg.total_sms)
+        .field("clock_mhz", cfg.clock_mhz)
+        .field("max_ctas_per_sm", cfg.sm.max_ctas)
+        .field("max_warps_per_sm", cfg.sm.max_warps)
+        .field("schedulers_per_sm", cfg.sm.schedulers)
+        .field("scheduler_policy", format!("{:?}", cfg.sm.policy))
+        .field("tensor_cores_per_sm", cfg.sm.tensor_cores)
+        .field("regfile_bytes", cfg.sm.regfile_bytes)
+        .field("l1_bytes", cfg.sm.hierarchy.l1.size_bytes)
+        .field("l1_latency", cfg.sm.hierarchy.l1.latency)
+        .field("l1_mshr_entries", cfg.sm.hierarchy.l1_mshr)
+        .field("l2_slice_bytes", cfg.sm.hierarchy.l2.size_bytes)
+        .field("l2_latency", cfg.sm.hierarchy.l2.latency)
+        .field(
+            "dram_bytes_per_cycle_per_sm",
+            cfg.sm.hierarchy.dram.bytes_per_cycle,
+        )
+        .field("sms_simulated", cfg.sms_simulated)
+        .build();
+    crate::results::ExperimentResult::new(
+        "table03_config",
+        "Table III — baseline GPU model",
+        Json::Obj(vec![]),
+        vec![machine],
+        Json::Obj(vec![]),
+    )
+}
+
 /// Renders the Table III configuration actually used by the simulator.
 pub fn render(cfg: &GpuConfig) -> String {
     let mut t = Table::new("Table III — baseline GPU model", &["parameter", "value"]);

@@ -198,12 +198,17 @@ fn accumulate(agg: &mut SmStats, s: &SmStats) {
     agg.mem.l1_hits += s.mem.l1_hits;
     agg.mem.l1_misses += s.mem.l1_misses;
     agg.mem.mshr_merges += s.mem.mshr_merges;
+    agg.mem.mshr_stalls += s.mem.mshr_stalls;
     agg.mem.l2_accesses += s.mem.l2_accesses;
     agg.mem.l2_hits += s.mem.l2_hits;
     agg.mem.dram_accesses += s.mem.dram_accesses;
     agg.mem.dram_bytes += s.mem.dram_bytes;
     agg.mem.stores += s.mem.stores;
     agg.mem.store_bytes += s.mem.store_bytes;
+    agg.mem.l2_port_requests += s.mem.l2_port_requests;
+    agg.mem.l2_queue_delay += s.mem.l2_queue_delay;
+    agg.mem.dram_requests += s.mem.dram_requests;
+    agg.mem.dram_queue_delay += s.mem.dram_queue_delay;
     agg.rename_pairs.extend_from_slice(&s.rename_pairs);
     agg.ctas_run += s.ctas_run;
 }

@@ -20,8 +20,10 @@
 pub mod costmodel;
 pub mod experiments;
 pub mod gpu;
+pub mod json;
 pub mod networks;
 pub mod report;
+pub mod results;
 pub mod runner;
 
 pub use gpu::{GpuConfig, GpuRunResult, GpuSim, layer_run};

@@ -94,16 +94,30 @@ pub fn fmt_pct(v: f64) -> String {
     format!("{:+.1}%", v * 100.0)
 }
 
+/// Formats an optional fraction as a signed percentage (`-` for `None`,
+/// e.g. a geometric mean over an empty layer selection).
+pub fn fmt_pct_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => fmt_pct(v),
+        None => "-".to_string(),
+    }
+}
+
 /// Formats a fraction as an unsigned percentage, `12.3%`.
 pub fn fmt_pct_plain(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
-/// Geometric mean of a nonempty slice of positive values.
-pub fn gmean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "gmean of empty slice");
+/// Geometric mean of a slice of positive values, or `None` for an empty
+/// slice. Experiment summaries over a filtered layer set (e.g. the
+/// unit-stride-only subset in `ext_implicit`) can legitimately be empty;
+/// render the result with [`fmt_x`] / [`fmt_pct_opt`], which print `-`.
+pub fn gmean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
     let s: f64 = values.iter().map(|v| v.ln()).sum();
-    (s / values.len() as f64).exp()
+    Some((s / values.len() as f64).exp())
 }
 
 #[cfg(test)]
@@ -135,8 +149,17 @@ mod tests {
 
     #[test]
     fn gmean_of_constants() {
-        assert!((gmean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
-        assert!((gmean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((gmean(&[4.0, 4.0, 4.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 100.0]).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    /// Regression: `gmean` used to panic on an empty slice, which a
+    /// filtered layer selection can legitimately produce.
+    #[test]
+    fn gmean_of_empty_slice_is_none_and_renders_dash() {
+        assert_eq!(gmean(&[]), None);
+        assert_eq!(fmt_x(gmean(&[])), "-");
+        assert_eq!(fmt_pct_opt(gmean(&[]).map(|g| g - 1.0)), "-");
     }
 
     #[test]
@@ -144,6 +167,7 @@ mod tests {
         assert_eq!(fmt_x(Some(13.54)), "13.5x");
         assert_eq!(fmt_x(None), "-");
         assert_eq!(fmt_pct(0.294), "+29.4%");
+        assert_eq!(fmt_pct_opt(Some(0.294)), "+29.4%");
         assert_eq!(fmt_pct_plain(0.761), "76.1%");
     }
 }

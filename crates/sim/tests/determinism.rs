@@ -46,6 +46,30 @@ fn experiment_tables_identical_at_one_and_many_threads() {
     );
 }
 
+/// The machine-readable path gets the same guarantee as the tables: the
+/// structured JSON (including the stall-attribution metrics blocks) must
+/// be byte-identical at every thread count.
+#[test]
+fn json_results_identical_at_one_and_many_threads() {
+    let json_once = || {
+        let opts = ExpOpts::quick();
+        let sweeps = sweep_layers(&probe_layers(), &size_configs(), &opts);
+        fig09_lhb_size::result(&sweeps, &opts).to_pretty()
+    };
+    let serial = {
+        let _g = runner::override_threads(1);
+        json_once()
+    };
+    let parallel = {
+        let _g = runner::override_threads(4);
+        json_once()
+    };
+    assert_eq!(
+        serial, parallel,
+        "JSON results must be byte-identical regardless of thread count"
+    );
+}
+
 #[test]
 fn ambient_thread_count_matches_forced_serial() {
     // Under ci.sh this runs with DUPLO_THREADS set in the environment;

@@ -76,7 +76,7 @@ fn table_rendering_golden() {
     ]);
     t.push_row(vec![
         "geomean".to_string(),
-        fmt_x(Some(gmean(&[1.2, 1.3, 1.4]))),
+        fmt_x(gmean(&[1.2, 1.3, 1.4])),
         String::new(),
     ]);
     t.note("A note line attached to the table.");

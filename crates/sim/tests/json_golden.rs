@@ -1,0 +1,135 @@
+//! Golden-snapshot tests for the structured-results layer: pin the JSON
+//! serializer's byte format and the experiment result schema (including
+//! the per-run stall-attribution block), so schema drift shows up as a
+//! reviewable diff instead of silently breaking downstream consumers.
+//!
+//! Snapshots live under `tests/golden/`. To regenerate after an intentional
+//! change, run:
+//!
+//! ```text
+//! DUPLO_BLESS=1 cargo test -p duplo-sim --test json_golden
+//! ```
+
+use duplo_sim::experiments::{ExpOpts, fig02_speedup, fig09_lhb_size, size_configs, sweep_layers};
+use duplo_sim::json::{Json, parse};
+use duplo_sim::networks::all_layers;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the named snapshot, or rewrites the snapshot
+/// when `DUPLO_BLESS` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("DUPLO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             `DUPLO_BLESS=1 cargo test -p duplo-sim --test json_golden`",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or_else(
+                || expected.lines().count().min(actual.lines().count()),
+                |i| i,
+            );
+        panic!(
+            "golden snapshot {} is stale (first difference at line {}):\n\
+             --- expected ---\n{expected}\n--- actual ---\n{actual}\n\
+             If the change is intentional, regenerate with \
+             `DUPLO_BLESS=1 cargo test -p duplo-sim --test json_golden`.",
+            path.display(),
+            diff_line + 1,
+        );
+    }
+}
+
+/// The three smallest Table I layers, picked the same way as the table
+/// golden and determinism tests: bounded debug-mode runtime, and the
+/// choice tracks catalog changes.
+fn probe_layers() -> Vec<duplo_sim::networks::LayerSpec> {
+    let mut layers = all_layers();
+    layers.sort_by_key(|l| {
+        let (m, n, k) = l.lowered().gemm_dims();
+        (m * n * k, l.qualified_name())
+    });
+    layers.truncate(3);
+    layers
+}
+
+/// Pin the serializer itself: key order, indentation, float formatting
+/// (integral floats get `.0`, non-finite becomes null), string escaping,
+/// and empty containers.
+#[test]
+fn serializer_golden() {
+    let doc = Json::obj()
+        .field("string", "plain")
+        .field(
+            "escaped",
+            "quote \" backslash \\ newline \n tab \t control \u{1}",
+        )
+        .field("int", -42i64)
+        .field("uint", 42u64)
+        .field("float", 0.1f64)
+        .field("integral_float", 3.0f64)
+        .field("huge", 1.0e300f64)
+        .field("tiny", 1.0e-300f64)
+        .field("nan_becomes_null", f64::NAN)
+        .field("inf_becomes_null", f64::INFINITY)
+        .field("truthy", true)
+        .field("nothing", Json::Null)
+        .field("empty_arr", Vec::<Json>::new())
+        .field("empty_obj", Json::obj().build())
+        .field(
+            "nested",
+            Json::obj()
+                .field("arr", vec![Json::from(1u64), Json::from("two")])
+                .build(),
+        )
+        .build();
+    assert_golden("json_serializer.txt", &doc.to_pretty());
+}
+
+/// Pin the Fig. 2 structured result (pure cost model, cheap and fully
+/// deterministic): schema_version, experiment/title/config envelope, rows,
+/// and summary keys.
+#[test]
+fn fig02_result_golden() {
+    let fig = fig02_speedup::run();
+    assert_golden(
+        "fig02_result.json",
+        &fig02_speedup::result(&fig).to_pretty(),
+    );
+}
+
+/// Pin the full simulation-result schema — per-run metrics with the stall
+/// attribution block (issued/stalls/mshr/queues/lhb/cache/dram) — via the
+/// Fig. 9 result on the three probe layers under `ExpOpts::quick()`.
+#[test]
+fn fig09_result_golden() {
+    let opts = ExpOpts::quick();
+    let sweeps = sweep_layers(&probe_layers(), &size_configs(), &opts);
+    let text = fig09_lhb_size::result(&sweeps, &opts).to_pretty();
+    // The serializer must be a fixpoint of its own parser: parse then
+    // re-serialize reproduces the bytes.
+    let reparsed = parse(&text).expect("golden JSON must parse");
+    assert_eq!(
+        reparsed.to_pretty(),
+        text,
+        "parse → serialize must be the identity on serializer output"
+    );
+    assert_golden("fig09_result_quick.json", &text);
+}

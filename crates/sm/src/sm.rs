@@ -185,7 +185,20 @@ impl Sm {
             })
             .collect();
         if candidates.is_empty() {
-            self.stats.stalls.empty += 1;
+            // Attribute the idle slot: a scheduler whose live warps are all
+            // parked at a barrier is stalled on synchronization, not empty.
+            let any_at_barrier = (0..self.warps.len())
+                .filter(|w| w % self.config.schedulers == s)
+                .any(|w| {
+                    self.warps[w]
+                        .as_ref()
+                        .is_some_and(|wc| !wc.done && wc.at_barrier)
+                });
+            if any_at_barrier {
+                self.stats.stalls.barrier += 1;
+            } else {
+                self.stats.stalls.empty += 1;
+            }
             return;
         }
         match self.config.policy {

@@ -70,6 +70,14 @@ impl StallBreakdown {
     pub fn ldst_stalls(&self) -> u64 {
         self.ldst_full
     }
+
+    /// Total unissued scheduler slots across all categories. Each
+    /// scheduler slot per cycle either issues exactly one instruction or
+    /// lands in exactly one category, so for every run
+    /// `issued_total + stalls.total() == cycles * schedulers`.
+    pub fn total(&self) -> u64 {
+        self.empty + self.data_dependency + self.ldst_full + self.tensor_busy + self.barrier
+    }
 }
 
 /// Complete statistics of one SM run.
@@ -120,5 +128,12 @@ impl SmStats {
         } else {
             self.eliminated_loads as f64 / self.row_loads as f64
         }
+    }
+
+    /// Total instructions issued across all classes. Together with
+    /// [`StallBreakdown::total`] this accounts for every scheduler slot:
+    /// `issued_total + stalls.total() == cycles * schedulers`.
+    pub fn issued_total(&self) -> u64 {
+        self.issued_mma + self.issued_tensor_loads + self.issued_other
     }
 }

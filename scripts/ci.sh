@@ -32,4 +32,23 @@ DUPLO_THREADS=1 cargo test -q --offline -p duplo-sim --test determinism
 echo "== determinism: DUPLO_THREADS=4 ==" >&2
 DUPLO_THREADS=4 cargo test -q --offline -p duplo-sim --test determinism
 
+# JSON gate: a fast experiment binary must emit structured results that
+# (a) the in-tree parser accepts and (b) are byte-identical across thread
+# counts when the volatile host block is suppressed (DUPLO_JSON_STABLE).
+echo "== json: emit + validate + thread-count diff ==" >&2
+JSON_DIR=$(mktemp -d)
+trap 'rm -rf "$JSON_DIR"' EXIT
+DUPLO_JSON_STABLE=1 DUPLO_THREADS=1 \
+    cargo run -q --release --offline -p duplo-bench --bin smem_policy -- \
+    --sample 2 --json "$JSON_DIR/smem_t1.json" > /dev/null
+DUPLO_JSON_STABLE=1 DUPLO_THREADS=4 \
+    cargo run -q --release --offline -p duplo-bench --bin smem_policy -- \
+    --sample 2 --json "$JSON_DIR/smem_t4.json" > /dev/null
+cargo run -q --release --offline -p duplo-bench --bin json_check -- \
+    "$JSON_DIR/smem_t1.json" "$JSON_DIR/smem_t4.json"
+cmp "$JSON_DIR/smem_t1.json" "$JSON_DIR/smem_t4.json" || {
+    echo "JSON output differs between DUPLO_THREADS=1 and 4" >&2
+    exit 1
+}
+
 echo "tier-1 gate: OK" >&2
