@@ -1,13 +1,4 @@
 //! Ablations of Duplo's design choices.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::ablations;
-
 fn main() {
-    let cli = cli_from_args(Some(8));
-    banner("ablations", &cli.opts);
-    let (rows, secs) = timed_secs("ablations", || ablations::run(&cli.opts));
-    print!("{}", ablations::render(&rows));
-    if let Some(path) = &cli.json {
-        write_result(path, ablations::result(&rows, &cli.opts), secs);
-    }
+    duplo_bench::standalone("ablations");
 }

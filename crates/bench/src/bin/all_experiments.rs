@@ -1,99 +1,17 @@
 //! Runs every experiment in sequence (the EXPERIMENTS.md generator).
 //!
-//! Tables go to stdout; per-experiment wall-clock lines go to stderr, so
-//! stdout stays byte-identical across `DUPLO_THREADS` settings.
+//! Iterates the shared experiment registry
+//! (`duplo_sim::experiments::registry`) over its `in_all` subset; tables
+//! go to stdout, per-experiment wall-clock and cache-counter lines go to
+//! stderr, so stdout stays byte-identical across `DUPLO_THREADS` settings
+//! and cache states.
 //!
 //! With `--json-dir <dir>` (or `DUPLO_JSON_DIR=<dir>`), every experiment's
 //! structured result is also written to `<dir>/<experiment>.json`, plus a
 //! `BENCH_duplo.json` roll-up of the headline metrics.
-use duplo_bench::{banner, cli_from_args, json_stable, timed_secs, write_result};
-use duplo_sim::GpuConfig;
-use duplo_sim::experiments::*;
-use duplo_sim::json::Json;
-use duplo_sim::results::{ExperimentResult, rollup};
+use duplo_bench::{cli_from_args, run_all};
 
 fn main() {
     let cli = cli_from_args(Some(8));
-    let opts = cli.opts.clone();
-    banner("all", &opts);
-    let total = std::time::Instant::now();
-    // (structured result, wall-clock seconds) per experiment, in run order.
-    let mut results: Vec<(ExperimentResult, f64)> = Vec::new();
-
-    let cfg = GpuConfig::titan_v();
-    print!("{}", table03_config::render(&cfg));
-    results.push((table03_config::result(&cfg), 0.0));
-
-    let (fig2, secs) = timed_secs("fig02", fig02_speedup::run);
-    print!("{}", fig02_speedup::render(&fig2));
-    results.push((fig02_speedup::result(&fig2), secs));
-
-    let (fig3, secs) = timed_secs("fig03", fig03_memusage::run);
-    print!("{}", fig03_memusage::render(&fig3));
-    results.push((fig03_memusage::result(&fig3), secs));
-
-    let (steps, secs) = timed_secs("table02", table02_workflow::run);
-    print!("{}", table02_workflow::render(&steps));
-    results.push((table02_workflow::result(&steps), secs));
-
-    let (sweeps, secs) = timed_secs("fig09", || fig09_lhb_size::run(&opts));
-    print!("{}", fig09_lhb_size::render(&sweeps));
-    results.push((fig09_lhb_size::result(&sweeps, &opts), secs));
-
-    let (sweeps, secs) = timed_secs("fig10", || fig10_hit_rate::run(&opts));
-    print!("{}", fig10_hit_rate::render(&sweeps));
-    results.push((fig10_hit_rate::result(&sweeps, &opts), secs));
-
-    let (rows, secs) = timed_secs("fig11", || fig11_mem_breakdown::run(&opts));
-    print!("{}", fig11_mem_breakdown::render(&rows));
-    results.push((fig11_mem_breakdown::result(&rows, &opts), secs));
-
-    let (sweeps, secs) = timed_secs("fig12", || fig12_assoc::run(&opts));
-    print!("{}", fig12_assoc::render(&sweeps));
-    results.push((fig12_assoc::result(&sweeps, &opts), secs));
-
-    let (rows, secs) = timed_secs("fig13", || fig13_batch::run(&opts));
-    print!("{}", fig13_batch::render(&rows));
-    results.push((fig13_batch::result(&rows, &opts), secs));
-
-    let (rows, secs) = timed_secs("fig14", || fig14_network::run(&opts));
-    print!("{}", fig14_network::render(&rows));
-    results.push((fig14_network::result(&rows, &opts), secs));
-
-    let (e, secs) = timed_secs("sec5h", || sec5h_energy::run(&opts));
-    print!("{}", sec5h_energy::render(&e));
-    results.push((sec5h_energy::result(&e, &opts), secs));
-
-    let (rows, secs) = timed_secs("sec2c", || sec2c_smem::run(&opts));
-    print!("{}", sec2c_smem::render(&rows));
-    results.push((sec2c_smem::result(&rows, &opts), secs));
-
-    let wall = total.elapsed().as_secs_f64();
-    eprintln!("[all] wall-clock: {wall:.3}s");
-
-    if let Some(dir) = &cli.json_dir {
-        std::fs::create_dir_all(dir)
-            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
-        let refs: Vec<&ExperimentResult> = results.iter().map(|(r, _)| r).collect();
-        let mut roll = rollup(&refs);
-        if !json_stable() {
-            if let Json::Obj(fields) = &mut roll {
-                fields.push((
-                    "host".to_string(),
-                    Json::obj()
-                        .field("wall_clock_s", wall)
-                        .field("workers", duplo_sim::runner::max_threads())
-                        .build(),
-                ));
-            }
-        }
-        for (result, secs) in results {
-            let path = dir.join(format!("{}.json", result.name));
-            write_result(&path, result, secs);
-        }
-        let roll_path = dir.join("BENCH_duplo.json");
-        std::fs::write(&roll_path, roll.to_pretty())
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", roll_path.display()));
-        eprintln!("[all] wrote {}", roll_path.display());
-    }
+    run_all(&cli, false);
 }

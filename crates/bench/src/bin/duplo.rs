@@ -1,0 +1,99 @@
+//! The unified Duplo experiment CLI, backed by the experiment registry.
+//!
+//! * `duplo list` — every registered experiment (name, paper anchor,
+//!   title),
+//! * `duplo describe <name>` — one experiment's metadata,
+//! * `duplo run <name|all> [options]` — run one experiment (or every
+//!   registered one) with the shared option set (`--sample`/`--full`,
+//!   `--json`/`--json-dir`, `--cache-dir`/`--no-cache`).
+//!
+//! `duplo run <name>` produces stdout byte-identical to the corresponding
+//! per-figure binary: both resolve the same registry entry and run through
+//! `duplo_bench::run_spec`.
+use duplo_bench::{USAGE, apply_cache_flags, parse_cli, run_all, run_named};
+use duplo_sim::experiments::{find_experiment, registry};
+
+const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)";
+
+fn usage_exit(code: i32) -> ! {
+    eprintln!("{COMMANDS}\n\n{USAGE}");
+    std::process::exit(code);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for spec in registry() {
+                println!("{:<20} {:<10} {}", spec.name, spec.paper_ref, spec.title);
+            }
+        }
+        Some("describe") => {
+            let Some(name) = args.get(1) else {
+                eprintln!("error: describe requires an experiment name");
+                usage_exit(2);
+            };
+            let Some(spec) = find_experiment(name) else {
+                eprintln!("error: unknown experiment {name:?} (see `duplo list`)");
+                std::process::exit(2);
+            };
+            println!("name:           {}", spec.name);
+            println!("title:          {}", spec.title);
+            println!("paper ref:      {}", spec.paper_ref);
+            match spec.default_sample {
+                Some(n) => println!("default sample: {n} CTAs per representative SM"),
+                None => println!("default sample: full CTA shares"),
+            }
+            println!(
+                "in all run:     {}",
+                if spec.in_all {
+                    "yes (all_experiments / EXPERIMENTS.md)"
+                } else {
+                    "no (standalone / duplo run only)"
+                }
+            );
+        }
+        Some("run") => {
+            let Some(target) = args.get(1) else {
+                eprintln!("error: run requires an experiment name or `all`");
+                usage_exit(2);
+            };
+            let rest = &args[2..];
+            if target == "all" {
+                match parse_cli(rest, Some(8)) {
+                    Ok(cli) => {
+                        apply_cache_flags(&cli);
+                        run_all(&cli, true);
+                    }
+                    Err(msg) => {
+                        eprintln!("error: {msg}");
+                        usage_exit(2);
+                    }
+                }
+            } else {
+                let Some(spec) = find_experiment(target) else {
+                    eprintln!("error: unknown experiment {target:?} (see `duplo list`)");
+                    std::process::exit(2);
+                };
+                match parse_cli(rest, spec.default_sample) {
+                    Ok(cli) => {
+                        apply_cache_flags(&cli);
+                        run_named(target, &cli);
+                    }
+                    Err(msg) => {
+                        eprintln!("error: {msg}");
+                        usage_exit(2);
+                    }
+                }
+            }
+        }
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{COMMANDS}\n\n{USAGE}");
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}");
+            usage_exit(2);
+        }
+        None => usage_exit(2),
+    }
+}

@@ -1,13 +1,4 @@
 //! §V-H — energy reduction and area overhead.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::sec5h_energy;
-
 fn main() {
-    let cli = cli_from_args(None);
-    banner("energy", &cli.opts);
-    let (e, secs) = timed_secs("energy", || sec5h_energy::run(&cli.opts));
-    print!("{}", sec5h_energy::render(&e));
-    if let Some(path) = &cli.json {
-        write_result(path, sec5h_energy::result(&e, &cli.opts), secs);
-    }
+    duplo_bench::standalone("sec5h_energy");
 }

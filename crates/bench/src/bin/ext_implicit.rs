@@ -1,13 +1,4 @@
 //! Extension: Duplo on implicit GEMM (shared-memory renaming).
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::ext_implicit;
-
 fn main() {
-    let cli = cli_from_args(Some(8));
-    banner("ext_implicit", &cli.opts);
-    let (rows, secs) = timed_secs("ext_implicit", || ext_implicit::run(&cli.opts));
-    print!("{}", ext_implicit::render(&rows));
-    if let Some(path) = &cli.json {
-        write_result(path, ext_implicit::result(&rows, &cli.opts), secs);
-    }
+    duplo_bench::standalone("ext_implicit");
 }

@@ -1,13 +1,4 @@
 //! Extension: Duplo vs WIR-style same-address elimination.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::ext_wir;
-
 fn main() {
-    let cli = cli_from_args(None);
-    banner("ext_wir", &cli.opts);
-    let (rows, secs) = timed_secs("ext_wir", || ext_wir::run(&cli.opts));
-    print!("{}", ext_wir::render(&rows));
-    if let Some(path) = &cli.json {
-        write_result(path, ext_wir::result(&rows, &cli.opts), secs);
-    }
+    duplo_bench::standalone("ext_wir");
 }

@@ -1,12 +1,4 @@
 //! Fig. 2 — convolution-method speedup over direct convolution.
-use duplo_bench::{cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::fig02_speedup;
-
 fn main() {
-    let cli = cli_from_args(None);
-    let (fig, secs) = timed_secs("fig02", fig02_speedup::run);
-    print!("{}", fig02_speedup::render(&fig));
-    if let Some(path) = &cli.json {
-        write_result(path, fig02_speedup::result(&fig), secs);
-    }
+    duplo_bench::standalone("fig02_speedup");
 }

@@ -1,12 +1,4 @@
 //! Fig. 3 — memory usage of convolution methods relative to direct.
-use duplo_bench::{cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::fig03_memusage;
-
 fn main() {
-    let cli = cli_from_args(None);
-    let (fig, secs) = timed_secs("fig03", fig03_memusage::run);
-    print!("{}", fig03_memusage::render(&fig));
-    if let Some(path) = &cli.json {
-        write_result(path, fig03_memusage::result(&fig), secs);
-    }
+    duplo_bench::standalone("fig03_memusage");
 }

@@ -1,13 +1,4 @@
 //! Fig. 9 — Duplo performance improvement vs LHB size.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::fig09_lhb_size;
-
 fn main() {
-    let cli = cli_from_args(None);
-    banner("fig09", &cli.opts);
-    let (sweeps, secs) = timed_secs("fig09", || fig09_lhb_size::run(&cli.opts));
-    print!("{}", fig09_lhb_size::render(&sweeps));
-    if let Some(path) = &cli.json {
-        write_result(path, fig09_lhb_size::result(&sweeps, &cli.opts), secs);
-    }
+    duplo_bench::standalone("fig09_lhb_size");
 }

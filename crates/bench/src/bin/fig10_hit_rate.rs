@@ -1,13 +1,4 @@
 //! Fig. 10 — LHB hit rate vs buffer size.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::fig10_hit_rate;
-
 fn main() {
-    let cli = cli_from_args(None);
-    banner("fig10", &cli.opts);
-    let (sweeps, secs) = timed_secs("fig10", || fig10_hit_rate::run(&cli.opts));
-    print!("{}", fig10_hit_rate::render(&sweeps));
-    if let Some(path) = &cli.json {
-        write_result(path, fig10_hit_rate::result(&sweeps, &cli.opts), secs);
-    }
+    duplo_bench::standalone("fig10_hit_rate");
 }

@@ -1,13 +1,4 @@
 //! Fig. 11 — memory service breakdown, baseline vs Duplo.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::fig11_mem_breakdown;
-
 fn main() {
-    let cli = cli_from_args(None);
-    banner("fig11", &cli.opts);
-    let (rows, secs) = timed_secs("fig11", || fig11_mem_breakdown::run(&cli.opts));
-    print!("{}", fig11_mem_breakdown::render(&rows));
-    if let Some(path) = &cli.json {
-        write_result(path, fig11_mem_breakdown::result(&rows, &cli.opts), secs);
-    }
+    duplo_bench::standalone("fig11_mem_breakdown");
 }

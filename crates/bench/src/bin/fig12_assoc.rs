@@ -1,13 +1,4 @@
 //! Fig. 12 — set-associative LHB study.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::fig12_assoc;
-
 fn main() {
-    let cli = cli_from_args(None);
-    banner("fig12", &cli.opts);
-    let (sweeps, secs) = timed_secs("fig12", || fig12_assoc::run(&cli.opts));
-    print!("{}", fig12_assoc::render(&sweeps));
-    if let Some(path) = &cli.json {
-        write_result(path, fig12_assoc::result(&sweeps, &cli.opts), secs);
-    }
+    duplo_bench::standalone("fig12_assoc");
 }

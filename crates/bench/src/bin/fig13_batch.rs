@@ -1,13 +1,4 @@
 //! Fig. 13 — batch-size sensitivity.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::fig13_batch;
-
 fn main() {
-    let cli = cli_from_args(Some(8));
-    banner("fig13", &cli.opts);
-    let (rows, secs) = timed_secs("fig13", || fig13_batch::run(&cli.opts));
-    print!("{}", fig13_batch::render(&rows));
-    if let Some(path) = &cli.json {
-        write_result(path, fig13_batch::result(&rows, &cli.opts), secs);
-    }
+    duplo_bench::standalone("fig13_batch");
 }

@@ -1,13 +1,4 @@
 //! Fig. 14 — network-level inference/training execution time.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::fig14_network;
-
 fn main() {
-    let cli = cli_from_args(Some(8));
-    banner("fig14", &cli.opts);
-    let (rows, secs) = timed_secs("fig14", || fig14_network::run(&cli.opts));
-    print!("{}", fig14_network::render(&rows));
-    if let Some(path) = &cli.json {
-        write_result(path, fig14_network::result(&rows, &cli.opts), secs);
-    }
+    duplo_bench::standalone("fig14_network");
 }

@@ -1,13 +1,4 @@
 //! §II-C — shared-memory operand placement study.
-use duplo_bench::{banner, cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::sec2c_smem;
-
 fn main() {
-    let cli = cli_from_args(None);
-    banner("smem", &cli.opts);
-    let (rows, secs) = timed_secs("smem", || sec2c_smem::run(&cli.opts));
-    print!("{}", sec2c_smem::render(&rows));
-    if let Some(path) = &cli.json {
-        write_result(path, sec2c_smem::result(&rows, &cli.opts), secs);
-    }
+    duplo_bench::standalone("smem_policy");
 }

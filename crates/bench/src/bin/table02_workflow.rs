@@ -1,12 +1,4 @@
 //! Table II — the Duplo LHB workflow walkthrough.
-use duplo_bench::{cli_from_args, timed_secs, write_result};
-use duplo_sim::experiments::table02_workflow;
-
 fn main() {
-    let cli = cli_from_args(None);
-    let (steps, secs) = timed_secs("table02", table02_workflow::run);
-    print!("{}", table02_workflow::render(&steps));
-    if let Some(path) = &cli.json {
-        write_result(path, table02_workflow::result(&steps), secs);
-    }
+    duplo_bench::standalone("table02_workflow");
 }

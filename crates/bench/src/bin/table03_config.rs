@@ -1,13 +1,4 @@
 //! Table III — the baseline GPU configuration in use.
-use duplo_bench::{cli_from_args, write_result};
-use duplo_sim::GpuConfig;
-use duplo_sim::experiments::table03_config;
-
 fn main() {
-    let cli = cli_from_args(None);
-    let cfg = GpuConfig::titan_v();
-    print!("{}", table03_config::render(&cfg));
-    if let Some(path) = &cli.json {
-        write_result(path, table03_config::result(&cfg), 0.0);
-    }
+    duplo_bench::standalone("table03_config");
 }

@@ -6,21 +6,40 @@
 //!   scale time linearly (the default for the heaviest sweeps),
 //! * `--full` — simulate every CTA of each SM's share,
 //! * `--json <path>` — additionally write the experiment's structured
-//!   result (see `duplo_sim::results`) to `path`.
+//!   result (see `duplo_sim::results`) to `path`,
+//! * `--cache-dir <dir>` — persist the run cache there (overrides the
+//!   `DUPLO_CACHE_DIR` environment variable; see `duplo_sim::cache`),
+//! * `--no-cache` — disable run-cache lookups and stores entirely.
 //!
-//! `all_experiments` also accepts `--json-dir <dir>` (or the
-//! `DUPLO_JSON_DIR` environment variable) and writes one file per
+//! `all_experiments` and `duplo run` also accept `--json-dir <dir>` (or
+//! the `DUPLO_JSON_DIR` environment variable) and write one file per
 //! experiment plus a `BENCH_duplo.json` roll-up.
 //!
+//! The per-figure binaries are thin wrappers over [`standalone`], which
+//! resolves the experiment in the shared registry
+//! (`duplo_sim::experiments::registry`) and runs it under the common
+//! protocol ([`run_spec`]): optional sampling banner, timed run, rendered
+//! table on stdout. The unified `duplo` binary drives the same entry
+//! points, so `duplo run fig09_lhb_size` and the `fig09_lhb_size` binary
+//! produce byte-identical stdout.
+//!
 //! JSON files normally carry a `host` block (wall-clock seconds, worker
-//! threads). Setting `DUPLO_JSON_STABLE` omits it, making the files
-//! byte-identical across machines and `DUPLO_THREADS` settings — the CI
-//! determinism gate diffs two such runs.
+//! threads, run-cache hit/miss/byte deltas). Setting `DUPLO_JSON_STABLE`
+//! omits it, making the files byte-identical across machines, thread
+//! counts, and cache states — the CI determinism and cache gates diff two
+//! such runs.
 
 use std::path::PathBuf;
 
-use duplo_sim::experiments::ExpOpts;
-use duplo_sim::results::ExperimentResult;
+use duplo_sim::cache;
+use duplo_sim::experiments::{
+    ExpOpts, ExperimentOutput, ExperimentSpec, find_experiment, registry,
+};
+use duplo_sim::json::Json;
+use duplo_sim::results::{ExperimentResult, rollup};
+
+/// Usage summary printed (with a nonzero exit) on bad arguments.
+pub const USAGE: &str = "options:\n  --sample <N>      simulate at most N CTAs per representative SM (N >= 1)\n  --full            simulate every CTA of each SM's share\n  --json <path>     write the structured result to <path>\n  --json-dir <dir>  write per-experiment JSON files under <dir>\n  --cache-dir <dir> persist the run cache under <dir> (overrides DUPLO_CACHE_DIR)\n  --no-cache        disable the run cache";
 
 /// Parsed command line shared by the experiment binaries.
 #[derive(Clone, Debug, Default)]
@@ -31,6 +50,76 @@ pub struct CliArgs {
     pub json: Option<PathBuf>,
     /// `--json-dir <dir>` (or `DUPLO_JSON_DIR`): per-experiment files.
     pub json_dir: Option<PathBuf>,
+    /// `--cache-dir <dir>`: run-cache directory override.
+    pub cache_dir: Option<PathBuf>,
+    /// `--no-cache`: disable the run cache.
+    pub no_cache: bool,
+}
+
+/// Parses the shared experiment command line. Pure — no process exit, no
+/// global state — so argument handling is unit-testable; `default_sample`
+/// is used when neither `--sample` nor `--full` is given.
+///
+/// `args` excludes the binary name (`std::env::args().skip(1)`).
+pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliArgs, String> {
+    let mut sample = default_sample;
+    let mut json = None;
+    let mut json_dir = std::env::var_os("DUPLO_JSON_DIR").map(PathBuf::from);
+    let mut cache_dir = None;
+    let mut no_cache = false;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => sample = None,
+            "--sample" => {
+                let v = value(args, &mut i, "--sample")?;
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => sample = Some(n),
+                    Ok(_) => {
+                        return Err(
+                            "--sample requires a positive integer (0 would simulate no CTAs); \
+                             use --full to simulate every CTA"
+                                .to_string(),
+                        );
+                    }
+                    Err(_) => {
+                        return Err(format!("--sample requires a positive integer, got {v:?}"));
+                    }
+                }
+            }
+            "--json" => json = Some(PathBuf::from(value(args, &mut i, "--json")?)),
+            "--json-dir" => json_dir = Some(PathBuf::from(value(args, &mut i, "--json-dir")?)),
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value(args, &mut i, "--cache-dir")?)),
+            "--no-cache" => no_cache = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(CliArgs {
+        opts: ExpOpts {
+            sample_ctas: sample,
+        },
+        json,
+        json_dir,
+        cache_dir,
+        no_cache,
+    })
+}
+
+/// Applies the cache-control flags to the process-global run cache.
+pub fn apply_cache_flags(cli: &CliArgs) {
+    if let Some(dir) = &cli.cache_dir {
+        cache::set_dir(Some(dir.clone()));
+    }
+    if cli.no_cache {
+        cache::set_disabled(true);
+    }
 }
 
 /// Parses experiment options from `std::env::args`.
@@ -40,46 +129,21 @@ pub fn opts_from_args(default_sample: Option<usize>) -> ExpOpts {
     cli_from_args(default_sample).opts
 }
 
-/// Parses the full shared command line (sampling + JSON output).
+/// Parses the full shared command line (sampling + JSON + cache flags),
+/// applying the cache flags. On a bad argument it prints the error and
+/// usage to stderr and exits with code 2 — no panic, no backtrace.
 pub fn cli_from_args(default_sample: Option<usize>) -> CliArgs {
-    let args: Vec<String> = std::env::args().collect();
-    let mut sample = default_sample;
-    let mut json = None;
-    let mut json_dir = std::env::var_os("DUPLO_JSON_DIR").map(PathBuf::from);
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--full" => sample = None,
-            "--sample" => {
-                let n = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--sample requires a positive integer");
-                sample = Some(n);
-                i += 1;
-            }
-            "--json" => {
-                let p = args.get(i + 1).expect("--json requires a path");
-                json = Some(PathBuf::from(p));
-                i += 1;
-            }
-            "--json-dir" => {
-                let p = args.get(i + 1).expect("--json-dir requires a directory");
-                json_dir = Some(PathBuf::from(p));
-                i += 1;
-            }
-            other => panic!(
-                "unknown argument: {other} (use --sample <N>, --full, --json <path>, --json-dir <dir>)"
-            ),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_cli(&args, default_sample) {
+        Ok(cli) => {
+            apply_cache_flags(&cli);
+            cli
         }
-        i += 1;
-    }
-    CliArgs {
-        opts: ExpOpts {
-            sample_ctas: sample,
-        },
-        json,
-        json_dir,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -117,7 +181,8 @@ pub fn timed_secs<T>(name: &str, f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 /// Whether volatile host metadata must be left out of JSON files
-/// (`DUPLO_JSON_STABLE` set): byte-identical output across thread counts.
+/// (`DUPLO_JSON_STABLE` set): byte-identical output across thread counts
+/// and cache states.
 pub fn json_stable() -> bool {
     std::env::var_os("DUPLO_JSON_STABLE").is_some()
 }
@@ -135,20 +200,174 @@ pub fn write_result(path: &std::path::Path, mut result: ExperimentResult, wall_c
     eprintln!("[{}] wrote {}", result.name, path.display());
 }
 
+/// Executes one registered experiment: timed run (when `spec.timed`), the
+/// run-cache counter delta reported on stderr and stamped into the result
+/// (unless `DUPLO_JSON_STABLE`). Returns the output and elapsed seconds.
+fn execute(spec: &ExperimentSpec, opts: &ExpOpts) -> (ExperimentOutput, f64) {
+    let before = cache::stats();
+    let (mut out, secs) = if spec.timed {
+        timed_secs(spec.tag, || (spec.run)(opts))
+    } else {
+        ((spec.run)(opts), 0.0)
+    };
+    let delta = cache::stats().since(&before);
+    eprintln!(
+        "[{}] cache: hits={} misses={} bytes={}",
+        spec.tag, delta.hits, delta.misses, delta.bytes
+    );
+    if !json_stable() {
+        out.result.cache_hits = Some(delta.hits);
+        out.result.cache_misses = Some(delta.misses);
+        out.result.cache_bytes = Some(delta.bytes);
+    }
+    (out, secs)
+}
+
+/// Runs one registered experiment under the standalone-binary protocol:
+/// optional sampling banner, timed run, rendered table on stdout, and
+/// `--json` output. Stdout is byte-identical to the original per-figure
+/// binaries (banners and tables only; timing and cache stats are stderr).
+pub fn run_spec(spec: &ExperimentSpec, cli: &CliArgs) -> ExperimentResult {
+    if spec.banner {
+        banner(spec.tag, &cli.opts);
+    }
+    let (out, secs) = execute(spec, &cli.opts);
+    print!("{}", out.rendered);
+    if let Some(path) = &cli.json {
+        write_result(path, out.result.clone(), secs);
+    }
+    out.result
+}
+
+/// Runs the registered experiment `name` under the standalone-binary
+/// protocol ([`run_spec`]). Unknown names print the registry hint and exit
+/// with code 2.
+pub fn run_named(name: &str, cli: &CliArgs) -> ExperimentResult {
+    let Some(spec) = find_experiment(name) else {
+        eprintln!("error: unknown experiment {name:?} (see `duplo list`)");
+        std::process::exit(2);
+    };
+    run_spec(spec, cli)
+}
+
+/// Entry point for the thin per-figure wrapper binaries: resolve `name`
+/// in the registry, parse the command line with the experiment's default
+/// sampling, and run it.
+pub fn standalone(name: &str) {
+    let spec = find_experiment(name).expect("wrapper binaries name registered experiments");
+    let cli = cli_from_args(spec.default_sample);
+    run_spec(spec, &cli);
+}
+
+/// Runs a batch of registered experiments under the `all_experiments`
+/// protocol: one `[all]` banner, every table on stdout in registry order,
+/// and (under `--json-dir`) one JSON file per experiment plus the
+/// `BENCH_duplo.json` roll-up.
+///
+/// `full_registry` selects every registered experiment (`duplo run all`);
+/// otherwise only the `in_all` subset runs (the `all_experiments` binary,
+/// whose stdout is pinned by CI).
+pub fn run_all(cli: &CliArgs, full_registry: bool) {
+    banner("all", &cli.opts);
+    let total = std::time::Instant::now();
+    let run_start = cache::stats();
+    // (structured result, wall-clock seconds) per experiment, in run order.
+    let mut results: Vec<(ExperimentResult, f64)> = Vec::new();
+    for spec in registry().iter().filter(|s| full_registry || s.in_all) {
+        let (out, secs) = execute(spec, &cli.opts);
+        print!("{}", out.rendered);
+        results.push((out.result, secs));
+    }
+    let wall = total.elapsed().as_secs_f64();
+    let cache_delta = cache::stats().since(&run_start);
+    eprintln!("[all] wall-clock: {wall:.3}s");
+    eprintln!(
+        "[all] cache: hits={} misses={} bytes={}",
+        cache_delta.hits, cache_delta.misses, cache_delta.bytes
+    );
+
+    if let Some(dir) = &cli.json_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        let refs: Vec<&ExperimentResult> = results.iter().map(|(r, _)| r).collect();
+        let mut roll = rollup(&refs);
+        if !json_stable() {
+            if let Json::Obj(fields) = &mut roll {
+                fields.push((
+                    "host".to_string(),
+                    Json::obj()
+                        .field("wall_clock_s", wall)
+                        .field("workers", duplo_sim::runner::max_threads())
+                        .field("cache_hits", cache_delta.hits)
+                        .field("cache_misses", cache_delta.misses)
+                        .field("cache_bytes", cache_delta.bytes)
+                        .build(),
+                ));
+            }
+        }
+        for (result, secs) in results {
+            let path = dir.join(format!("{}.json", result.name));
+            write_result(&path, result, secs);
+        }
+        let roll_path = dir.join("BENCH_duplo.json");
+        std::fs::write(&roll_path, roll.to_pretty())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", roll_path.display()));
+        eprintln!("[all] wrote {}", roll_path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn default_sample_passes_through() {
-        // No CLI args in the test harness beyond the binary name; the
-        // default must survive.
-        let opts = ExpOpts {
-            sample_ctas: Some(4),
-        };
-        assert_eq!(opts.sample_ctas, Some(4));
+        let cli = parse_cli(&[], Some(4)).unwrap();
+        assert_eq!(cli.opts.sample_ctas, Some(4));
         let quick = ExpOpts::quick();
         assert_eq!(quick.sample_ctas, Some(2));
+    }
+
+    #[test]
+    fn sample_and_full_override_the_default() {
+        let cli = parse_cli(&argv(&["--sample", "16"]), Some(4)).unwrap();
+        assert_eq!(cli.opts.sample_ctas, Some(16));
+        let cli = parse_cli(&argv(&["--full"]), Some(4)).unwrap();
+        assert_eq!(cli.opts.sample_ctas, None);
+    }
+
+    #[test]
+    fn sample_zero_is_rejected_with_a_clear_message() {
+        let err = parse_cli(&argv(&["--sample", "0"]), None).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        assert!(err.contains("--full"), "should point at --full: {err}");
+        let err = parse_cli(&argv(&["--sample", "two"]), None).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        let err = parse_cli(&argv(&["--sample"]), None).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_arguments_error_instead_of_panicking() {
+        let err = parse_cli(&argv(&["--bogus"]), None).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let cli = parse_cli(&argv(&["--cache-dir", "/tmp/c", "--no-cache"]), None).unwrap();
+        assert_eq!(cli.cache_dir, Some(PathBuf::from("/tmp/c")));
+        assert!(cli.no_cache);
+        let cli = parse_cli(&[], None).unwrap();
+        assert_eq!(cli.cache_dir, None);
+        assert!(!cli.no_cache);
+        let err = parse_cli(&argv(&["--cache-dir"]), None).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
     }
 
     #[test]

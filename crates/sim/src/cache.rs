@@ -1,0 +1,765 @@
+//! Content-addressed result cache for whole-GPU simulation runs.
+//!
+//! [`crate::GpuSim::run`] is a pure function of (configuration, kernel):
+//! the trace of every CTA is derived from the kernel parameters alone, and
+//! the SM model is deterministic. The paper's §V sweeps exploit none of
+//! that purity — every Fig. 9/10/12/13 sweep re-simulates the identical
+//! no-Duplo baseline per layer, and a second `all_experiments` invocation
+//! redoes the whole grid. This module memoizes runs behind a deterministic
+//! content digest, the same redundancy-lifting idea Duplo itself applies
+//! to tensor-core loads:
+//!
+//! * **Key** — [`crate::digest`] over the canonical JSON encoding of the
+//!   full [`GpuConfig`] (every SM / hierarchy / LHB field), a kernel
+//!   descriptor (name, grid, occupancy footprints, workspace geometry),
+//!   and schema-version salts ([`CACHE_SCHEMA_VERSION`],
+//!   [`CACHE_MODEL_SALT`], [`crate::results::SCHEMA_VERSION`]).
+//! * **Memory tier** — a sharded process-global map with *single-flight*
+//!   semantics: the first requester of a key becomes the leader and
+//!   simulates; concurrent requesters for the same key block until the
+//!   leader publishes, so two [`crate::runner`] workers never simulate
+//!   the same point twice.
+//! * **Disk tier** — optional (`DUPLO_CACHE_DIR`, or `--cache-dir` /
+//!   [`set_dir`] from the CLI): results persist as `<digest>.json` via
+//!   [`crate::json`], so a later process serves repeats from disk.
+//!   Corrupted, truncated, or schema-mismatched entries fall back to
+//!   simulation and are rewritten; all disk I/O is best-effort.
+//!
+//! The JSON codec round-trips every counter exactly (integers verbatim,
+//! floats in shortest round-trip form), so cached and fresh results are
+//! byte-identical through the serializer and render identical tables.
+//!
+//! Hit/miss/byte counters are process-global ([`stats`]); the experiment
+//! harness surfaces per-run deltas in the `ExperimentResult` host block
+//! (and therefore outside the `DUPLO_JSON_STABLE` byte-stable payload).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+use duplo_isa::Kernel;
+use duplo_sm::{SchedulerPolicy, SmStats};
+
+use crate::digest;
+use crate::gpu::{GpuConfig, GpuRunResult};
+use crate::json::{Json, parse};
+
+/// Version of the on-disk entry layout; bump when the codec changes shape.
+pub const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// Salt folded into every key; bump when the simulator *model* changes in
+/// a way that alters results without changing any configuration field.
+pub const CACHE_MODEL_SALT: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Counters and controls
+// ---------------------------------------------------------------------------
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// `--no-cache`: every lookup computes, nothing is stored.
+static DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Active [`bypass`] guards (test aid; counted so guards nest).
+static BYPASS: AtomicUsize = AtomicUsize::new(0);
+
+/// Snapshot of the process-global cache counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served without simulating (memory, disk, or single-flight
+    /// followers of an in-flight leader).
+    pub hits: u64,
+    /// Lookups that ran the simulation.
+    pub misses: u64,
+    /// Bytes read from and written to the disk tier.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Counter increments since `earlier` (an earlier [`stats`] snapshot).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Current process-global cache counters.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Disables (or re-enables) the cache process-wide (`--no-cache`).
+pub fn set_disabled(disabled: bool) {
+    DISABLED.store(disabled, Ordering::Release);
+}
+
+/// RAII guard from [`bypass`]; re-enables caching on drop.
+pub struct BypassGuard(());
+
+impl Drop for BypassGuard {
+    fn drop(&mut self) {
+        BYPASS.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Bypasses the cache for the guard's lifetime (lookups compute and store
+/// nothing, counters untouched). Test aid: the determinism suite compares
+/// repeated runs of the *simulator*, which memoization would short-circuit.
+/// Guards nest; the cache is bypassed while any guard is alive.
+pub fn bypass() -> BypassGuard {
+    BYPASS.fetch_add(1, Ordering::AcqRel);
+    BypassGuard(())
+}
+
+fn active() -> bool {
+    !DISABLED.load(Ordering::Acquire) && BYPASS.load(Ordering::Acquire) == 0
+}
+
+// ---------------------------------------------------------------------------
+// Disk-tier directory resolution
+// ---------------------------------------------------------------------------
+
+/// `Some(override)` once [`set_dir`] ran; the inner option is the dir
+/// itself (`None` = explicitly memory-only). `None` defers to the
+/// `DUPLO_CACHE_DIR` environment variable.
+#[allow(clippy::type_complexity)]
+static DIR_OVERRIDE: OnceLock<Mutex<Option<Option<PathBuf>>>> = OnceLock::new();
+
+/// Serializes [`scoped_dir`] scopes so concurrent tests cannot clobber
+/// each other's directory override (same pattern as
+/// [`crate::runner::override_threads`]).
+static SCOPE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+fn dir_override() -> &'static Mutex<Option<Option<PathBuf>>> {
+    DIR_OVERRIDE.get_or_init(|| Mutex::new(None))
+}
+
+/// Sets the disk-tier directory programmatically (`--cache-dir`), taking
+/// precedence over `DUPLO_CACHE_DIR`. `None` forces memory-only caching.
+pub fn set_dir(dir: Option<PathBuf>) {
+    let mut slot = dir_override().lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(dir);
+}
+
+/// The disk-tier directory currently in effect, if any.
+pub fn resolve_dir() -> Option<PathBuf> {
+    {
+        let slot = dir_override().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(over) = slot.as_ref() {
+            return over.clone();
+        }
+    }
+    std::env::var_os("DUPLO_CACHE_DIR").map(PathBuf::from)
+}
+
+/// RAII guard from [`scoped_dir`]; restores the previous override (and
+/// releases the serialization lock) on drop.
+pub struct DirGuard {
+    prev: Option<Option<PathBuf>>,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        let mut slot = dir_override().lock().unwrap_or_else(|e| e.into_inner());
+        *slot = self.prev.take();
+    }
+}
+
+/// Overrides the disk-tier directory for the guard's lifetime (test aid).
+/// `None` forces memory-only caching regardless of `DUPLO_CACHE_DIR`.
+/// Guards serialize on a global lock, so concurrent tests queue rather
+/// than interleave their overrides.
+pub fn scoped_dir(dir: Option<PathBuf>) -> DirGuard {
+    let lock = SCOPE_LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let mut slot = dir_override().lock().unwrap_or_else(|e| e.into_inner());
+    let prev = slot.replace(dir);
+    drop(slot);
+    DirGuard { prev, _lock: lock }
+}
+
+// ---------------------------------------------------------------------------
+// Memory tier: sharded single-flight map
+// ---------------------------------------------------------------------------
+
+const SHARDS: usize = 16;
+
+enum SlotState {
+    /// A leader is computing; followers wait on the condvar.
+    InFlight,
+    /// Published result.
+    Ready(GpuRunResult),
+    /// The leader died without publishing; waiters must retry.
+    Abandoned,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new_inflight() -> Slot {
+        Slot {
+            state: Mutex::new(SlotState::InFlight),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+type Shard = Mutex<HashMap<u128, Arc<Slot>>>;
+
+static STORE: OnceLock<Vec<Shard>> = OnceLock::new();
+
+fn store() -> &'static [Shard] {
+    STORE.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect())
+}
+
+fn shard(key: u128) -> &'static Shard {
+    &store()[(key % SHARDS as u128) as usize]
+}
+
+/// Drops every published entry from the memory tier (test aid: forces the
+/// next lookup back to the disk tier or the simulator). In-flight entries
+/// are kept so waiting followers still get their leader's result.
+pub fn clear_memory() {
+    for sh in store() {
+        let mut map = sh.lock().unwrap_or_else(|e| e.into_inner());
+        map.retain(|_, slot| {
+            let st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+            matches!(*st, SlotState::InFlight)
+        });
+    }
+}
+
+/// Marks an in-flight slot abandoned if its leader unwinds without
+/// publishing, so followers retry instead of deadlocking.
+struct AbandonOnPanic {
+    key: u128,
+    slot: Arc<Slot>,
+}
+
+impl Drop for AbandonOnPanic {
+    fn drop(&mut self) {
+        let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !matches!(*st, SlotState::InFlight) {
+            return; // published normally
+        }
+        *st = SlotState::Abandoned;
+        drop(st);
+        let mut map = shard(self.key).lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cur) = map.get(&self.key) {
+            if Arc::ptr_eq(cur, &self.slot) {
+                map.remove(&self.key);
+            }
+        }
+        drop(map);
+        self.slot.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+/// Serves a simulation run from the cache, computing it via `compute` on a
+/// miss. This is the sole entry point [`crate::GpuSim::run`] goes through,
+/// so every experiment driver and sweep inherits memoization.
+pub fn run_cached(
+    cfg: &GpuConfig,
+    kernel: &dyn Kernel,
+    compute: impl FnOnce() -> GpuRunResult,
+) -> GpuRunResult {
+    if !active() {
+        return compute();
+    }
+    let key = run_key(cfg, kernel);
+    // `compute` is consumed only on the leader path, which always returns;
+    // follower retries (abandoned leader) leave it intact.
+    let mut compute = Some(compute);
+    loop {
+        let leader = {
+            let mut map = shard(key).lock().unwrap_or_else(|e| e.into_inner());
+            match map.get(&key) {
+                Some(slot) => Err(Arc::clone(slot)),
+                None => {
+                    let slot = Arc::new(Slot::new_inflight());
+                    map.insert(key, Arc::clone(&slot));
+                    Ok(slot)
+                }
+            }
+        };
+        match leader {
+            Err(slot) => {
+                // Follower: wait for the leader to publish or abandon.
+                let mut st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    match &*st {
+                        SlotState::Ready(r) => {
+                            HITS.fetch_add(1, Ordering::Relaxed);
+                            return r.clone();
+                        }
+                        SlotState::Abandoned => break,
+                        SlotState::InFlight => {
+                            st = slot.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                    }
+                }
+                // Leader abandoned: retry from the top (the key was
+                // removed, so some requester becomes the new leader).
+            }
+            Ok(slot) => {
+                let guard = AbandonOnPanic {
+                    key,
+                    slot: Arc::clone(&slot),
+                };
+                let result = match disk_load(key) {
+                    Some(r) => {
+                        HITS.fetch_add(1, Ordering::Relaxed);
+                        r
+                    }
+                    None => {
+                        let r = (compute.take().expect("leader computes once"))();
+                        MISSES.fetch_add(1, Ordering::Relaxed);
+                        disk_store(key, &r);
+                        r
+                    }
+                };
+                {
+                    let mut st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+                    *st = SlotState::Ready(result.clone());
+                }
+                slot.cv.notify_all();
+                drop(guard); // published: the guard sees Ready and does nothing
+                return result;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Key construction
+// ---------------------------------------------------------------------------
+
+/// The content digest keying `(cfg, kernel)` runs. Covers every
+/// configuration field and the kernel's descriptor, salted with the cache,
+/// model, and result schema versions; canonical JSON encoding makes it
+/// independent of field ordering.
+pub fn run_key(cfg: &GpuConfig, kernel: &dyn Kernel) -> u128 {
+    let doc = Json::obj()
+        .field("cache_schema", CACHE_SCHEMA_VERSION)
+        .field("model_salt", CACHE_MODEL_SALT)
+        .field("result_schema", crate::results::SCHEMA_VERSION)
+        .field("config", config_json(cfg))
+        .field("kernel", kernel_json(kernel))
+        .build();
+    digest::digest_json(&doc)
+}
+
+/// Canonical JSON of the full GPU configuration (every field that can
+/// influence a run).
+fn config_json(cfg: &GpuConfig) -> Json {
+    let sm = &cfg.sm;
+    let h = &sm.hierarchy;
+    let cache_cfg = |c: &duplo_mem::CacheConfig| {
+        Json::obj()
+            .field("size_bytes", c.size_bytes)
+            .field("ways", c.ways)
+            .field("line_bytes", c.line_bytes)
+            .field("latency", c.latency)
+            .build()
+    };
+    let queue_cfg = |q: &duplo_mem::BandwidthQueueConfig| {
+        Json::obj()
+            .field("latency", q.latency)
+            .field("bytes_per_cycle", q.bytes_per_cycle)
+            .build()
+    };
+    let lhb = sm.lhb.map(|l| {
+        Json::obj()
+            .field("entries", l.entries)
+            .field("ways", l.ways)
+            .field("oracle", l.oracle)
+            .field("addr_match_only", l.addr_match_only)
+            .build()
+    });
+    Json::obj()
+        .field("total_sms", cfg.total_sms)
+        .field("sms_simulated", cfg.sms_simulated)
+        .field("clock_mhz", cfg.clock_mhz)
+        .field("sample_ctas", cfg.sample_ctas)
+        .field(
+            "sm",
+            Json::obj()
+                .field("schedulers", sm.schedulers)
+                .field("max_warps", sm.max_warps)
+                .field("max_ctas", sm.max_ctas)
+                .field("shared_mem_bytes", sm.shared_mem_bytes)
+                .field("tensor_cores", sm.tensor_cores)
+                .field("regfile_bytes", sm.regfile_bytes)
+                .field("mma_ii", sm.mma_ii)
+                .field("shared_latency", sm.shared_latency)
+                .field("ldst_queue", sm.ldst_queue)
+                .field("commit_delay", sm.commit_delay)
+                .field("octet_dup", sm.octet_dup)
+                .field(
+                    "policy",
+                    match sm.policy {
+                        SchedulerPolicy::Gto => "gto",
+                        SchedulerPolicy::Lrr => "lrr",
+                    },
+                )
+                .field(
+                    "hierarchy",
+                    Json::obj()
+                        .field("l1", cache_cfg(&h.l1))
+                        .field("l1_mshr", h.l1_mshr)
+                        .field("l2", cache_cfg(&h.l2))
+                        .field("l2_port", queue_cfg(&h.l2_port))
+                        .field("dram", queue_cfg(&h.dram))
+                        .build(),
+                )
+                .field("lhb", lhb)
+                .field("lhb_on_shared", sm.lhb_on_shared)
+                .field("detect_latency", sm.detect_latency)
+                .field("rename_log_cap", sm.rename_log_cap)
+                .build(),
+        )
+        .build()
+}
+
+/// Canonical JSON kernel descriptor. Kernel traces are pure functions of
+/// the kernel's parameters, all of which are reachable through the trait:
+/// the name encodes the GEMM/conv geometry, and the occupancy footprints
+/// plus workspace descriptor pin everything the name alone leaves
+/// ambiguous (e.g. shared-memory placement policies).
+fn kernel_json(kernel: &dyn Kernel) -> Json {
+    let ws = kernel.workspace().map(|w| {
+        Json::obj()
+            .field("base", w.base)
+            .field("bytes", w.bytes)
+            .field("elem_bytes", w.elem_bytes)
+            .field("row_stride_elems", w.row_stride_elems)
+            .field("input_w", w.input_w)
+            .field("channels", w.channels)
+            .field("fw", w.fw)
+            .field("fh", w.fh)
+            .field("out_w", w.out_w)
+            .field("out_h", w.out_h)
+            .field("stride", w.stride)
+            .field("pad", w.pad)
+            .field("batch", w.batch)
+            .build()
+    });
+    Json::obj()
+        .field("name", kernel.name())
+        .field("num_ctas", kernel.num_ctas())
+        .field("shared_mem_per_cta", kernel.shared_mem_per_cta())
+        .field("regs_per_warp", kernel.regs_per_warp())
+        .field("workspace", ws)
+        .build()
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier
+// ---------------------------------------------------------------------------
+
+fn entry_path(dir: &Path, key: u128) -> PathBuf {
+    dir.join(format!("{}.json", digest::hex(key)))
+}
+
+fn disk_load(key: u128) -> Option<GpuRunResult> {
+    let dir = resolve_dir()?;
+    let text = std::fs::read_to_string(entry_path(&dir, key)).ok()?;
+    let doc = parse(&text).ok()?;
+    let result = result_from_json(&doc)?;
+    BYTES.fetch_add(text.len() as u64, Ordering::Relaxed);
+    Some(result)
+}
+
+fn disk_store(key: u128, r: &GpuRunResult) {
+    let Some(dir) = resolve_dir() else { return };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let text = result_to_json(r).to_pretty();
+    // Atomic publish: write a private temp file, then rename over the
+    // entry, so concurrent processes never observe a torn write.
+    let tmp = dir.join(format!(".{}.tmp.{}", digest::hex(key), std::process::id()));
+    if std::fs::write(&tmp, &text).is_ok() && std::fs::rename(&tmp, entry_path(&dir, key)).is_ok() {
+        BYTES.fetch_add(text.len() as u64, Ordering::Relaxed);
+    } else {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Serializes a run result as a disk-tier cache entry. Every counter
+/// round-trips exactly (integers verbatim, floats in shortest round-trip
+/// form), so a reloaded result is indistinguishable from a fresh one.
+pub fn result_to_json(r: &GpuRunResult) -> Json {
+    Json::obj()
+        .field("cache_schema", CACHE_SCHEMA_VERSION)
+        .field("cycles", r.cycles)
+        .field("sampled_fraction", r.sampled_fraction)
+        .field("ctas_simulated", r.ctas_simulated)
+        .field("stats", stats_to_json(&r.stats))
+        .build()
+}
+
+fn stats_to_json(s: &SmStats) -> Json {
+    let pairs: Vec<Json> = s
+        .rename_pairs
+        .iter()
+        .map(|&(a, b)| Json::Arr(vec![Json::from(a), Json::from(b)]))
+        .collect();
+    Json::obj()
+        .field("cycles", s.cycles)
+        .field("issued_mma", s.issued_mma)
+        .field("issued_tensor_loads", s.issued_tensor_loads)
+        .field("row_loads", s.row_loads)
+        .field("eliminated_loads", s.eliminated_loads)
+        .field("issued_other", s.issued_other)
+        .field(
+            "services",
+            Json::obj()
+                .field("lhb", s.services.lhb)
+                .field("l1", s.services.l1)
+                .field("l2", s.services.l2)
+                .field("dram", s.services.dram)
+                .field("shared", s.services.shared)
+                .build(),
+        )
+        .field("octet_dup_l1", s.octet_dup_l1)
+        .field(
+            "stalls",
+            Json::obj()
+                .field("empty", s.stalls.empty)
+                .field("data_dependency", s.stalls.data_dependency)
+                .field("ldst_full", s.stalls.ldst_full)
+                .field("tensor_busy", s.stalls.tensor_busy)
+                .field("barrier", s.stalls.barrier)
+                .build(),
+        )
+        .field("ldst_pipe_stalls", s.ldst_pipe_stalls)
+        .field("rf_peak_rows", s.rf_peak_rows)
+        .field(
+            "detect",
+            Json::obj()
+                .field("workspace_loads", s.detect.workspace_loads)
+                .field("non_workspace_loads", s.detect.non_workspace_loads)
+                .field("boundary_bypasses", s.detect.boundary_bypasses)
+                .field("eliminated", s.detect.eliminated)
+                .build(),
+        )
+        .field(
+            "lhb",
+            Json::obj()
+                .field("hits", s.lhb.hits)
+                .field("misses", s.lhb.misses)
+                .field("conflict_evictions", s.lhb.conflict_evictions)
+                .field("retire_releases", s.lhb.retire_releases)
+                .field("store_invalidations", s.lhb.store_invalidations)
+                .build(),
+        )
+        .field(
+            "mem",
+            Json::obj()
+                .field("l1_hits", s.mem.l1_hits)
+                .field("l1_misses", s.mem.l1_misses)
+                .field("mshr_merges", s.mem.mshr_merges)
+                .field("mshr_stalls", s.mem.mshr_stalls)
+                .field("l2_accesses", s.mem.l2_accesses)
+                .field("l2_hits", s.mem.l2_hits)
+                .field("dram_accesses", s.mem.dram_accesses)
+                .field("dram_bytes", s.mem.dram_bytes)
+                .field("stores", s.mem.stores)
+                .field("store_bytes", s.mem.store_bytes)
+                .field("l2_port_requests", s.mem.l2_port_requests)
+                .field("l2_queue_delay", s.mem.l2_queue_delay)
+                .field("dram_requests", s.mem.dram_requests)
+                .field("dram_queue_delay", s.mem.dram_queue_delay)
+                .build(),
+        )
+        .field("rename_pairs", Json::Arr(pairs))
+        .field("ctas_run", s.ctas_run)
+        .build()
+}
+
+/// Decodes a disk-tier entry. Strict: any missing or mistyped field yields
+/// `None`, which the lookup treats as a miss (fall back to simulation and
+/// rewrite the entry).
+pub fn result_from_json(doc: &Json) -> Option<GpuRunResult> {
+    let f = |o: &Json, k: &str| o.get(k).and_then(Json::as_f64);
+    let u = |o: &Json, k: &str| o.get(k).and_then(Json::as_u64);
+    if u(doc, "cache_schema") != Some(CACHE_SCHEMA_VERSION) {
+        return None;
+    }
+    let stats = stats_from_json(doc.get("stats")?)?;
+    Some(GpuRunResult {
+        cycles: f(doc, "cycles")?,
+        stats,
+        sampled_fraction: f(doc, "sampled_fraction")?,
+        ctas_simulated: usize::try_from(u(doc, "ctas_simulated")?).ok()?,
+    })
+}
+
+fn stats_from_json(v: &Json) -> Option<SmStats> {
+    let u = |o: &Json, k: &str| o.get(k).and_then(Json::as_u64);
+    let f = |o: &Json, k: &str| o.get(k).and_then(Json::as_f64);
+    let services = v.get("services")?;
+    let stalls = v.get("stalls")?;
+    let detect = v.get("detect")?;
+    let lhb = v.get("lhb")?;
+    let mem = v.get("mem")?;
+    let mut rename_pairs = Vec::new();
+    for pair in v.get("rename_pairs")?.as_arr()? {
+        let p = pair.as_arr()?;
+        if p.len() != 2 {
+            return None;
+        }
+        rename_pairs.push((p[0].as_u64()?, p[1].as_u64()?));
+    }
+    let mut s = SmStats::default();
+    s.cycles = u(v, "cycles")?;
+    s.issued_mma = u(v, "issued_mma")?;
+    s.issued_tensor_loads = u(v, "issued_tensor_loads")?;
+    s.row_loads = u(v, "row_loads")?;
+    s.eliminated_loads = u(v, "eliminated_loads")?;
+    s.issued_other = u(v, "issued_other")?;
+    s.services.lhb = u(services, "lhb")?;
+    s.services.l1 = u(services, "l1")?;
+    s.services.l2 = u(services, "l2")?;
+    s.services.dram = u(services, "dram")?;
+    s.services.shared = u(services, "shared")?;
+    s.octet_dup_l1 = u(v, "octet_dup_l1")?;
+    s.stalls.empty = u(stalls, "empty")?;
+    s.stalls.data_dependency = u(stalls, "data_dependency")?;
+    s.stalls.ldst_full = u(stalls, "ldst_full")?;
+    s.stalls.tensor_busy = u(stalls, "tensor_busy")?;
+    s.stalls.barrier = u(stalls, "barrier")?;
+    s.ldst_pipe_stalls = u(v, "ldst_pipe_stalls")?;
+    s.rf_peak_rows = u32::try_from(u(v, "rf_peak_rows")?).ok()?;
+    s.detect.workspace_loads = u(detect, "workspace_loads")?;
+    s.detect.non_workspace_loads = u(detect, "non_workspace_loads")?;
+    s.detect.boundary_bypasses = u(detect, "boundary_bypasses")?;
+    s.detect.eliminated = u(detect, "eliminated")?;
+    s.lhb.hits = u(lhb, "hits")?;
+    s.lhb.misses = u(lhb, "misses")?;
+    s.lhb.conflict_evictions = u(lhb, "conflict_evictions")?;
+    s.lhb.retire_releases = u(lhb, "retire_releases")?;
+    s.lhb.store_invalidations = u(lhb, "store_invalidations")?;
+    s.mem.l1_hits = u(mem, "l1_hits")?;
+    s.mem.l1_misses = u(mem, "l1_misses")?;
+    s.mem.mshr_merges = u(mem, "mshr_merges")?;
+    s.mem.mshr_stalls = u(mem, "mshr_stalls")?;
+    s.mem.l2_accesses = u(mem, "l2_accesses")?;
+    s.mem.l2_hits = u(mem, "l2_hits")?;
+    s.mem.dram_accesses = u(mem, "dram_accesses")?;
+    s.mem.dram_bytes = u(mem, "dram_bytes")?;
+    s.mem.stores = u(mem, "stores")?;
+    s.mem.store_bytes = u(mem, "store_bytes")?;
+    s.mem.l2_port_requests = u(mem, "l2_port_requests")?;
+    s.mem.l2_queue_delay = f(mem, "l2_queue_delay")?;
+    s.mem.dram_requests = u(mem, "dram_requests")?;
+    s.mem.dram_queue_delay = f(mem, "dram_queue_delay")?;
+    s.rename_pairs = rename_pairs;
+    s.ctas_run = u(v, "ctas_run")?;
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> GpuRunResult {
+        let mut s = SmStats::default();
+        s.cycles = 1234;
+        s.issued_mma = 5;
+        s.row_loads = 100;
+        s.eliminated_loads = 30;
+        s.services.lhb = 30;
+        s.services.dram = 70;
+        s.stalls.data_dependency = 9;
+        s.rf_peak_rows = 512;
+        s.lhb.hits = 30;
+        s.lhb.misses = 70;
+        s.mem.l2_queue_delay = 12.625;
+        s.mem.dram_queue_delay = 0.1;
+        s.rename_pairs = vec![(0x1000, 0x2000), (0x3000, 0x4000)];
+        s.ctas_run = 4;
+        GpuRunResult {
+            cycles: 1234.5,
+            stats: s,
+            sampled_fraction: 0.4,
+            ctas_simulated: 4,
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let r = sample_result();
+        let doc = result_to_json(&r);
+        let back = result_from_json(&parse(&doc.to_pretty()).unwrap()).unwrap();
+        // Debug form covers every field of the nested stats structs.
+        assert_eq!(format!("{r:?}"), format!("{back:?}"));
+        // And the reloaded result re-serializes to identical bytes.
+        assert_eq!(result_to_json(&back).to_pretty(), doc.to_pretty());
+    }
+
+    #[test]
+    fn codec_rejects_missing_and_mistyped_fields() {
+        let doc = result_to_json(&sample_result());
+        let Json::Obj(fields) = &doc else {
+            panic!("entry must be an object")
+        };
+        // Dropping any top-level field breaks decoding, never panics.
+        for i in 0..fields.len() {
+            let mut copy = fields.clone();
+            copy.remove(i);
+            assert!(
+                result_from_json(&Json::Obj(copy)).is_none(),
+                "field {} must be required",
+                fields[i].0
+            );
+        }
+        assert!(result_from_json(&Json::Null).is_none());
+        assert!(result_from_json(&parse("{\"cycles\": \"x\"}").unwrap()).is_none());
+    }
+
+    #[test]
+    fn stats_snapshot_delta_is_monotone() {
+        let a = CacheStats {
+            hits: 5,
+            misses: 2,
+            bytes: 100,
+        };
+        let b = CacheStats {
+            hits: 8,
+            misses: 2,
+            bytes: 150,
+        };
+        assert_eq!(
+            b.since(&a),
+            CacheStats {
+                hits: 3,
+                misses: 0,
+                bytes: 50
+            }
+        );
+        // Saturates rather than wrapping if snapshots are misordered.
+        assert_eq!(a.since(&b).hits, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Zero-dependency 128-bit FNV-1a content digest.
+//!
+//! The run cache ([`crate::cache`]) keys simulation results by the digest
+//! of their canonical JSON encoding ([`crate::json::Json::to_canonical`]),
+//! so a key depends only on the *content* of a configuration, never on
+//! field insertion order or struct layout.
+//!
+//! FNV-1a is deliberately non-cryptographic: the cache needs a fast,
+//! deterministic, platform-independent mixing function with a collision
+//! probability that is negligible at 128 bits for the few thousand keys a
+//! sweep produces. Anyone who can write the cache directory can already
+//! fake results wholesale, so collision *resistance* buys nothing here.
+
+use crate::json::Json;
+
+/// 128-bit FNV offset basis.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+
+/// 128-bit FNV prime (2^88 + 2^8 + 0x3b).
+const FNV128_PRIME: u128 = (1 << 88) + (1 << 8) + 0x3b;
+
+/// Incremental 128-bit FNV-1a hasher.
+#[derive(Clone, Debug)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    /// A hasher at the offset basis (the digest of zero bytes).
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Mixes `bytes` into the state (xor byte, multiply by the prime).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+/// Digest of a byte string.
+pub fn digest_bytes(bytes: &[u8]) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Digest of `v`'s canonical encoding: object-field order cannot affect
+/// the result, only content can.
+pub fn digest_json(v: &Json) -> u128 {
+    digest_bytes(v.to_canonical().as_bytes())
+}
+
+/// 32-character lowercase hex of a digest (cache file names).
+pub fn hex(d: u128) -> String {
+    format!("{d:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_offset_basis() {
+        assert_eq!(digest_bytes(b""), FNV128_OFFSET);
+    }
+
+    #[test]
+    fn incremental_writes_match_one_shot() {
+        let mut h = Fnv128::new();
+        h.write(b"duplo");
+        h.write(b" cache");
+        assert_eq!(h.finish(), digest_bytes(b"duplo cache"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(digest_bytes(b"a"), digest_bytes(b"b"));
+        assert_ne!(digest_bytes(b"ab"), digest_bytes(b"ba"));
+    }
+
+    #[test]
+    fn json_digest_ignores_field_order() {
+        let a = Json::obj().field("x", 1u64).field("y", 2u64).build();
+        let b = Json::obj().field("y", 2u64).field("x", 1u64).build();
+        assert_eq!(digest_json(&a), digest_json(&b));
+        let c = Json::obj().field("x", 1u64).field("y", 3u64).build();
+        assert_ne!(digest_json(&a), digest_json(&c));
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex(0).len(), 32);
+        assert_eq!(hex(u128::MAX).len(), 32);
+        assert_eq!(hex(0x2a), format!("{:032x}", 0x2au128));
+    }
+}

@@ -125,3 +125,383 @@ pub fn sweep_layers(
 pub fn table1_layers() -> Vec<LayerSpec> {
     networks::all_layers()
 }
+
+// ---------------------------------------------------------------------------
+// Experiment registry
+// ---------------------------------------------------------------------------
+
+use crate::results::ExperimentResult;
+
+/// Output of one registry-driven experiment run: the rendered table (for
+/// stdout and EXPERIMENTS.md) plus the structured result (for JSON).
+pub struct ExperimentOutput {
+    /// Human-facing table, exactly as the per-figure binary prints it.
+    pub rendered: String,
+    /// Machine-readable result (see [`crate::results`]).
+    pub result: ExperimentResult,
+}
+
+/// One registered experiment. The registry is the single source of truth
+/// the `duplo` CLI, the per-figure wrapper binaries, and `all_experiments`
+/// all iterate — adding an experiment is one entry here, not edits across
+/// three binaries.
+pub struct ExperimentSpec {
+    /// Stable machine name (matches the result's `experiment` field).
+    pub name: &'static str,
+    /// Human title (matches the structured result's title).
+    pub title: &'static str,
+    /// Paper anchor this experiment reproduces (`Fig. 9`, `§V-H`, ...).
+    pub paper_ref: &'static str,
+    /// Short tag used in banner/timing stderr lines (`fig09`, `energy`).
+    pub tag: &'static str,
+    /// Whether the standalone binary prints the sampling banner.
+    pub banner: bool,
+    /// Whether the run is timed (stderr wall-clock line); `false` only
+    /// for config dumps that simulate nothing.
+    pub timed: bool,
+    /// Default `--sample` when the command line specifies none
+    /// (`None` = full CTA shares).
+    pub default_sample: Option<usize>,
+    /// Whether `all_experiments` includes this experiment (the
+    /// EXPERIMENTS.md set; extensions and ablations are standalone-only).
+    pub in_all: bool,
+    /// Runs the experiment.
+    pub run: fn(&ExpOpts) -> ExperimentOutput,
+}
+
+/// All registered experiments, in `all_experiments` output order (the
+/// `in_all` subset first, standalone-only extras after).
+pub fn registry() -> &'static [ExperimentSpec] {
+    &REGISTRY
+}
+
+/// Looks up an experiment by registry name.
+pub fn find_experiment(name: &str) -> Option<&'static ExperimentSpec> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+fn run_table03(_opts: &ExpOpts) -> ExperimentOutput {
+    let cfg = crate::GpuConfig::titan_v();
+    ExperimentOutput {
+        rendered: table03_config::render(&cfg),
+        result: table03_config::result(&cfg),
+    }
+}
+
+fn run_fig02(_opts: &ExpOpts) -> ExperimentOutput {
+    let fig = fig02_speedup::run();
+    ExperimentOutput {
+        rendered: fig02_speedup::render(&fig),
+        result: fig02_speedup::result(&fig),
+    }
+}
+
+fn run_fig03(_opts: &ExpOpts) -> ExperimentOutput {
+    let fig = fig03_memusage::run();
+    ExperimentOutput {
+        rendered: fig03_memusage::render(&fig),
+        result: fig03_memusage::result(&fig),
+    }
+}
+
+fn run_table02(_opts: &ExpOpts) -> ExperimentOutput {
+    let steps = table02_workflow::run();
+    ExperimentOutput {
+        rendered: table02_workflow::render(&steps),
+        result: table02_workflow::result(&steps),
+    }
+}
+
+fn run_fig09(opts: &ExpOpts) -> ExperimentOutput {
+    let sweeps = fig09_lhb_size::run(opts);
+    ExperimentOutput {
+        rendered: fig09_lhb_size::render(&sweeps),
+        result: fig09_lhb_size::result(&sweeps, opts),
+    }
+}
+
+fn run_fig10(opts: &ExpOpts) -> ExperimentOutput {
+    let sweeps = fig10_hit_rate::run(opts);
+    ExperimentOutput {
+        rendered: fig10_hit_rate::render(&sweeps),
+        result: fig10_hit_rate::result(&sweeps, opts),
+    }
+}
+
+fn run_fig11(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = fig11_mem_breakdown::run(opts);
+    ExperimentOutput {
+        rendered: fig11_mem_breakdown::render(&rows),
+        result: fig11_mem_breakdown::result(&rows, opts),
+    }
+}
+
+fn run_fig12(opts: &ExpOpts) -> ExperimentOutput {
+    let sweeps = fig12_assoc::run(opts);
+    ExperimentOutput {
+        rendered: fig12_assoc::render(&sweeps),
+        result: fig12_assoc::result(&sweeps, opts),
+    }
+}
+
+fn run_fig13(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = fig13_batch::run(opts);
+    ExperimentOutput {
+        rendered: fig13_batch::render(&rows),
+        result: fig13_batch::result(&rows, opts),
+    }
+}
+
+fn run_fig14(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = fig14_network::run(opts);
+    ExperimentOutput {
+        rendered: fig14_network::render(&rows),
+        result: fig14_network::result(&rows, opts),
+    }
+}
+
+fn run_sec5h(opts: &ExpOpts) -> ExperimentOutput {
+    let e = sec5h_energy::run(opts);
+    ExperimentOutput {
+        rendered: sec5h_energy::render(&e),
+        result: sec5h_energy::result(&e, opts),
+    }
+}
+
+fn run_sec2c(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = sec2c_smem::run(opts);
+    ExperimentOutput {
+        rendered: sec2c_smem::render(&rows),
+        result: sec2c_smem::result(&rows, opts),
+    }
+}
+
+fn run_ablations(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = ablations::run(opts);
+    ExperimentOutput {
+        rendered: ablations::render(&rows),
+        result: ablations::result(&rows, opts),
+    }
+}
+
+fn run_ext_wir(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = ext_wir::run(opts);
+    ExperimentOutput {
+        rendered: ext_wir::render(&rows),
+        result: ext_wir::result(&rows, opts),
+    }
+}
+
+fn run_ext_implicit(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = ext_implicit::run(opts);
+    ExperimentOutput {
+        rendered: ext_implicit::render(&rows),
+        result: ext_implicit::result(&rows, opts),
+    }
+}
+
+static REGISTRY: [ExperimentSpec; 15] = [
+    ExperimentSpec {
+        name: "table03_config",
+        title: "Table III — baseline GPU model",
+        paper_ref: "Table III",
+        tag: "table03",
+        banner: false,
+        timed: false,
+        default_sample: None,
+        in_all: true,
+        run: run_table03,
+    },
+    ExperimentSpec {
+        name: "fig02_speedup",
+        title: "Fig. 2 — speedup over direct convolution",
+        paper_ref: "Fig. 2",
+        tag: "fig02",
+        banner: false,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_fig02,
+    },
+    ExperimentSpec {
+        name: "fig03_memusage",
+        title: "Fig. 3 — memory usage relative to direct convolution",
+        paper_ref: "Fig. 3",
+        tag: "fig03",
+        banner: false,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_fig03,
+    },
+    ExperimentSpec {
+        name: "table02_workflow",
+        title: "Table II — Duplo workflow using the LHB",
+        paper_ref: "Table II",
+        tag: "table02",
+        banner: false,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_table02,
+    },
+    ExperimentSpec {
+        name: "fig09_lhb_size",
+        title: "Fig. 9 — Duplo performance improvement vs LHB size",
+        paper_ref: "Fig. 9",
+        tag: "fig09",
+        banner: true,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_fig09,
+    },
+    ExperimentSpec {
+        name: "fig10_hit_rate",
+        title: "Fig. 10 — LHB hit rate vs buffer size",
+        paper_ref: "Fig. 10",
+        tag: "fig10",
+        banner: true,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_fig10,
+    },
+    ExperimentSpec {
+        name: "fig11_mem_breakdown",
+        title: "Fig. 11 — memory service breakdown, baseline vs Duplo",
+        paper_ref: "Fig. 11",
+        tag: "fig11",
+        banner: true,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_fig11,
+    },
+    ExperimentSpec {
+        name: "fig12_assoc",
+        title: "Fig. 12 — set-associative LHB (1024 entries)",
+        paper_ref: "Fig. 12",
+        tag: "fig12",
+        banner: true,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_fig12,
+    },
+    ExperimentSpec {
+        name: "fig13_batch",
+        title: "Fig. 13 — Duplo improvement vs batch size (1024-entry LHB)",
+        paper_ref: "Fig. 13",
+        tag: "fig13",
+        banner: true,
+        timed: true,
+        default_sample: Some(8),
+        in_all: true,
+        run: run_fig13,
+    },
+    ExperimentSpec {
+        name: "fig14_network",
+        title: "Fig. 14 — network execution time reduction",
+        paper_ref: "Fig. 14",
+        tag: "fig14",
+        banner: true,
+        timed: true,
+        default_sample: Some(8),
+        in_all: true,
+        run: run_fig14,
+    },
+    ExperimentSpec {
+        name: "sec5h_energy",
+        title: "Sec. V-H — energy and area, baseline vs Duplo",
+        paper_ref: "§V-H",
+        tag: "energy",
+        banner: true,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_sec5h,
+    },
+    ExperimentSpec {
+        name: "smem_policy",
+        title: "Sec. II-C — shared-memory operand placement",
+        paper_ref: "§II-C",
+        tag: "smem",
+        banner: true,
+        timed: true,
+        default_sample: None,
+        in_all: true,
+        run: run_sec2c,
+    },
+    ExperimentSpec {
+        name: "ablations",
+        title: "Ablations — Duplo design-choice sensitivity",
+        paper_ref: "§IV–V",
+        tag: "ablations",
+        banner: true,
+        timed: true,
+        default_sample: Some(8),
+        in_all: false,
+        run: run_ablations,
+    },
+    ExperimentSpec {
+        name: "ext_wir",
+        title: "Ext — Duplo vs WIR-style same-address elimination",
+        paper_ref: "§III",
+        tag: "ext_wir",
+        banner: true,
+        timed: true,
+        default_sample: None,
+        in_all: false,
+        run: run_ext_wir,
+    },
+    ExperimentSpec {
+        name: "ext_implicit",
+        title: "Ext — Duplo on implicit GEMM (shared-memory renaming)",
+        paper_ref: "§V-D",
+        tag: "ext_implicit",
+        banner: true,
+        timed: true,
+        default_sample: Some(8),
+        in_all: false,
+        run: run_ext_implicit,
+    },
+];
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut seen = std::collections::HashSet::new();
+        for spec in registry() {
+            assert!(seen.insert(spec.name), "duplicate name {}", spec.name);
+            assert!(
+                std::ptr::eq(find_experiment(spec.name).unwrap(), spec),
+                "find_experiment must return the registered spec"
+            );
+        }
+        assert!(find_experiment("no_such_experiment").is_none());
+    }
+
+    #[test]
+    fn registry_covers_all_experiments_plus_extensions() {
+        assert_eq!(registry().len(), 15);
+        assert_eq!(registry().iter().filter(|s| s.in_all).count(), 12);
+        // The EXPERIMENTS.md subset leads, in all_experiments print order.
+        assert_eq!(registry()[0].name, "table03_config");
+        assert!(registry().iter().take(12).all(|s| s.in_all));
+        assert!(registry().iter().skip(12).all(|s| !s.in_all));
+    }
+
+    #[test]
+    fn registry_results_carry_the_registered_name_and_title() {
+        // Cheap structural check on an analytic (no-simulation) entry.
+        let spec = find_experiment("fig02_speedup").unwrap();
+        let out = (spec.run)(&ExpOpts::quick());
+        assert_eq!(out.result.name, spec.name);
+        assert_eq!(out.result.title, spec.title);
+        assert!(!out.rendered.is_empty());
+    }
+}

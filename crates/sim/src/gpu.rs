@@ -119,6 +119,12 @@ impl GpuSim {
 
     /// Runs `kernel` on the simulated GPU.
     ///
+    /// Runs are memoized through the content-addressed
+    /// [`crate::cache`] — a repeat of an identical (configuration, kernel)
+    /// point is served from cache (byte-identical to a fresh simulation)
+    /// instead of re-simulated. Use [`crate::cache::bypass`] to force the
+    /// simulator to actually run.
+    ///
     /// Each representative SM's `run_kernel` is independent, so the SMs
     /// fan out over [`crate::runner::par_map`]; per-SM results are folded
     /// in `sm_id` order, so the outcome is identical at any thread count.
@@ -127,6 +133,11 @@ impl GpuSim {
     /// `sampled_fraction: 0.0` — nothing ran, and the `cycles: 0.0`
     /// estimate covers none of the grid.
     pub fn run(&self, kernel: &dyn Kernel) -> GpuRunResult {
+        crate::cache::run_cached(&self.config, kernel, || self.run_uncached(kernel))
+    }
+
+    /// The simulation itself, with no memoization (see [`crate::cache`]).
+    fn run_uncached(&self, kernel: &dyn Kernel) -> GpuRunResult {
         let cfg = &self.config;
         let n_ctas = kernel.num_ctas();
         let sm_ids: Vec<usize> = (0..cfg.sms_simulated).collect();
@@ -309,6 +320,9 @@ mod tests {
     fn multi_sm_run_is_thread_count_invariant() {
         // 392 CTAs over 80 SMs: 5 simulated SMs get distinct shares; the
         // fold over per-SM results must not depend on completion order.
+        // Bypass the run cache: serving the second run from memory would
+        // make the comparison vacuous.
+        let _nocache = crate::cache::bypass();
         let p = ConvParams::new(Nhwc::new(8, 56, 56, 16), 16, 3, 3, 1, 1).unwrap();
         let mut cfg = GpuConfig::titan_v().with_sample(2);
         cfg.sms_simulated = 5;

@@ -92,6 +92,57 @@ impl Json {
         out
     }
 
+    /// Serializes compactly with object keys **sorted** (recursively).
+    ///
+    /// This is the canonical form the content-addressed run cache digests
+    /// ([`crate::digest`]): two values differing only in field insertion
+    /// order canonicalize to identical bytes. [`Json::to_pretty`], in
+    /// contrast, preserves insertion order for human-facing output.
+    pub fn to_canonical(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                let mut sorted: Vec<&(String, Json)> = fields.iter().collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                out.push('{');
+                for (i, (k, v)) in sorted.into_iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_canonical(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -543,6 +594,26 @@ mod tests {
         assert_eq!(arr[2].as_f64(), Some(1e-9));
         assert_eq!(arr[3], Json::Null);
         assert_eq!(arr[4], Json::Null);
+    }
+
+    #[test]
+    fn canonical_form_sorts_keys_and_is_compact() {
+        let a = Json::obj()
+            .field("b", 1u64)
+            .field("a", Json::obj().field("y", 2u64).field("x", 3u64).build())
+            .build();
+        let b = Json::obj()
+            .field("a", Json::obj().field("x", 3u64).field("y", 2u64).build())
+            .field("b", 1u64)
+            .build();
+        // Insertion order differs, canonical bytes do not.
+        assert_eq!(a.to_canonical(), b.to_canonical());
+        assert_eq!(a.to_canonical(), "{\"a\":{\"x\":3,\"y\":2},\"b\":1}");
+        // Arrays keep element order (positions carry meaning).
+        let arr = Json::Arr(vec![Json::from(2u64), Json::from(1u64)]);
+        assert_eq!(arr.to_canonical(), "[2,1]");
+        // Floats use the same shortest round-trip form as to_pretty.
+        assert_eq!(Json::Float(3.0).to_canonical(), "3.0");
     }
 
     #[test]

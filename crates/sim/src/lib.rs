@@ -12,12 +12,17 @@
 //! * [`runner`] — the zero-dependency parallel execution engine behind
 //!   both (bounded scoped-thread pool, `DUPLO_THREADS` override,
 //!   order-stable and therefore byte-identical results at any thread
-//!   count).
+//!   count),
+//! * [`cache`] — the content-addressed run cache memoizing
+//!   [`GpuSim::run`] (single-flight in-memory tier plus an optional
+//!   `DUPLO_CACHE_DIR` disk tier keyed by [`digest`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod costmodel;
+pub mod digest;
 pub mod experiments;
 pub mod gpu;
 pub mod json;

@@ -33,6 +33,14 @@ pub struct ExperimentResult {
     pub wall_clock_s: Option<f64>,
     /// Worker-thread count, if stamped (volatile; omitted in stable mode).
     pub workers: Option<usize>,
+    /// Run-cache hits during this experiment, if stamped (volatile;
+    /// omitted in stable mode — see [`crate::cache`]).
+    pub cache_hits: Option<u64>,
+    /// Run-cache misses during this experiment, if stamped (volatile).
+    pub cache_misses: Option<u64>,
+    /// Run-cache disk bytes moved during this experiment, if stamped
+    /// (volatile).
+    pub cache_bytes: Option<u64>,
 }
 
 impl ExperimentResult {
@@ -52,7 +60,19 @@ impl ExperimentResult {
             summary,
             wall_clock_s: None,
             workers: None,
+            cache_hits: None,
+            cache_misses: None,
+            cache_bytes: None,
         }
+    }
+
+    /// Whether any volatile host-block field is stamped.
+    fn has_host(&self) -> bool {
+        self.wall_clock_s.is_some()
+            || self.workers.is_some()
+            || self.cache_hits.is_some()
+            || self.cache_misses.is_some()
+            || self.cache_bytes.is_some()
     }
 
     /// The full JSON document.
@@ -64,12 +84,15 @@ impl ExperimentResult {
             .field("config", self.config.clone())
             .field("rows", Json::Arr(self.rows.clone()))
             .field("summary", self.summary.clone());
-        if self.wall_clock_s.is_some() || self.workers.is_some() {
+        if self.has_host() {
             b = b.field(
                 "host",
                 Json::obj()
                     .field_opt("wall_clock_s", self.wall_clock_s)
                     .field_opt("workers", self.workers)
+                    .field_opt("cache_hits", self.cache_hits)
+                    .field_opt("cache_misses", self.cache_misses)
+                    .field_opt("cache_bytes", self.cache_bytes)
                     .build(),
             );
         }

@@ -32,6 +32,9 @@ fn render_once() -> String {
 
 #[test]
 fn experiment_tables_identical_at_one_and_many_threads() {
+    // Bypass the run cache: a memoized second sweep would make the
+    // thread-count comparison vacuous.
+    let _nocache = duplo_sim::cache::bypass();
     let serial = {
         let _g = runner::override_threads(1);
         render_once()
@@ -51,6 +54,7 @@ fn experiment_tables_identical_at_one_and_many_threads() {
 /// be byte-identical at every thread count.
 #[test]
 fn json_results_identical_at_one_and_many_threads() {
+    let _nocache = duplo_sim::cache::bypass();
     let json_once = || {
         let opts = ExpOpts::quick();
         let sweeps = sweep_layers(&probe_layers(), &size_configs(), &opts);
@@ -74,6 +78,7 @@ fn json_results_identical_at_one_and_many_threads() {
 fn ambient_thread_count_matches_forced_serial() {
     // Under ci.sh this runs with DUPLO_THREADS set in the environment;
     // whatever the ambient configuration is, output must match serial.
+    let _nocache = duplo_sim::cache::bypass();
     let ambient = render_once();
     let serial = {
         let _g = runner::override_threads(1);

@@ -51,4 +51,44 @@ cmp "$JSON_DIR/smem_t1.json" "$JSON_DIR/smem_t4.json" || {
     exit 1
 }
 
+# Registry gate: the unified CLI must list experiments and resolve them.
+echo "== duplo list smoke ==" >&2
+LISTED=$(cargo run -q --release --offline -p duplo-bench --bin duplo -- list | wc -l)
+if [ "$LISTED" -lt 15 ]; then
+    echo "duplo list reported only $LISTED experiments" >&2
+    exit 1
+fi
+
+# Cache gate: the same sweep run twice into one DUPLO_CACHE_DIR must (a)
+# serve the second pass from cache (hits>0, misses=0 on its stderr counter
+# line) and (b) produce byte-identical stdout and stable JSON.
+echo "== cache: warm-run equivalence ==" >&2
+CACHE_DIR="$JSON_DIR/cache"
+DUPLO_JSON_STABLE=1 DUPLO_CACHE_DIR="$CACHE_DIR" \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run smem_policy --sample 2 --json "$JSON_DIR/smem_cold.json" \
+    > "$JSON_DIR/stdout_cold.txt" 2> "$JSON_DIR/stderr_cold.txt"
+DUPLO_JSON_STABLE=1 DUPLO_CACHE_DIR="$CACHE_DIR" \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run smem_policy --sample 2 --json "$JSON_DIR/smem_warm.json" \
+    > "$JSON_DIR/stdout_warm.txt" 2> "$JSON_DIR/stderr_warm.txt"
+cmp "$JSON_DIR/stdout_cold.txt" "$JSON_DIR/stdout_warm.txt" || {
+    echo "stdout differs between cold and warm cache runs" >&2
+    exit 1
+}
+cmp "$JSON_DIR/smem_cold.json" "$JSON_DIR/smem_warm.json" || {
+    echo "stable JSON differs between cold and warm cache runs" >&2
+    exit 1
+}
+grep -q 'cache: hits=0 ' "$JSON_DIR/stderr_cold.txt" || {
+    echo "cold run unexpectedly hit the cache:" >&2
+    cat "$JSON_DIR/stderr_cold.txt" >&2
+    exit 1
+}
+grep -Eq 'cache: hits=[1-9][0-9]* misses=0 ' "$JSON_DIR/stderr_warm.txt" || {
+    echo "warm run was not served entirely from cache:" >&2
+    cat "$JSON_DIR/stderr_warm.txt" >&2
+    exit 1
+}
+
 echo "tier-1 gate: OK" >&2
