@@ -9,9 +9,9 @@
 //! With `--json-dir <dir>` (or `DUPLO_JSON_DIR=<dir>`), every experiment's
 //! structured result is also written to `<dir>/<experiment>.json`, plus a
 //! `BENCH_duplo.json` roll-up of the headline metrics.
-use duplo_bench::{cli_from_args, run_all};
+use duplo_bench::{cli_from_args, run_all, with_trace};
 
 fn main() {
     let cli = cli_from_args(Some(8));
-    run_all(&cli, false);
+    with_trace(&cli, || run_all(&cli, false));
 }

@@ -5,15 +5,18 @@
 //! * `duplo describe <name>` — one experiment's metadata,
 //! * `duplo run <name|all> [options]` — run one experiment (or every
 //!   registered one) with the shared option set (`--sample`/`--full`,
-//!   `--json`/`--json-dir`, `--cache-dir`/`--no-cache`).
+//!   `--json`/`--json-dir`, `--cache-dir`/`--no-cache`,
+//!   `--trace`/`--trace-interval`/`--trace-full`),
+//! * `duplo trace summarize <path>` — phase table of a trace file
+//!   written by `--trace`.
 //!
 //! `duplo run <name>` produces stdout byte-identical to the corresponding
 //! per-figure binary: both resolve the same registry entry and run through
 //! `duplo_bench::run_spec`.
-use duplo_bench::{USAGE, apply_cache_flags, parse_cli, run_all, run_named};
+use duplo_bench::{USAGE, apply_cache_flags, parse_cli, run_all, run_named, with_trace};
 use duplo_sim::experiments::{find_experiment, registry};
 
-const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)";
+const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)\n  trace summarize <path>     print a phase table of a --trace file";
 
 fn usage_exit(code: i32) -> ! {
     eprintln!("{COMMANDS}\n\n{USAGE}");
@@ -63,7 +66,7 @@ fn main() {
                 match parse_cli(rest, Some(8)) {
                     Ok(cli) => {
                         apply_cache_flags(&cli);
-                        run_all(&cli, true);
+                        with_trace(&cli, || run_all(&cli, true));
                     }
                     Err(msg) => {
                         eprintln!("error: {msg}");
@@ -78,7 +81,7 @@ fn main() {
                 match parse_cli(rest, spec.default_sample) {
                     Ok(cli) => {
                         apply_cache_flags(&cli);
-                        run_named(target, &cli);
+                        with_trace(&cli, || run_named(target, &cli));
                     }
                     Err(msg) => {
                         eprintln!("error: {msg}");
@@ -87,6 +90,36 @@ fn main() {
                 }
             }
         }
+        Some("trace") => match args.get(1).map(String::as_str) {
+            Some("summarize") => {
+                let Some(path) = args.get(2) else {
+                    eprintln!("error: trace summarize requires a file path");
+                    usage_exit(2);
+                };
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("error: cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                let doc = duplo_sim::json::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("error: {path} is not valid JSON: {e}");
+                    std::process::exit(2);
+                });
+                match duplo_sim::trace::summarize_chrome(&doc, 16) {
+                    Ok(table) => print!("{table}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                match other {
+                    Some(sub) => eprintln!("error: unknown trace subcommand {sub:?}"),
+                    None => eprintln!("error: trace requires a subcommand (summarize)"),
+                }
+                usage_exit(2);
+            }
+        },
         Some("--help") | Some("-h") | Some("help") => {
             println!("{COMMANDS}\n\n{USAGE}");
         }

@@ -31,7 +31,9 @@ fn main() {
     let mut failed = false;
     for path in &paths {
         match check(path) {
-            Ok(()) => eprintln!("[json_check] ok: {path}"),
+            // Per-file confirmations go through the logger (DUPLO_LOG=off
+            // leaves only the exit code); failures always print.
+            Ok(()) => duplo_sim::log::info("json_check", format_args!("ok: {path}")),
             Err(e) => {
                 eprintln!("[json_check] FAIL {path}: {e}");
                 failed = true;

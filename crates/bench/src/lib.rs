@@ -9,7 +9,17 @@
 //!   result (see `duplo_sim::results`) to `path`,
 //! * `--cache-dir <dir>` — persist the run cache there (overrides the
 //!   `DUPLO_CACHE_DIR` environment variable; see `duplo_sim::cache`),
-//! * `--no-cache` — disable run-cache lookups and stores entirely.
+//! * `--no-cache` — disable run-cache lookups and stores entirely,
+//! * `--trace <path>` — write a Chrome trace-event (Perfetto-loadable)
+//!   timeline of every simulated run to `path` (`--trace-interval <N>`
+//!   tunes the sampling cadence, `--trace-full` adds volatile host-side
+//!   spans; `DUPLO_TRACE` / `DUPLO_TRACE_INTERVAL` / `DUPLO_TRACE_FULL`
+//!   are the environment equivalents — see `duplo_sim::trace`).
+//!
+//! All stderr chatter (banners, wall-clock, cache counters, the `run all`
+//! heartbeat) goes through `duplo_sim::log`: `DUPLO_LOG=off` silences it
+//! entirely, `debug`/`trace` add detail. Error reporting (bad arguments)
+//! stays unconditional.
 //!
 //! `all_experiments` and `duplo run` also accept `--json-dir <dir>` (or
 //! the `DUPLO_JSON_DIR` environment variable) and write one file per
@@ -36,10 +46,12 @@ use duplo_sim::experiments::{
     ExpOpts, ExperimentOutput, ExperimentSpec, find_experiment, registry,
 };
 use duplo_sim::json::Json;
+use duplo_sim::log;
 use duplo_sim::results::{ExperimentResult, rollup};
+use duplo_sim::trace;
 
 /// Usage summary printed (with a nonzero exit) on bad arguments.
-pub const USAGE: &str = "options:\n  --sample <N>      simulate at most N CTAs per representative SM (N >= 1)\n  --full            simulate every CTA of each SM's share\n  --json <path>     write the structured result to <path>\n  --json-dir <dir>  write per-experiment JSON files under <dir>\n  --cache-dir <dir> persist the run cache under <dir> (overrides DUPLO_CACHE_DIR)\n  --no-cache        disable the run cache";
+pub const USAGE: &str = "options:\n  --sample <N>      simulate at most N CTAs per representative SM (N >= 1)\n  --full            simulate every CTA of each SM's share\n  --json <path>     write the structured result to <path>\n  --json-dir <dir>  write per-experiment JSON files under <dir>\n  --cache-dir <dir> persist the run cache under <dir> (overrides DUPLO_CACHE_DIR)\n  --no-cache        disable the run cache\n  --trace <path>    write a Chrome trace-event timeline to <path> (DUPLO_TRACE)\n  --trace-interval <N>  cycles between trace samples (default 1024; DUPLO_TRACE_INTERVAL)\n  --trace-full      also record volatile host-side spans (DUPLO_TRACE_FULL)\n\nenvironment:\n  DUPLO_LOG=off|info|debug|trace   stderr verbosity (default info)";
 
 /// Parsed command line shared by the experiment binaries.
 #[derive(Clone, Debug, Default)]
@@ -54,6 +66,16 @@ pub struct CliArgs {
     pub cache_dir: Option<PathBuf>,
     /// `--no-cache`: disable the run cache.
     pub no_cache: bool,
+    /// `--trace <path>` (or `DUPLO_TRACE`): write a Chrome trace-event
+    /// timeline of every simulated run to this file.
+    pub trace: Option<PathBuf>,
+    /// `--trace-interval <N>` (or `DUPLO_TRACE_INTERVAL`): cycles between
+    /// trace samples.
+    pub trace_interval: Option<u64>,
+    /// `--trace-full` (or `DUPLO_TRACE_FULL`): also record volatile
+    /// host-side spans (runner workers) — the export is then no longer
+    /// byte-reproducible.
+    pub trace_full: bool,
 }
 
 /// Parses the shared experiment command line. Pure — no process exit, no
@@ -67,6 +89,12 @@ pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliAr
     let mut json_dir = std::env::var_os("DUPLO_JSON_DIR").map(PathBuf::from);
     let mut cache_dir = None;
     let mut no_cache = false;
+    let mut trace = std::env::var_os("DUPLO_TRACE").map(PathBuf::from);
+    let mut trace_interval = std::env::var("DUPLO_TRACE_INTERVAL")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n >= 1);
+    let mut trace_full = std::env::var_os("DUPLO_TRACE_FULL").is_some();
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -97,6 +125,19 @@ pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliAr
             "--json-dir" => json_dir = Some(PathBuf::from(value(args, &mut i, "--json-dir")?)),
             "--cache-dir" => cache_dir = Some(PathBuf::from(value(args, &mut i, "--cache-dir")?)),
             "--no-cache" => no_cache = true,
+            "--trace" => trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
+            "--trace-interval" => {
+                let v = value(args, &mut i, "--trace-interval")?;
+                match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => trace_interval = Some(n),
+                    _ => {
+                        return Err(format!(
+                            "--trace-interval requires a positive cycle count, got {v:?}"
+                        ));
+                    }
+                }
+            }
+            "--trace-full" => trace_full = true,
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
@@ -109,6 +150,9 @@ pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliAr
         json_dir,
         cache_dir,
         no_cache,
+        trace,
+        trace_interval,
+        trace_full,
     })
 }
 
@@ -120,6 +164,53 @@ pub fn apply_cache_flags(cli: &CliArgs) {
     if cli.no_cache {
         cache::set_disabled(true);
     }
+}
+
+/// The trace destination and options `cli` asks for, if any.
+fn trace_options(cli: &CliArgs) -> Option<(PathBuf, trace::TraceOptions)> {
+    let path = cli.trace.clone()?;
+    let mut opts = trace::TraceOptions::default();
+    if let Some(n) = cli.trace_interval {
+        opts.interval = n;
+    }
+    opts.host_events = cli.trace_full;
+    Some((path, opts))
+}
+
+/// Runs `f` under a trace session when `cli` asks for one, writing the
+/// Chrome trace-event document afterwards. Without `--trace`/`DUPLO_TRACE`
+/// this is exactly `f()` — the simulator takes its untraced path and no
+/// file is touched.
+pub fn with_trace<T>(cli: &CliArgs, f: impl FnOnce() -> T) -> T {
+    let Some((path, opts)) = trace_options(cli) else {
+        return f();
+    };
+    let session = trace::capture(opts);
+    let out = f();
+    let data = session.finish();
+    let doc = data.to_chrome_json();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", parent.display()));
+        }
+    }
+    std::fs::write(&path, doc.to_pretty())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map_or(0, <[Json]>::len);
+    log::info(
+        "trace",
+        format_args!(
+            "wrote {} ({} runs, {} events)",
+            path.display(),
+            data.runs.len(),
+            events
+        ),
+    );
+    out
 }
 
 /// Parses experiment options from `std::env::args`.
@@ -156,9 +247,12 @@ pub fn banner(name: &str, opts: &ExpOpts) {
         Some(n) => println!("[{name}] CTA sampling: at most {n} CTAs per representative SM"),
         None => println!("[{name}] full CTA shares simulated"),
     }
-    eprintln!(
-        "[{name}] worker threads: {} (override with DUPLO_THREADS)",
-        duplo_sim::runner::max_threads()
+    log::info(
+        name,
+        format_args!(
+            "worker threads: {} (override with DUPLO_THREADS)",
+            duplo_sim::runner::max_threads()
+        ),
     );
 }
 
@@ -176,7 +270,7 @@ pub fn timed_secs<T>(name: &str, f: impl FnOnce() -> T) -> (T, f64) {
     let start = std::time::Instant::now();
     let out = f();
     let secs = start.elapsed().as_secs_f64();
-    eprintln!("[{name}] wall-clock: {secs:.3}s");
+    log::info(name, format_args!("wall-clock: {secs:.3}s"));
     (out, secs)
 }
 
@@ -197,7 +291,7 @@ pub fn write_result(path: &std::path::Path, mut result: ExperimentResult, wall_c
     result
         .write(path)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-    eprintln!("[{}] wrote {}", result.name, path.display());
+    log::info(&result.name, format_args!("wrote {}", path.display()));
 }
 
 /// Executes one registered experiment: timed run (when `spec.timed`), the
@@ -211,9 +305,12 @@ fn execute(spec: &ExperimentSpec, opts: &ExpOpts) -> (ExperimentOutput, f64) {
         ((spec.run)(opts), 0.0)
     };
     let delta = cache::stats().since(&before);
-    eprintln!(
-        "[{}] cache: hits={} misses={} bytes={}",
-        spec.tag, delta.hits, delta.misses, delta.bytes
+    log::info(
+        spec.tag,
+        format_args!(
+            "cache: hits={} misses={} bytes={}",
+            delta.hits, delta.misses, delta.bytes
+        ),
     );
     if !json_stable() {
         out.result.cache_hits = Some(delta.hits);
@@ -256,7 +353,7 @@ pub fn run_named(name: &str, cli: &CliArgs) -> ExperimentResult {
 pub fn standalone(name: &str) {
     let spec = find_experiment(name).expect("wrapper binaries name registered experiments");
     let cli = cli_from_args(spec.default_sample);
-    run_spec(spec, &cli);
+    with_trace(&cli, || run_spec(spec, &cli));
 }
 
 /// Runs a batch of registered experiments under the `all_experiments`
@@ -271,19 +368,45 @@ pub fn run_all(cli: &CliArgs, full_registry: bool) {
     banner("all", &cli.opts);
     let total = std::time::Instant::now();
     let run_start = cache::stats();
+    let specs: Vec<&ExperimentSpec> = registry()
+        .iter()
+        .filter(|s| full_registry || s.in_all)
+        .collect();
+    let n_specs = specs.len();
+    // Heartbeat after each experiment, rate-limited so a warm all-cached
+    // sweep does not spam one line per experiment; the final one always
+    // lands.
+    let mut last_beat = std::time::Instant::now();
     // (structured result, wall-clock seconds) per experiment, in run order.
     let mut results: Vec<(ExperimentResult, f64)> = Vec::new();
-    for spec in registry().iter().filter(|s| full_registry || s.in_all) {
+    for spec in specs {
         let (out, secs) = execute(spec, &cli.opts);
         print!("{}", out.rendered);
         results.push((out.result, secs));
+        let done = results.len();
+        if last_beat.elapsed().as_secs_f64() >= 1.0 || done == n_specs {
+            last_beat = std::time::Instant::now();
+            let so_far = cache::stats().since(&run_start);
+            log::info(
+                "all",
+                format_args!(
+                    "{done}/{n_specs} experiments, {:.1}s elapsed, cache hits={} misses={}",
+                    total.elapsed().as_secs_f64(),
+                    so_far.hits,
+                    so_far.misses
+                ),
+            );
+        }
     }
     let wall = total.elapsed().as_secs_f64();
     let cache_delta = cache::stats().since(&run_start);
-    eprintln!("[all] wall-clock: {wall:.3}s");
-    eprintln!(
-        "[all] cache: hits={} misses={} bytes={}",
-        cache_delta.hits, cache_delta.misses, cache_delta.bytes
+    log::info("all", format_args!("wall-clock: {wall:.3}s"));
+    log::info(
+        "all",
+        format_args!(
+            "cache: hits={} misses={} bytes={}",
+            cache_delta.hits, cache_delta.misses, cache_delta.bytes
+        ),
     );
 
     if let Some(dir) = &cli.json_dir {
@@ -312,7 +435,7 @@ pub fn run_all(cli: &CliArgs, full_registry: bool) {
         let roll_path = dir.join("BENCH_duplo.json");
         std::fs::write(&roll_path, roll.to_pretty())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", roll_path.display()));
-        eprintln!("[all] wrote {}", roll_path.display());
+        log::info("all", format_args!("wrote {}", roll_path.display()));
     }
 }
 
@@ -367,6 +490,28 @@ mod tests {
         assert_eq!(cli.cache_dir, None);
         assert!(!cli.no_cache);
         let err = parse_cli(&argv(&["--cache-dir"]), None).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let cli = parse_cli(
+            &argv(&[
+                "--trace",
+                "/tmp/t.json",
+                "--trace-interval",
+                "256",
+                "--trace-full",
+            ]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(cli.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(cli.trace_interval, Some(256));
+        assert!(cli.trace_full);
+        let err = parse_cli(&argv(&["--trace-interval", "0"]), None).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = parse_cli(&argv(&["--trace"]), None).unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
     }
 

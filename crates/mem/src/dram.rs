@@ -28,6 +28,9 @@ pub struct BandwidthQueue {
     /// fractional (e.g. 0.5 cycles at 6.8 B/cyc), and truncating each one
     /// would systematically undercount the total.
     queue_delay: f64,
+    /// Largest single-request wait observed (the queue's high-water depth
+    /// in cycles; totals alone can hide a short, severe pile-up).
+    peak_queue_delay: f64,
 }
 
 impl BandwidthQueue {
@@ -40,6 +43,7 @@ impl BandwidthQueue {
             bytes: 0,
             requests: 0,
             queue_delay: 0.0,
+            peak_queue_delay: 0.0,
         }
     }
 
@@ -52,7 +56,11 @@ impl BandwidthQueue {
         self.next_free = start + service;
         self.bytes += u64::from(bytes);
         self.requests += 1;
-        self.queue_delay += start - arrival;
+        let wait = start - arrival;
+        self.queue_delay += wait;
+        if wait > self.peak_queue_delay {
+            self.peak_queue_delay = wait;
+        }
         (start + service).ceil() as u64 + u64::from(self.config.latency)
     }
 
@@ -78,6 +86,19 @@ impl BandwidthQueue {
         } else {
             self.queue_delay / self.requests as f64
         }
+    }
+
+    /// Largest single-request wait observed so far, in cycles. This is the
+    /// queue's high-water depth: how far behind the server the worst
+    /// request arrived.
+    pub fn peak_queue_delay(&self) -> f64 {
+        self.peak_queue_delay
+    }
+
+    /// Current backlog at `cycle`, in cycles: how long a request arriving
+    /// now would wait before service starts. Zero when the server is idle.
+    pub fn backlog(&self, cycle: u64) -> f64 {
+        (self.next_free - cycle as f64).max(0.0)
     }
 
     /// The cycle at which the server next becomes free (diagnostics).
@@ -159,6 +180,30 @@ mod tests {
             (mean - exact / (2.0 * pairs as f64)).abs() < 1e-9,
             "mean delay {mean} lost the fractional waits"
         );
+    }
+
+    #[test]
+    fn peak_queue_delay_tracks_worst_wait() {
+        let mut d = q(32.0, 0);
+        assert_eq!(d.peak_queue_delay(), 0.0);
+        d.request(0, 128); // service 4 cycles, no wait
+        d.request(0, 128); // waits 4 cycles
+        d.request(0, 128); // waits 8 cycles
+        assert!((d.peak_queue_delay() - 8.0).abs() < 1e-9);
+        // A later, idle-server request must not reset the peak.
+        d.request(10_000, 32);
+        assert!((d.peak_queue_delay() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backlog_reports_live_queue_depth() {
+        let mut d = q(32.0, 0);
+        assert_eq!(d.backlog(0), 0.0);
+        d.request(0, 128); // busy through cycle 4
+        d.request(0, 128); // busy through cycle 8
+        assert!((d.backlog(0) - 8.0).abs() < 1e-9);
+        assert!((d.backlog(6) - 2.0).abs() < 1e-9);
+        assert_eq!(d.backlog(100), 0.0);
     }
 
     #[test]

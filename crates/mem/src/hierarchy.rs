@@ -119,6 +119,12 @@ pub struct MemStats {
     pub dram_requests: u64,
     /// Total queueing delay at the DRAM server, in cycles.
     pub dram_queue_delay: f64,
+    /// Peak simultaneous MSHR occupancy (high-water mark).
+    pub mshr_peak_occupancy: u64,
+    /// Worst single-request wait at the L2 port, in cycles (max queue depth).
+    pub l2_peak_queue_delay: f64,
+    /// Worst single-request wait at the DRAM server, in cycles.
+    pub dram_peak_queue_delay: f64,
 }
 
 /// One simulated SM's memory system.
@@ -236,7 +242,27 @@ impl MemoryHierarchy {
         s.l2_queue_delay = self.l2_port.total_queue_delay();
         s.dram_requests = self.dram.requests();
         s.dram_queue_delay = self.dram.total_queue_delay();
+        s.mshr_peak_occupancy = self.mshr.peak_occupancy() as u64;
+        s.l2_peak_queue_delay = self.l2_port.peak_queue_delay();
+        s.dram_peak_queue_delay = self.dram.peak_queue_delay();
         s
+    }
+
+    /// Outstanding MSHR fills at `cycle` (live gauge for trace sampling;
+    /// expires completed fills first so the reading is cycle-accurate).
+    pub fn mshr_occupancy(&mut self, cycle: u64) -> usize {
+        self.mshr.expire(cycle);
+        self.mshr.occupancy()
+    }
+
+    /// Live L2-port backlog at `cycle`, in cycles of queued service.
+    pub fn l2_port_backlog(&self, cycle: u64) -> f64 {
+        self.l2_port.backlog(cycle)
+    }
+
+    /// Live DRAM-server backlog at `cycle`, in cycles of queued service.
+    pub fn dram_backlog(&self, cycle: u64) -> f64 {
+        self.dram.backlog(cycle)
     }
 
     /// L1 cache stats.
@@ -368,6 +394,34 @@ mod tests {
         assert_eq!(s.dram_requests, 4);
         assert!(s.l2_queue_delay > 0.0, "port contention must accumulate");
         assert!(s.dram_queue_delay > 0.0, "DRAM contention must accumulate");
+    }
+
+    /// Pins the high-water-mark exports promised by `MemStats`: peak MSHR
+    /// occupancy and the worst single-request waits at both bandwidth
+    /// servers must survive into the folded stats snapshot.
+    #[test]
+    fn stats_expose_peaks_and_live_backlog() {
+        let mut m = small();
+        // Four distinct-line misses in flight: MSHR occupancy peaks at 4.
+        for i in 0..4 {
+            assert!(m.load(0, 0x10_000 + i * 128, 32).is_some());
+        }
+        let s = m.stats();
+        assert_eq!(s.mshr_peak_occupancy, 4);
+        assert!(s.l2_peak_queue_delay > 0.0, "port pile-up must be recorded");
+        assert!(
+            s.dram_peak_queue_delay > 0.0,
+            "DRAM pile-up must be recorded"
+        );
+        // The peaks never exceed the accumulated totals.
+        assert!(s.l2_peak_queue_delay <= s.l2_queue_delay);
+        assert!(s.dram_peak_queue_delay <= s.dram_queue_delay);
+        // Live gauges: backlog is positive mid-burst, zero after drain,
+        // while the high-water marks persist.
+        assert!(m.dram_backlog(0) > 0.0);
+        assert_eq!(m.dram_backlog(1_000_000), 0.0);
+        assert_eq!(m.mshr_occupancy(1_000_000), 0);
+        assert_eq!(m.stats().mshr_peak_occupancy, 4);
     }
 
     #[test]

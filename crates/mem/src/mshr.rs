@@ -125,6 +125,11 @@ impl Mshr {
     pub fn occupancy(&self) -> usize {
         self.pending.len()
     }
+
+    /// Peak simultaneous occupancy observed so far (high-water mark).
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +194,22 @@ mod tests {
     fn abort_for_unknown_line_is_a_protocol_violation() {
         let mut m = Mshr::new(2);
         m.abort(0xDEAD);
+    }
+
+    #[test]
+    fn peak_occupancy_is_a_high_water_mark() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.peak_occupancy(), 0);
+        for i in 0..3u64 {
+            assert_eq!(m.lookup(0, 0x100 * (i + 1)), MshrOutcome::Allocated);
+            m.record_fill(0x100 * (i + 1), 10);
+        }
+        assert_eq!(m.peak_occupancy(), 3);
+        // Fills expire, occupancy drops — but the peak stays.
+        assert_eq!(m.lookup(1000, 0x900), MshrOutcome::Allocated);
+        m.record_fill(0x900, 1010);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.peak_occupancy(), 3);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use duplo_core::LhbConfig;
 use duplo_energy::{EnergyCounts, EnergyModel, EnergyReport};
 use duplo_isa::Kernel;
 use duplo_kernels::{GemmTcKernel, SmemPolicy};
-use duplo_sm::{SmConfig, SmStats, run_kernel};
+use duplo_sm::{SmConfig, SmStats, SmTraceData, run_kernel, run_kernel_traced};
 
 /// Whole-GPU configuration.
 #[derive(Clone, Debug)]
@@ -133,6 +133,9 @@ impl GpuSim {
     /// `sampled_fraction: 0.0` — nothing ran, and the `cycles: 0.0`
     /// estimate covers none of the grid.
     pub fn run(&self, kernel: &dyn Kernel) -> GpuRunResult {
+        if crate::trace::is_active() {
+            return self.run_traced(kernel);
+        }
         crate::cache::run_cached(&self.config, kernel, || self.run_uncached(kernel))
     }
 
@@ -151,29 +154,126 @@ impl GpuSim {
             let stats = run_kernel(kernel, &share[..take], cfg.sm.clone());
             Some((share.len(), take, stats))
         });
+        fold_per_sm(per_sm)
+    }
 
-        let mut worst_cycles = 0.0f64;
-        let mut agg = SmStats::default();
-        let mut ctas_simulated = 0usize;
-        let mut sampled_fraction = 1.0f64;
-        let mut any_ran = false;
-        for (share_len, take, stats) in per_sm.into_iter().flatten() {
-            any_ran = true;
-            let scale = share_len as f64 / take as f64;
-            sampled_fraction = (take as f64 / share_len as f64).min(sampled_fraction);
-            worst_cycles = worst_cycles.max(stats.cycles as f64 * scale);
-            ctas_simulated += take;
-            accumulate(&mut agg, &stats);
+    /// [`GpuSim::run`] under an active [`crate::trace`] session: same
+    /// simulation and same fold (the result is byte-identical to the
+    /// untraced path), but each SM additionally records its timeline via
+    /// [`run_kernel_traced`], and the aggregated [`crate::trace::RunRecord`]
+    /// is appended to the session. The run cache is consulted explicitly —
+    /// a hit is recorded as a timeline-less `cache_hit` record.
+    fn run_traced(&self, kernel: &dyn Kernel) -> GpuRunResult {
+        let cfg = &self.config;
+        let opts = crate::trace::options().unwrap_or_default();
+        let key = crate::digest::hex(crate::cache::run_key(cfg, kernel));
+        if let Some(r) = crate::cache::lookup_ready(cfg, kernel) {
+            crate::log::debug(
+                "trace",
+                format_args!("{}: cache hit, no timeline recorded", kernel.name()),
+            );
+            crate::trace::record_run(crate::trace::RunRecord {
+                kernel: kernel.name().to_string(),
+                key,
+                cache_hit: true,
+                cycles: r.cycles,
+                ctas_simulated: r.ctas_simulated,
+                interval: opts.interval,
+                samples: Vec::new(),
+                cta_spans: Vec::new(),
+                dropped_samples: 0,
+                dropped_spans: 0,
+            });
+            return r;
         }
-        if !any_ran {
-            sampled_fraction = 0.0;
+        let spec = opts.spec();
+        let n_ctas = kernel.num_ctas();
+        let sm_ids: Vec<usize> = (0..cfg.sms_simulated).collect();
+        let per_sm = crate::runner::par_map(&sm_ids, |&sm_id| {
+            let share: Vec<usize> = (sm_id..n_ctas).step_by(cfg.total_sms).collect();
+            if share.is_empty() {
+                return None;
+            }
+            let take = cfg.sample_ctas.unwrap_or(share.len()).min(share.len());
+            let (stats, trace) = run_kernel_traced(kernel, &share[..take], cfg.sm.clone(), spec);
+            Some((share.len(), take, stats, trace))
+        });
+        // Split stats from timelines, preserving `sm_id` order so both the
+        // stat fold and the sample aggregation are thread-count invariant.
+        let mut parts = Vec::with_capacity(per_sm.len());
+        let mut traces: Vec<(u64, SmTraceData)> = Vec::new();
+        for (sm_id, slot) in per_sm.into_iter().enumerate() {
+            match slot {
+                Some((share_len, take, stats, trace)) => {
+                    traces.push((sm_id as u64, trace));
+                    parts.push(Some((share_len, take, stats)));
+                }
+                None => parts.push(None),
+            }
         }
-        GpuRunResult {
-            cycles: worst_cycles,
-            stats: agg,
-            sampled_fraction,
-            ctas_simulated,
+        let result = fold_per_sm(parts);
+        crate::cache::publish(cfg, kernel, &result);
+        let refs: Vec<&SmTraceData> = traces.iter().map(|(_, t)| t).collect();
+        let (samples, dropped_samples) = crate::trace::aggregate_samples(&refs, spec.interval);
+        let mut cta_spans = Vec::new();
+        let mut dropped_spans = 0u64;
+        for (sm, t) in &traces {
+            dropped_spans += t.dropped_spans;
+            for &span in &t.cta_spans {
+                cta_spans.push((*sm, span));
+            }
         }
+        crate::log::debug(
+            "trace",
+            format_args!(
+                "{}: {} samples, {} cta spans ({} SMs)",
+                kernel.name(),
+                samples.len(),
+                cta_spans.len(),
+                traces.len()
+            ),
+        );
+        crate::trace::record_run(crate::trace::RunRecord {
+            kernel: kernel.name().to_string(),
+            key,
+            cache_hit: false,
+            cycles: result.cycles,
+            ctas_simulated: result.ctas_simulated,
+            interval: spec.interval,
+            samples,
+            cta_spans,
+            dropped_samples,
+            dropped_spans,
+        });
+        result
+    }
+}
+
+/// Folds per-SM `(share_len, take, stats)` outcomes — in `sm_id` order —
+/// into a whole-GPU result. Shared by the traced and untraced paths so
+/// tracing cannot perturb results.
+fn fold_per_sm(per_sm: Vec<Option<(usize, usize, SmStats)>>) -> GpuRunResult {
+    let mut worst_cycles = 0.0f64;
+    let mut agg = SmStats::default();
+    let mut ctas_simulated = 0usize;
+    let mut sampled_fraction = 1.0f64;
+    let mut any_ran = false;
+    for (share_len, take, stats) in per_sm.into_iter().flatten() {
+        any_ran = true;
+        let scale = share_len as f64 / take as f64;
+        sampled_fraction = (take as f64 / share_len as f64).min(sampled_fraction);
+        worst_cycles = worst_cycles.max(stats.cycles as f64 * scale);
+        ctas_simulated += take;
+        accumulate(&mut agg, &stats);
+    }
+    if !any_ran {
+        sampled_fraction = 0.0;
+    }
+    GpuRunResult {
+        cycles: worst_cycles,
+        stats: agg,
+        sampled_fraction,
+        ctas_simulated,
     }
 }
 
@@ -220,6 +320,13 @@ fn accumulate(agg: &mut SmStats, s: &SmStats) {
     agg.mem.l2_queue_delay += s.mem.l2_queue_delay;
     agg.mem.dram_requests += s.mem.dram_requests;
     agg.mem.dram_queue_delay += s.mem.dram_queue_delay;
+    // High-water marks: the worst simulated SM, not a sum.
+    agg.mem.mshr_peak_occupancy = agg.mem.mshr_peak_occupancy.max(s.mem.mshr_peak_occupancy);
+    agg.mem.l2_peak_queue_delay = agg.mem.l2_peak_queue_delay.max(s.mem.l2_peak_queue_delay);
+    agg.mem.dram_peak_queue_delay = agg
+        .mem
+        .dram_peak_queue_delay
+        .max(s.mem.dram_peak_queue_delay);
     agg.rename_pairs.extend_from_slice(&s.rename_pairs);
     agg.ctas_run += s.ctas_run;
 }

@@ -497,13 +497,22 @@ impl Parser<'_> {
                 b if b < 0x20 => {
                     return Err(format!("raw control byte {b:#x} in string"));
                 }
+                b if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-sync on UTF-8 boundaries: walk back one byte and
-                    // take the full char.
+                    // Multibyte: walk back one byte and decode the full
+                    // char. Validate at most 4 bytes — validating the whole
+                    // remaining input here would make parsing quadratic.
                     self.pos -= 1;
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
-                    let c = rest.chars().next().expect("nonempty");
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).expect("validated")
+                        }
+                        Err(e) => return Err(format!("invalid UTF-8 in string: {e}")),
+                    };
+                    let c = valid.chars().next().expect("nonempty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

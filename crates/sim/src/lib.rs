@@ -15,7 +15,11 @@
 //!   count),
 //! * [`cache`] — the content-addressed run cache memoizing
 //!   [`GpuSim::run`] (single-flight in-memory tier plus an optional
-//!   `DUPLO_CACHE_DIR` disk tier keyed by [`digest`]).
+//!   `DUPLO_CACHE_DIR` disk tier keyed by [`digest`]),
+//! * [`trace`] — cycle-resolved tracing sessions with Chrome
+//!   trace-event (Perfetto-compatible) export and a phase summarizer,
+//! * [`log`] — the `DUPLO_LOG`-leveled logger every stderr line in the
+//!   stack goes through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +30,11 @@ pub mod digest;
 pub mod experiments;
 pub mod gpu;
 pub mod json;
+pub mod log;
 pub mod networks;
 pub mod report;
 pub mod results;
 pub mod runner;
+pub mod trace;
 
 pub use gpu::{GpuConfig, GpuRunResult, GpuSim, layer_run};

@@ -14,7 +14,12 @@ use crate::gpu::GpuRunResult;
 use crate::json::Json;
 
 /// Version stamped into every file; bump when the schema changes shape.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: [`run_metrics`] gained `mshr.peak_occupancy` and
+/// `queues.{l2_port,dram}.peak_delay` (high-water marks of the simulated
+/// memory system), and trace documents ([`crate::trace`]) stamp this
+/// version too.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One experiment's structured result.
 #[derive(Clone, Debug)]
@@ -174,6 +179,7 @@ pub fn run_metrics(r: &GpuRunResult) -> Json {
             Json::obj()
                 .field("merges", s.mem.mshr_merges)
                 .field("stalls", s.mem.mshr_stalls)
+                .field("peak_occupancy", s.mem.mshr_peak_occupancy)
                 .build(),
         )
         .field(
@@ -188,6 +194,7 @@ pub fn run_metrics(r: &GpuRunResult) -> Json {
                             "mean_delay",
                             mean(s.mem.l2_queue_delay, s.mem.l2_port_requests),
                         )
+                        .field("peak_delay", s.mem.l2_peak_queue_delay)
                         .build(),
                 )
                 .field(
@@ -199,6 +206,7 @@ pub fn run_metrics(r: &GpuRunResult) -> Json {
                             "mean_delay",
                             mean(s.mem.dram_queue_delay, s.mem.dram_requests),
                         )
+                        .field("peak_delay", s.mem.dram_peak_queue_delay)
                         .build(),
                 )
                 .build(),
@@ -306,7 +314,10 @@ mod tests {
             Json::obj().field("gmean", 1.5).build(),
         );
         let doc = r.to_json();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
         assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("demo"));
         assert_eq!(
             doc.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
@@ -401,5 +412,42 @@ mod tests {
         );
         assert!(m.get("cycles").and_then(Json::as_f64).unwrap() > 0.0);
         assert!(get_u(["lhb", "hits"]) > 0, "duplo run must hit the LHB");
+    }
+
+    #[test]
+    fn run_metrics_exports_memory_high_water_marks() {
+        use crate::{GpuConfig, layer_run};
+        use duplo_tensor::Nhwc;
+        let p = duplo_conv::ConvParams::new(Nhwc::new(1, 16, 16, 16), 16, 3, 3, 1, 1).unwrap();
+        let run = layer_run(&p, None, &GpuConfig::titan_v().with_sample(2));
+        let m = run_metrics(&run);
+        // The exported marks are the folded stats verbatim.
+        assert_eq!(
+            m.get("mshr")
+                .and_then(|o| o.get("peak_occupancy"))
+                .and_then(Json::as_u64),
+            Some(run.stats.mem.mshr_peak_occupancy)
+        );
+        let peak = |q: &str| {
+            m.get("queues")
+                .and_then(|o| o.get(q))
+                .and_then(|o| o.get("peak_delay"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        let mean = |q: &str| {
+            m.get("queues")
+                .and_then(|o| o.get(q))
+                .and_then(|o| o.get("mean_delay"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        // A high-water mark can never undercut the mean it bounds.
+        assert!(peak("l2_port") >= mean("l2_port"));
+        assert!(peak("dram") >= mean("dram"));
+        assert!(
+            run.stats.mem.mshr_peak_occupancy > 0,
+            "a real run must occupy the MSHR at some point"
+        );
     }
 }

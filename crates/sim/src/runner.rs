@@ -115,16 +115,35 @@ where
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
+    crate::log::trace(
+        "runner",
+        format_args!("pool: {} workers for {} items", workers, items.len()),
+    );
+    // Host-side worker spans are volatile (wall-clock), so they are only
+    // recorded when a trace session explicitly opted into host events.
+    let host_spans = crate::trace::host_enabled();
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let started = host_spans.then(std::time::Instant::now);
                     let mut out = Vec::new();
+                    let mut done = 0usize;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         out.push((i, f(item)));
+                        done += 1;
+                    }
+                    if let Some(start) = started {
+                        crate::trace::host_span(
+                            format!("worker {w}: {done} items"),
+                            w as u64 + 1,
+                            start,
+                        );
                     }
                     out
                 })

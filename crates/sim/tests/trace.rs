@@ -1,0 +1,204 @@
+//! Integration gates for the tracing subsystem (`duplo_sim::trace`):
+//!
+//! * exported Chrome trace documents are byte-identical at any thread
+//!   count (the CI trace gate re-checks this across *processes* via
+//!   `DUPLO_THREADS`),
+//! * the aggregated timeline is consistent with the end-of-run
+//!   `run_metrics` totals — summing per-window deltas telescopes to
+//!   exactly the folded stats,
+//! * every capped buffer reports drops instead of silently truncating,
+//! * tracing does not perturb simulation results, and cache hits are
+//!   recorded as timeline-less records.
+//!
+//! Any `GpuSim::run` in this process is recorded into whichever trace
+//! session is active, so the tests serialize on one file-level lock:
+//! a concurrent "plain" run must never leak into another test's session.
+
+use std::sync::{Mutex, MutexGuard};
+
+use duplo_conv::ConvParams;
+use duplo_core::LhbConfig;
+use duplo_kernels::{GemmTcKernel, SmemPolicy};
+use duplo_sim::json::Json;
+use duplo_sim::trace::{self, TraceOptions};
+use duplo_sim::{GpuConfig, GpuSim, runner};
+use duplo_tensor::Nhwc;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A 392-CTA layer over 5 simulated SMs: distinct per-SM shares, so both
+/// the stat fold and the sample aggregation have real cross-SM work.
+fn kernel_and_cfg() -> (GemmTcKernel, GpuConfig) {
+    let p = ConvParams::new(Nhwc::new(8, 56, 56, 16), 16, 3, 3, 1, 1).unwrap();
+    let mut cfg = GpuConfig::titan_v().with_sample(2);
+    cfg.sms_simulated = 5;
+    cfg.sm.lhb = Some(LhbConfig::paper_default());
+    (GemmTcKernel::from_conv(&p, SmemPolicy::COnly), cfg)
+}
+
+fn traced_export(threads: usize, interval: u64) -> String {
+    let _nocache = duplo_sim::cache::bypass();
+    let _g = runner::override_threads(threads);
+    let session = trace::capture(TraceOptions {
+        interval,
+        ..TraceOptions::default()
+    });
+    let (kernel, cfg) = kernel_and_cfg();
+    GpuSim::new(cfg).run(&kernel);
+    session.finish().to_chrome_json().to_pretty()
+}
+
+#[test]
+fn trace_export_identical_at_one_and_many_threads() {
+    let _t = serialize();
+    let serial = traced_export(1, 256);
+    let parallel = traced_export(4, 256);
+    assert_eq!(
+        serial, parallel,
+        "trace documents must be byte-identical regardless of thread count"
+    );
+}
+
+#[test]
+fn interval_deltas_sum_to_run_metrics_totals() {
+    let _t = serialize();
+    let _nocache = duplo_sim::cache::bypass();
+    let _g = runner::override_threads(2);
+    let session = trace::capture(TraceOptions {
+        interval: 128,
+        ..TraceOptions::default()
+    });
+    let (kernel, cfg) = kernel_and_cfg();
+    let result = GpuSim::new(cfg).run(&kernel);
+    let data = session.finish();
+    assert_eq!(data.runs.len(), 1);
+    let run = &data.runs[0];
+    assert_eq!(run.dropped_samples, 0, "caps must not truncate this run");
+    assert!(run.samples.len() > 2, "expected several sample windows");
+
+    // Sum the per-window deltas the way a timeline consumer would; with
+    // cumulative samples this telescopes to the final snapshot, which
+    // must equal the folded run stats that run_metrics exports.
+    let mut prev = duplo_sim::trace::SmSample::default();
+    let mut issued = 0u64;
+    let mut sched_stalls = 0u64;
+    let mut serv_l1 = 0u64;
+    let mut serv_dram = 0u64;
+    let mut lhb_hits = 0u64;
+    let mut l1_misses = 0u64;
+    for s in &run.samples {
+        issued += (s.issued_mma - prev.issued_mma)
+            + (s.issued_tensor_loads - prev.issued_tensor_loads)
+            + (s.issued_other - prev.issued_other);
+        sched_stalls += (s.stall_empty - prev.stall_empty)
+            + (s.stall_data_dependency - prev.stall_data_dependency)
+            + (s.stall_ldst_full - prev.stall_ldst_full)
+            + (s.stall_tensor_busy - prev.stall_tensor_busy)
+            + (s.stall_barrier - prev.stall_barrier);
+        serv_l1 += s.serv_l1 - prev.serv_l1;
+        serv_dram += s.serv_dram - prev.serv_dram;
+        lhb_hits += s.lhb_hits - prev.lhb_hits;
+        l1_misses += s.l1_misses - prev.l1_misses;
+        prev = *s;
+    }
+    let m = duplo_sim::results::run_metrics(&result);
+    let get_u = |path: [&str; 2]| {
+        m.get(path[0])
+            .and_then(|o| o.get(path[1]))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert_eq!(issued, get_u(["issued", "total"]));
+    assert_eq!(sched_stalls, get_u(["stalls", "sched_total"]));
+    assert_eq!(serv_l1, get_u(["services", "l1"]));
+    assert_eq!(serv_dram, get_u(["services", "dram"]));
+    assert_eq!(lhb_hits, get_u(["lhb", "hits"]));
+    assert_eq!(l1_misses, get_u(["cache", "l1_misses"]));
+    assert!(lhb_hits > 0, "duplo run must hit the LHB");
+    // High-water marks fold with max, and the final sample carries them.
+    let last = run.samples.last().unwrap();
+    assert_eq!(last.mshr_peak, get_u(["mshr", "peak_occupancy"]));
+}
+
+#[test]
+fn capped_buffers_report_drops() {
+    let _t = serialize();
+    let _nocache = duplo_sim::cache::bypass();
+    let _g = runner::override_threads(1);
+    let session = trace::capture(TraceOptions {
+        interval: 64,
+        sample_cap: 2,
+        span_cap: 1,
+        run_cap: 1,
+        ..TraceOptions::default()
+    });
+    let (kernel, cfg) = kernel_and_cfg();
+    let sim = GpuSim::new(cfg);
+    sim.run(&kernel);
+    sim.run(&kernel); // over run_cap: counted, not kept
+    let data = session.finish();
+    assert_eq!(data.runs.len(), 1);
+    assert_eq!(data.dropped_runs, 1);
+    let run = &data.runs[0];
+    assert!(run.dropped_samples > 0, "sample_cap=2 must overflow");
+    assert!(
+        run.dropped_spans > 0,
+        "span_cap=1 with 2 CTAs must overflow"
+    );
+    // The final (cap-exempt) sample still closes the timeline.
+    assert!(run.samples.last().unwrap().cycle > 0);
+    let doc = data.to_chrome_json();
+    let dropped = doc.get("dropped").unwrap();
+    let dget = |k: &str| dropped.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(dget("runs"), 1);
+    assert!(dget("samples") > 0);
+    assert!(dget("cta_spans") > 0);
+}
+
+#[test]
+fn tracing_does_not_perturb_results() {
+    let _t = serialize();
+    let _nocache = duplo_sim::cache::bypass();
+    let _g = runner::override_threads(2);
+    let (kernel, cfg) = kernel_and_cfg();
+    let plain = GpuSim::new(cfg.clone()).run(&kernel);
+    let traced = {
+        let session = trace::capture(TraceOptions::default());
+        let r = GpuSim::new(cfg).run(&kernel);
+        session.finish();
+        r
+    };
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{traced:?}"),
+        "the traced path must produce the identical result"
+    );
+}
+
+#[test]
+fn cache_hits_are_recorded_without_timeline() {
+    let _t = serialize();
+    // Memory tier only, and no bypass: the second run must be served from
+    // cache and still appear in the trace as a timeline-less record.
+    let _dir = duplo_sim::cache::scoped_dir(None);
+    let _g = runner::override_threads(1);
+    let session = trace::capture(TraceOptions::default());
+    let (kernel, cfg) = kernel_and_cfg();
+    let sim = GpuSim::new(cfg);
+    let first = sim.run(&kernel);
+    let second = sim.run(&kernel);
+    assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    let data = session.finish();
+    assert_eq!(data.runs.len(), 2);
+    let hits: Vec<_> = data.runs.iter().filter(|r| r.cache_hit).collect();
+    let misses: Vec<_> = data.runs.iter().filter(|r| !r.cache_hit).collect();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(misses.len(), 1);
+    assert!(hits[0].samples.is_empty(), "cache hits carry no timeline");
+    assert!(!misses[0].samples.is_empty());
+    assert_eq!(hits[0].cycles, misses[0].cycles);
+}

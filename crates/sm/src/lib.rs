@@ -26,11 +26,13 @@ pub mod ldst;
 pub mod regfile;
 mod sm;
 mod stats;
+pub mod trace;
 pub mod warp;
 
 pub use config::{SchedulerPolicy, SmConfig};
-pub use sm::{Sm, run_kernel};
+pub use sm::{Sm, run_kernel, run_kernel_traced};
 pub use stats::{ServiceCounts, SmStats, StallBreakdown};
+pub use trace::{CtaSpan, SmSample, SmTraceData, TraceSpec};
 
 // `run_kernel` calls are fanned out across threads by the whole-GPU
 // simulator: its inputs must be sendable and its result collectable from a

@@ -5,6 +5,7 @@ use crate::config::{SchedulerPolicy, SmConfig};
 use crate::ldst::{Inflight, LdstUnit, MemKind};
 use crate::regfile::PhysRegFile;
 use crate::stats::{SmStats, StallBreakdown};
+use crate::trace::{SmSample, SmTraceData, SmTracer, TraceSpec};
 use crate::warp::WarpCtx;
 use duplo_core::{DetectionUnit, LoadDecision, LoadToken, PhysReg};
 use duplo_isa::{Kernel, Op, Space};
@@ -38,6 +39,9 @@ pub struct Sm {
     /// preg -> fill address, for the rename validation log.
     fill_addr: HashMap<u32, u64>,
     stats: SmStats,
+    /// Cycle-resolved trace recorder; `None` (the default) costs one
+    /// branch per tick and nothing else.
+    tracer: Option<Box<SmTracer>>,
 }
 
 /// What happened when the LDST pipe processed one row.
@@ -82,9 +86,16 @@ impl Sm {
             next_age: 0,
             fill_addr: HashMap::new(),
             stats: SmStats::default(),
+            tracer: None,
             cycle: 0,
             config,
         }
+    }
+
+    /// Attaches a cycle-resolved trace recorder; samples are taken every
+    /// `spec.interval` cycles from the next tick on.
+    pub fn attach_tracer(&mut self, spec: TraceSpec) {
+        self.tracer = Some(Box::new(SmTracer::new(spec)));
     }
 
     /// Attempts to launch CTA `idx` of `kernel`; returns `false` when SM
@@ -108,6 +119,10 @@ impl Sm {
             shared_bytes: shared,
         });
         self.shared_in_use += shared;
+        let launch_cycle = self.cycle;
+        if let Some(t) = self.tracer.as_mut() {
+            t.cta_begin(cta_slot, idx, launch_cycle);
+        }
         for wt in trace.warps {
             let slot = self
                 .warps
@@ -155,6 +170,53 @@ impl Sm {
         }
         // 4. Barrier resolution.
         self.resolve_barriers();
+        // 5. Trace sampling (one branch when tracing is off).
+        if self.tracer.is_some() {
+            let interval = self.tracer.as_ref().expect("checked").spec.interval;
+            if self.cycle % interval == 0 {
+                let sample = self.sample_now();
+                self.tracer.as_mut().expect("checked").push_sample(sample);
+            }
+        }
+    }
+
+    /// Snapshots the SM's cumulative counters and live memory gauges.
+    fn sample_now(&mut self) -> SmSample {
+        let mem = self.hierarchy.stats();
+        let (lhb_hits, lhb_misses) = match &self.detect {
+            Some(du) => {
+                let l = du.lhb_stats();
+                (l.hits, l.misses)
+            }
+            None => (0, 0),
+        };
+        SmSample {
+            cycle: self.cycle,
+            issued_mma: self.stats.issued_mma,
+            issued_tensor_loads: self.stats.issued_tensor_loads,
+            issued_other: self.stats.issued_other,
+            stall_empty: self.stats.stalls.empty,
+            stall_data_dependency: self.stats.stalls.data_dependency,
+            stall_ldst_full: self.stats.stalls.ldst_full,
+            stall_tensor_busy: self.stats.stalls.tensor_busy,
+            stall_barrier: self.stats.stalls.barrier,
+            ldst_pipe_stalls: self.stats.ldst_pipe_stalls,
+            lhb_hits,
+            lhb_misses,
+            serv_lhb: self.stats.services.lhb,
+            serv_l1: self.stats.services.l1,
+            serv_l2: self.stats.services.l2,
+            serv_dram: self.stats.services.dram,
+            serv_shared: self.stats.services.shared,
+            l1_hits: mem.l1_hits,
+            l1_misses: mem.l1_misses,
+            l2_accesses: mem.l2_accesses,
+            dram_accesses: mem.dram_accesses,
+            mshr_occupancy: self.hierarchy.mshr_occupancy(self.cycle) as u64,
+            mshr_peak: mem.mshr_peak_occupancy,
+            l2_backlog: self.hierarchy.l2_port_backlog(self.cycle),
+            dram_backlog: self.hierarchy.dram_backlog(self.cycle),
+        }
     }
 
     fn resolve_barriers(&mut self) {
@@ -722,7 +784,26 @@ impl Sm {
             self.shared_in_use -= cta.shared_bytes;
             self.ctas[wc.cta_slot] = None;
             self.stats.ctas_run += 1;
+            let cycle = self.cycle;
+            if let Some(t) = self.tracer.as_mut() {
+                t.cta_end(wc.cta_slot, cycle);
+            }
         }
+    }
+
+    /// Finalizes and returns statistics plus the recorded trace (when a
+    /// tracer was attached). A final end-of-run sample is appended so the
+    /// timeline always closes on counters equal to the returned stats.
+    pub fn into_stats_and_trace(mut self) -> (SmStats, Option<SmTraceData>) {
+        if self.tracer.is_some() {
+            let sample = self.sample_now();
+            self.tracer
+                .as_mut()
+                .expect("checked")
+                .push_final_sample(sample);
+        }
+        let trace = self.tracer.take().map(|t| t.data);
+        (self.into_stats(), trace)
     }
 
     /// Finalizes and returns statistics.
@@ -750,14 +831,8 @@ enum IssueResult {
     TensorBusy,
 }
 
-/// Runs `cta_ids` of `kernel` to completion on one SM and returns the
-/// statistics.
-///
-/// # Panics
-///
-/// Panics if the simulation exceeds two billion cycles (deadlock guard).
-pub fn run_kernel(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> SmStats {
-    let mut sm = Sm::new(config, kernel);
+/// Drives `sm` until all of `cta_ids` have launched and drained.
+fn drive(sm: &mut Sm, kernel: &dyn Kernel, cta_ids: &[usize]) {
     let mut backlog: VecDeque<usize> = cta_ids.iter().copied().collect();
     const LIMIT: u64 = 2_000_000_000;
     loop {
@@ -777,5 +852,34 @@ pub fn run_kernel(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> S
             "simulation exceeded {LIMIT} cycles — deadlock?"
         );
     }
+}
+
+/// Runs `cta_ids` of `kernel` to completion on one SM and returns the
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds two billion cycles (deadlock guard).
+pub fn run_kernel(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> SmStats {
+    let mut sm = Sm::new(config, kernel);
+    drive(&mut sm, kernel, cta_ids);
     sm.into_stats()
+}
+
+/// Like [`run_kernel`], but records a cycle-resolved trace per `spec`.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds two billion cycles (deadlock guard).
+pub fn run_kernel_traced(
+    kernel: &dyn Kernel,
+    cta_ids: &[usize],
+    config: SmConfig,
+    spec: TraceSpec,
+) -> (SmStats, SmTraceData) {
+    let mut sm = Sm::new(config, kernel);
+    sm.attach_tracer(spec);
+    drive(&mut sm, kernel, cta_ids);
+    let (stats, trace) = sm.into_stats_and_trace();
+    (stats, trace.expect("tracer attached above"))
 }

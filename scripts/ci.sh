@@ -11,6 +11,9 @@
 #   DUPLO_BENCH_ITERS=<u32> timed iterations in `cargo bench`
 #   DUPLO_THREADS=<usize>   worker threads for the parallel runner
 #                           (the determinism gate below pins 1 and 4)
+#   DUPLO_LOG=<level>       stderr verbosity: off|info|debug|trace
+#   DUPLO_TRACE=<path>      Chrome trace-event export (the trace gate
+#                           below exercises the --trace flag directly)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -90,5 +93,51 @@ grep -Eq 'cache: hits=[1-9][0-9]* misses=0 ' "$JSON_DIR/stderr_warm.txt" || {
     cat "$JSON_DIR/stderr_warm.txt" >&2
     exit 1
 }
+
+# Trace gate: `--trace` must (a) emit a Chrome trace-event document the
+# in-tree validator accepts, (b) be byte-identical across thread counts,
+# and (c) leave stdout and stable JSON byte-identical to a run with
+# tracing off. DUPLO_LOG=off must fully silence stderr.
+echo "== trace: export + validate + thread-count diff + zero-overhead ==" >&2
+DUPLO_JSON_STABLE=1 DUPLO_THREADS=1 \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run fig10_hit_rate --sample 2 --no-cache \
+    --json "$JSON_DIR/fig10_traced.json" --trace "$JSON_DIR/trace_t1.json" \
+    > "$JSON_DIR/stdout_traced.txt"
+DUPLO_JSON_STABLE=1 DUPLO_THREADS=4 \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run fig10_hit_rate --sample 2 --no-cache --trace "$JSON_DIR/trace_t4.json" \
+    > /dev/null
+cargo run -q --release --offline -p duplo-bench --bin json_check -- \
+    "$JSON_DIR/trace_t1.json" "$JSON_DIR/trace_t4.json"
+cmp "$JSON_DIR/trace_t1.json" "$JSON_DIR/trace_t4.json" || {
+    echo "trace export differs between DUPLO_THREADS=1 and 4" >&2
+    exit 1
+}
+# Capture to a file: grep -q would close the pipe on first match and the
+# summarizer would die with a broken-pipe panic mid-write.
+cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    trace summarize "$JSON_DIR/trace_t1.json" > "$JSON_DIR/trace_summary.txt"
+grep -q 'phase' "$JSON_DIR/trace_summary.txt" || {
+    echo "trace summarize produced no phase table" >&2
+    exit 1
+}
+DUPLO_JSON_STABLE=1 DUPLO_THREADS=1 DUPLO_LOG=off \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run fig10_hit_rate --sample 2 --no-cache --json "$JSON_DIR/fig10_plain.json" \
+    > "$JSON_DIR/stdout_plain.txt" 2> "$JSON_DIR/stderr_silent.txt"
+cmp "$JSON_DIR/stdout_traced.txt" "$JSON_DIR/stdout_plain.txt" || {
+    echo "stdout differs between traced and untraced runs" >&2
+    exit 1
+}
+cmp "$JSON_DIR/fig10_traced.json" "$JSON_DIR/fig10_plain.json" || {
+    echo "stable JSON differs between traced and untraced runs" >&2
+    exit 1
+}
+if [ -s "$JSON_DIR/stderr_silent.txt" ]; then
+    echo "DUPLO_LOG=off left stderr output:" >&2
+    cat "$JSON_DIR/stderr_silent.txt" >&2
+    exit 1
+fi
 
 echo "tier-1 gate: OK" >&2
