@@ -6,17 +6,23 @@
 //! * `duplo run <name|all> [options]` — run one experiment (or every
 //!   registered one) with the shared option set (`--sample`/`--full`,
 //!   `--json`/`--json-dir`, `--cache-dir`/`--no-cache`,
-//!   `--trace`/`--trace-interval`/`--trace-full`),
+//!   `--trace`/`--trace-interval`/`--trace-full`, `--trace-in`),
 //! * `duplo trace summarize <path>` — phase table of a trace file
-//!   written by `--trace`.
+//!   written by `--trace`,
+//! * `duplo trace record <name> <out> [options]` — run an experiment and
+//!   dump every generated kernel's instruction stream to a wtrace file,
+//!   replayable with `duplo run <name> --trace-in <out>`.
 //!
 //! `duplo run <name>` produces stdout byte-identical to the corresponding
 //! per-figure binary: both resolve the same registry entry and run through
 //! `duplo_bench::run_spec`.
-use duplo_bench::{USAGE, apply_cache_flags, parse_cli, run_all, run_named, with_trace};
+use duplo_bench::{
+    USAGE, apply_cache_flags, parse_cli, record_to_file, run_all, run_named, with_replay,
+    with_trace,
+};
 use duplo_sim::experiments::{find_experiment, registry};
 
-const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)\n  trace summarize <path>     print a phase table of a --trace file";
+const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)\n  trace summarize <path>     print a phase table of a --trace file\n  trace record <name> <out> [options]  run an experiment, dumping its\n                             kernels to a wtrace file for --trace-in";
 
 fn usage_exit(code: i32) -> ! {
     eprintln!("{COMMANDS}\n\n{USAGE}");
@@ -66,7 +72,7 @@ fn main() {
                 match parse_cli(rest, Some(8)) {
                     Ok(cli) => {
                         apply_cache_flags(&cli);
-                        with_trace(&cli, || run_all(&cli, true));
+                        with_trace(&cli, || with_replay(&cli, || run_all(&cli, true)));
                     }
                     Err(msg) => {
                         eprintln!("error: {msg}");
@@ -81,7 +87,7 @@ fn main() {
                 match parse_cli(rest, spec.default_sample) {
                     Ok(cli) => {
                         apply_cache_flags(&cli);
-                        with_trace(&cli, || run_named(target, &cli));
+                        with_trace(&cli, || with_replay(&cli, || run_named(target, &cli)));
                     }
                     Err(msg) => {
                         eprintln!("error: {msg}");
@@ -112,10 +118,35 @@ fn main() {
                     }
                 }
             }
+            Some("record") => {
+                let (Some(name), Some(out)) = (args.get(2), args.get(3)) else {
+                    eprintln!("error: trace record requires an experiment name and an output path");
+                    usage_exit(2);
+                };
+                let Some(spec) = find_experiment(name) else {
+                    eprintln!("error: unknown experiment {name:?} (see `duplo list`)");
+                    std::process::exit(2);
+                };
+                match parse_cli(&args[4..], spec.default_sample) {
+                    Ok(cli) => {
+                        if cli.trace_in.is_some() {
+                            eprintln!("error: --trace-in cannot be combined with trace record");
+                            std::process::exit(2);
+                        }
+                        apply_cache_flags(&cli);
+                        let out_path = std::path::PathBuf::from(out);
+                        with_trace(&cli, || record_to_file(&out_path, || run_named(name, &cli)));
+                    }
+                    Err(msg) => {
+                        eprintln!("error: {msg}");
+                        usage_exit(2);
+                    }
+                }
+            }
             other => {
                 match other {
                     Some(sub) => eprintln!("error: unknown trace subcommand {sub:?}"),
-                    None => eprintln!("error: trace requires a subcommand (summarize)"),
+                    None => eprintln!("error: trace requires a subcommand (summarize, record)"),
                 }
                 usage_exit(2);
             }

@@ -14,7 +14,11 @@
 //!   timeline of every simulated run to `path` (`--trace-interval <N>`
 //!   tunes the sampling cadence, `--trace-full` adds volatile host-side
 //!   spans; `DUPLO_TRACE` / `DUPLO_TRACE_INTERVAL` / `DUPLO_TRACE_FULL`
-//!   are the environment equivalents — see `duplo_sim::trace`).
+//!   are the environment equivalents — see `duplo_sim::trace`),
+//! * `--trace-in <file>` — replay a recorded wtrace file (see
+//!   `duplo_sim::wtrace`): every generated kernel is swapped for its
+//!   recorded instruction stream before simulation. Record such files
+//!   with `duplo trace record`.
 //!
 //! All stderr chatter (banners, wall-clock, cache counters, the `run all`
 //! heartbeat) goes through `duplo_sim::log`: `DUPLO_LOG=off` silences it
@@ -49,9 +53,10 @@ use duplo_sim::json::Json;
 use duplo_sim::log;
 use duplo_sim::results::{ExperimentResult, rollup};
 use duplo_sim::trace;
+use duplo_sim::wtrace;
 
 /// Usage summary printed (with a nonzero exit) on bad arguments.
-pub const USAGE: &str = "options:\n  --sample <N>      simulate at most N CTAs per representative SM (N >= 1)\n  --full            simulate every CTA of each SM's share\n  --json <path>     write the structured result to <path>\n  --json-dir <dir>  write per-experiment JSON files under <dir>\n  --cache-dir <dir> persist the run cache under <dir> (overrides DUPLO_CACHE_DIR)\n  --no-cache        disable the run cache\n  --trace <path>    write a Chrome trace-event timeline to <path> (DUPLO_TRACE)\n  --trace-interval <N>  cycles between trace samples (default 1024; DUPLO_TRACE_INTERVAL)\n  --trace-full      also record volatile host-side spans (DUPLO_TRACE_FULL)\n\nenvironment:\n  DUPLO_LOG=off|info|debug|trace   stderr verbosity (default info)";
+pub const USAGE: &str = "options:\n  --sample <N>      simulate at most N CTAs per representative SM (N >= 1)\n  --full            simulate every CTA of each SM's share\n  --json <path>     write the structured result to <path>\n  --json-dir <dir>  write per-experiment JSON files under <dir>\n  --cache-dir <dir> persist the run cache under <dir> (overrides DUPLO_CACHE_DIR)\n  --no-cache        disable the run cache\n  --trace <path>    write a Chrome trace-event timeline to <path> (DUPLO_TRACE)\n  --trace-interval <N>  cycles between trace samples (default 1024; DUPLO_TRACE_INTERVAL)\n  --trace-full      also record volatile host-side spans (DUPLO_TRACE_FULL)\n  --trace-in <file> replay a recorded wtrace file instead of the generators\n                    (record one with `duplo trace record`)\n\nenvironment:\n  DUPLO_LOG=off|info|debug|trace   stderr verbosity (default info)";
 
 /// Parsed command line shared by the experiment binaries.
 #[derive(Clone, Debug, Default)]
@@ -76,6 +81,10 @@ pub struct CliArgs {
     /// host-side spans (runner workers) — the export is then no longer
     /// byte-reproducible.
     pub trace_full: bool,
+    /// `--trace-in <file>`: replay this recorded wtrace file — every
+    /// generated kernel is swapped for its recorded instruction stream
+    /// before simulation (see `duplo_sim::wtrace`).
+    pub trace_in: Option<PathBuf>,
 }
 
 /// Parses the shared experiment command line. Pure — no process exit, no
@@ -95,6 +104,7 @@ pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliAr
         .and_then(|v| v.trim().parse::<u64>().ok())
         .filter(|&n| n >= 1);
     let mut trace_full = std::env::var_os("DUPLO_TRACE_FULL").is_some();
+    let mut trace_in = None;
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -138,6 +148,7 @@ pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliAr
                 }
             }
             "--trace-full" => trace_full = true,
+            "--trace-in" => trace_in = Some(PathBuf::from(value(args, &mut i, "--trace-in")?)),
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
@@ -153,6 +164,7 @@ pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliAr
         trace,
         trace_interval,
         trace_full,
+        trace_in,
     })
 }
 
@@ -209,6 +221,50 @@ pub fn with_trace<T>(cli: &CliArgs, f: impl FnOnce() -> T) -> T {
             data.runs.len(),
             events
         ),
+    );
+    out
+}
+
+/// Runs `f` under a wtrace replay session when `cli` carries `--trace-in`,
+/// reporting how many kernel runs were substituted afterwards. Without the
+/// flag this is exactly `f()`. A file that fails to read or decode prints
+/// the decoder's positional error and exits with code 2.
+pub fn with_replay<T>(cli: &CliArgs, f: impl FnOnce() -> T) -> T {
+    let Some(path) = &cli.trace_in else {
+        return f();
+    };
+    let kernels = match wtrace::load_file(path) {
+        Ok(k) => k,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let n_kernels = kernels.len();
+    let session = wtrace::replay(kernels);
+    let out = f();
+    let substituted = session.finish();
+    log::info(
+        "wtrace",
+        format_args!(
+            "replayed {} ({n_kernels} kernels, {substituted} runs substituted)",
+            path.display()
+        ),
+    );
+    out
+}
+
+/// Records `f`'s kernels to a wtrace file at `path`: every kernel reaching
+/// the simulator while `f` runs is captured (deduplicated by content) and
+/// the encoded document is written afterwards.
+pub fn record_to_file<T>(path: &std::path::Path, f: impl FnOnce() -> T) -> T {
+    let session = wtrace::record();
+    let out = f();
+    let records = session.finish();
+    wtrace::write_file(path, &records).unwrap_or_else(|e| panic!("cannot write wtrace file: {e}"));
+    log::info(
+        "wtrace",
+        format_args!("wrote {} ({} kernels)", path.display(), records.len()),
     );
     out
 }
@@ -353,7 +409,7 @@ pub fn run_named(name: &str, cli: &CliArgs) -> ExperimentResult {
 pub fn standalone(name: &str) {
     let spec = find_experiment(name).expect("wrapper binaries name registered experiments");
     let cli = cli_from_args(spec.default_sample);
-    with_trace(&cli, || run_spec(spec, &cli));
+    with_trace(&cli, || with_replay(&cli, || run_spec(spec, &cli)));
 }
 
 /// Runs a batch of registered experiments under the `all_experiments`

@@ -253,6 +253,16 @@ pub trait Kernel: Send + Sync {
     fn workspace(&self) -> Option<WorkspaceDesc> {
         None
     }
+
+    /// Digest of the kernel's full instruction content, for kernels whose
+    /// traces come from outside the in-tree generators (e.g. replayed
+    /// trace files). Generators return `None`: their content is a pure
+    /// function of the descriptor fields above, so the descriptor already
+    /// identifies them. A `Some` digest salts the run-cache key so
+    /// externally-sourced traces never alias generator runs.
+    fn content_digest(&self) -> Option<u128> {
+        None
+    }
 }
 
 #[cfg(test)]

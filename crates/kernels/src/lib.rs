@@ -13,7 +13,10 @@
 //!   detection unit is programmed with,
 //! * [`ImplicitGemmKernel`] — the cuDNN-style implicit GEMM that stages
 //!   workspace tiles through shared memory (global traffic reads the
-//!   *unexpanded* input).
+//!   *unexpanded* input),
+//! * [`StreamKernel`] — an adversarial memory-bound streaming kernel with
+//!   no tensor-core traffic and no duplicate accesses, on which Duplo
+//!   must show no speedup.
 //!
 //! Address-space conventions (all kernels):
 //! workspace `A` at [`A_BASE`], filters `B` at [`B_BASE`], output `D` at
@@ -24,9 +27,11 @@
 
 mod gemm_tc;
 mod implicit;
+mod stream;
 
 pub use gemm_tc::{GemmTcKernel, SmemPolicy};
 pub use implicit::ImplicitGemmKernel;
+pub use stream::StreamKernel;
 
 /// Base address of the workspace matrix `A`.
 pub const A_BASE: u64 = 0x1000_0000;

@@ -1,0 +1,146 @@
+//! Memory-bound streaming kernel: an adversarial workload for Duplo.
+//!
+//! Pure load/compute/store streaming — no tensor-core instructions and no
+//! lowered-convolution workspace, so the Duplo detection unit stays
+//! power-gated and its hit rate is structurally zero ("Can Tensor Cores
+//! Benefit Memory-Bound Kernels? (No!)"). Every address is touched exactly
+//! once, so even an oracle duplicate detector would find nothing to lift.
+
+use duplo_isa::{ArchReg, CtaTrace, Kernel, Op, Space, WarpTrace};
+
+use crate::{D_BASE, INPUT_BASE};
+
+/// Bytes moved by each streaming load/store (one 128-byte cache line per
+/// warp-wide access).
+const LINE_BYTES: u32 = 128;
+
+/// A grid of warps that each stream `iters` disjoint cache lines from
+/// global memory, run a short ALU op per line, and stream the results back
+/// out. Input lines start at [`INPUT_BASE`], output lines at [`D_BASE`];
+/// strides are chosen so no two warps in the grid ever touch the same
+/// line.
+#[derive(Clone, Debug)]
+pub struct StreamKernel {
+    name: String,
+    num_ctas: usize,
+    warps_per_cta: usize,
+    iters: usize,
+}
+
+impl StreamKernel {
+    /// Builds a streaming kernel of `num_ctas` CTAs × `warps_per_cta`
+    /// warps, each moving `iters` cache lines in and out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(num_ctas: usize, warps_per_cta: usize, iters: usize) -> StreamKernel {
+        assert!(
+            num_ctas > 0 && warps_per_cta > 0 && iters > 0,
+            "StreamKernel dimensions must be nonzero"
+        );
+        StreamKernel {
+            name: format!("stream_{num_ctas}x{warps_per_cta}x{iters}"),
+            num_ctas,
+            warps_per_cta,
+            iters,
+        }
+    }
+}
+
+impl Kernel for StreamKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_ctas(&self) -> usize {
+        self.num_ctas
+    }
+
+    fn cta(&self, idx: usize) -> CtaTrace {
+        assert!(idx < self.num_ctas, "CTA {idx} out of range");
+        let data = ArchReg(0);
+        let scratch = ArchReg(1);
+        let warps = (0..self.warps_per_cta)
+            .map(|w| {
+                let mut ops = Vec::with_capacity(self.iters * 3 + 1);
+                // Disjoint line ranges per (cta, warp).
+                let lane = (idx * self.warps_per_cta + w) as u64;
+                let base = lane * self.iters as u64 * u64::from(LINE_BYTES);
+                for i in 0..self.iters as u64 {
+                    let off = base + i * u64::from(LINE_BYTES);
+                    ops.push(Op::Ld {
+                        dst: data,
+                        addr: INPUT_BASE + off,
+                        bytes: LINE_BYTES,
+                        space: Space::Global,
+                    });
+                    ops.push(Op::Alu {
+                        dst: Some(scratch),
+                        latency: 4,
+                    });
+                    ops.push(Op::St {
+                        src: data,
+                        addr: D_BASE + off,
+                        bytes: LINE_BYTES,
+                        space: Space::Global,
+                    });
+                }
+                ops.push(Op::Exit);
+                WarpTrace { ops }
+            })
+            .collect();
+        CtaTrace { warps }
+    }
+
+    fn shared_mem_per_cta(&self) -> u32 {
+        0
+    }
+
+    fn regs_per_warp(&self) -> u32 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn traces_validate_and_addresses_are_disjoint() {
+        let k = StreamKernel::new(4, 2, 8);
+        let mut seen = HashSet::new();
+        for idx in 0..k.num_ctas() {
+            let cta = k.cta(idx);
+            duplo_isa::validate_cta(&cta).expect("stream trace must validate");
+            for warp in &cta.warps {
+                for op in &warp.ops {
+                    if let Op::Ld { addr, .. } = op {
+                        assert!(seen.insert(*addr), "address {addr:#x} reused");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 4 * 2 * 8);
+    }
+
+    #[test]
+    fn no_tensor_core_traffic_and_no_workspace() {
+        let k = StreamKernel::new(2, 2, 4);
+        assert!(k.workspace().is_none());
+        for idx in 0..k.num_ctas() {
+            for warp in &k.cta(idx).warps {
+                for op in &warp.ops {
+                    assert!(
+                        !matches!(
+                            op,
+                            Op::WmmaLoad { .. } | Op::WmmaMma { .. } | Op::WmmaStore { .. }
+                        ),
+                        "stream kernel must not issue tensor-core ops"
+                    );
+                }
+            }
+        }
+    }
+}

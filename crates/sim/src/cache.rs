@@ -525,6 +525,11 @@ fn kernel_json(kernel: &dyn Kernel) -> Json {
         .field("shared_mem_per_cta", kernel.shared_mem_per_cta())
         .field("regs_per_warp", kernel.regs_per_warp())
         .field("workspace", ws)
+        // Kernels with externally-sourced instruction content (replayed
+        // wtrace files) salt the key with their content digest; for the
+        // in-tree generators this is None and the field is omitted, so
+        // their keys are unchanged.
+        .field_opt("content_digest", kernel.content_digest().map(digest::hex))
         .build()
 }
 

@@ -19,6 +19,7 @@ pub mod sec2c_smem;
 pub mod sec5h_energy;
 pub mod table02_workflow;
 pub mod table03_config;
+pub mod workloads;
 
 use crate::GpuConfig;
 
@@ -300,7 +301,47 @@ fn run_ext_implicit(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-static REGISTRY: [ExperimentSpec; 15] = [
+fn run_wl_attention(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = workloads::attention::run(opts);
+    ExperimentOutput {
+        rendered: workloads::attention::render(&rows),
+        result: workloads::attention::result(&rows, opts),
+    }
+}
+
+fn run_wl_batched(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = workloads::batched::run(opts);
+    ExperimentOutput {
+        rendered: workloads::batched::render(&rows),
+        result: workloads::batched::result(&rows, opts),
+    }
+}
+
+fn run_wl_grouped(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = workloads::grouped::run(opts);
+    ExperimentOutput {
+        rendered: workloads::grouped::render(&rows),
+        result: workloads::grouped::result(&rows, opts),
+    }
+}
+
+fn run_wl_kn2row(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = workloads::kn2row::run(opts);
+    ExperimentOutput {
+        rendered: workloads::kn2row::render(&rows),
+        result: workloads::kn2row::result(&rows, opts),
+    }
+}
+
+fn run_wl_membound(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = workloads::membound::run(opts);
+    ExperimentOutput {
+        rendered: workloads::membound::render(&rows),
+        result: workloads::membound::result(&rows, opts),
+    }
+}
+
+static REGISTRY: [ExperimentSpec; 20] = [
     ExperimentSpec {
         name: "table03_config",
         title: "Table III — baseline GPU model",
@@ -466,6 +507,61 @@ static REGISTRY: [ExperimentSpec; 15] = [
         in_all: false,
         run: run_ext_implicit,
     },
+    ExperimentSpec {
+        name: workloads::attention::NAME,
+        title: workloads::attention::TITLE,
+        paper_ref: "ROADMAP item 2",
+        tag: "wl_attn",
+        banner: true,
+        timed: true,
+        default_sample: Some(4),
+        in_all: false,
+        run: run_wl_attention,
+    },
+    ExperimentSpec {
+        name: workloads::batched::NAME,
+        title: workloads::batched::TITLE,
+        paper_ref: "ROADMAP item 2",
+        tag: "wl_batched",
+        banner: true,
+        timed: true,
+        default_sample: Some(4),
+        in_all: false,
+        run: run_wl_batched,
+    },
+    ExperimentSpec {
+        name: workloads::grouped::NAME,
+        title: workloads::grouped::TITLE,
+        paper_ref: "ROADMAP item 2",
+        tag: "wl_grouped",
+        banner: true,
+        timed: true,
+        default_sample: Some(4),
+        in_all: false,
+        run: run_wl_grouped,
+    },
+    ExperimentSpec {
+        name: workloads::kn2row::NAME,
+        title: workloads::kn2row::TITLE,
+        paper_ref: "ROADMAP item 2",
+        tag: "wl_kn2row",
+        banner: true,
+        timed: true,
+        default_sample: Some(4),
+        in_all: false,
+        run: run_wl_kn2row,
+    },
+    ExperimentSpec {
+        name: workloads::membound::NAME,
+        title: workloads::membound::TITLE,
+        paper_ref: "ROADMAP item 2",
+        tag: "wl_mem",
+        banner: true,
+        timed: true,
+        default_sample: Some(4),
+        in_all: false,
+        run: run_wl_membound,
+    },
 ];
 
 #[cfg(test)]
@@ -487,7 +583,7 @@ mod registry_tests {
 
     #[test]
     fn registry_covers_all_experiments_plus_extensions() {
-        assert_eq!(registry().len(), 15);
+        assert_eq!(registry().len(), 20);
         assert_eq!(registry().iter().filter(|s| s.in_all).count(), 12);
         // The EXPERIMENTS.md subset leads, in all_experiments print order.
         assert_eq!(registry()[0].name, "table03_config");

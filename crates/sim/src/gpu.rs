@@ -132,7 +132,20 @@ impl GpuSim {
     /// A kernel with no CTAs (every share empty) reports
     /// `sampled_fraction: 0.0` — nothing ran, and the `cycles: 0.0`
     /// estimate covers none of the grid.
+    /// Under a [`crate::wtrace`] replay session, the generated kernel is
+    /// swapped for its recorded trace before simulation; under a recording
+    /// session, the kernel is captured first — ahead of the cache lookup,
+    /// so recording works even when every run is a cache hit.
     pub fn run(&self, kernel: &dyn Kernel) -> GpuRunResult {
+        if let Some(replayed) = crate::wtrace::substitute(&self.config, kernel) {
+            return self.run_resolved(replayed.as_ref());
+        }
+        crate::wtrace::observe(&self.config, kernel);
+        self.run_resolved(kernel)
+    }
+
+    /// Dispatch after wtrace record/replay resolution.
+    fn run_resolved(&self, kernel: &dyn Kernel) -> GpuRunResult {
         if crate::trace::is_active() {
             return self.run_traced(kernel);
         }

@@ -18,6 +18,8 @@
 //!   `DUPLO_CACHE_DIR` disk tier keyed by [`digest`]),
 //! * [`trace`] — cycle-resolved tracing sessions with Chrome
 //!   trace-event (Perfetto-compatible) export and a phase summarizer,
+//! * [`wtrace`] — the versioned warp-instruction trace format with
+//!   record/replay sessions (trace-driven workload frontend),
 //! * [`log`] — the `DUPLO_LOG`-leveled logger every stderr line in the
 //!   stack goes through.
 
@@ -36,5 +38,6 @@ pub mod report;
 pub mod results;
 pub mod runner;
 pub mod trace;
+pub mod wtrace;
 
 pub use gpu::{GpuConfig, GpuRunResult, GpuSim, layer_run};

@@ -9,6 +9,7 @@
 //! DUPLO_BLESS=1 cargo test -p duplo-sim --test golden
 //! ```
 
+use duplo_sim::experiments::workloads;
 use duplo_sim::experiments::{ExpOpts, fig02_speedup, fig10_hit_rate, size_configs, sweep_layers};
 use duplo_sim::networks::all_layers;
 use duplo_sim::report::{Table, fmt_pct, fmt_x, gmean};
@@ -107,4 +108,54 @@ fn fig10_hit_rate_golden() {
     layers.truncate(3);
     let sweeps = sweep_layers(&layers, &size_configs(), &ExpOpts::quick());
     assert_golden("fig10_hit_rate_quick.txt", &fig10_hit_rate::render(&sweeps));
+}
+
+/// Pin the four workload-library summary tables under `ExpOpts::quick()`.
+/// These are the trace-frontend workloads (attention chain, batched small
+/// GEMMs, grouped/depthwise conv, kn2row): the snapshots make any drift in
+/// the workload definitions or the shared `WlRow` renderer reviewable.
+#[test]
+fn workload_attention_golden() {
+    let rows = workloads::attention::run(&ExpOpts::quick());
+    assert_golden(
+        "wl_attention_quick.txt",
+        &workloads::attention::render(&rows),
+    );
+}
+
+#[test]
+fn workload_batched_gemm_golden() {
+    let rows = workloads::batched::run(&ExpOpts::quick());
+    assert_golden("wl_batched_quick.txt", &workloads::batched::render(&rows));
+}
+
+#[test]
+fn workload_grouped_conv_golden() {
+    let rows = workloads::grouped::run(&ExpOpts::quick());
+    assert_golden("wl_grouped_quick.txt", &workloads::grouped::render(&rows));
+}
+
+#[test]
+fn workload_kn2row_golden() {
+    let rows = workloads::kn2row::run(&ExpOpts::quick());
+    assert_golden("wl_kn2row_quick.txt", &workloads::kn2row::render(&rows));
+}
+
+/// The adversarial memory-bound workload: a streaming kernel with no
+/// lowered-GEMM workspace gives the LHB nothing to lift, so the honest
+/// result is a speedup of exactly 1.0. The snapshot pins the rendered
+/// table; the assertions below keep the claim machine-checked even if the
+/// table format changes.
+#[test]
+fn workload_membound_golden_and_unity_speedup() {
+    let rows = workloads::membound::run(&ExpOpts::quick());
+    for row in &rows {
+        let speedup = row.speedup();
+        assert!(
+            (speedup - 1.0).abs() < 1e-9,
+            "{}: LHB speedup must be ~1.0 on a memory-bound stream, got {speedup}",
+            row.item
+        );
+    }
+    assert_golden("wl_membound_quick.txt", &workloads::membound::render(&rows));
 }

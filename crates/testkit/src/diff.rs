@@ -1,0 +1,152 @@
+//! Byte-precise text comparison for differential tests.
+//!
+//! The differential replay harness asserts that two independently produced
+//! documents (generator-path vs replayed `ExperimentResult` JSON, rendered
+//! tables, trace exports) are byte-identical. A bare `assert_eq!` on two
+//! multi-kilobyte strings buries the divergence; [`first_divergence`] pins
+//! it to a byte/line/column, and [`render_report`] formats the two
+//! offending lines with a caret for the failure message.
+
+use std::fmt;
+
+/// The first point where two documents disagree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Divergence {
+    /// Byte offset of the first differing byte (or the length of the
+    /// shorter document, when one is a prefix of the other).
+    pub byte: usize,
+    /// 1-based line of the divergence in the expected document.
+    pub line: usize,
+    /// 1-based column (byte within the line).
+    pub col: usize,
+    /// The expected document's line at the divergence (may be empty when
+    /// the expected document ended first).
+    pub expected_line: String,
+    /// The actual document's line at the divergence.
+    pub actual_line: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "byte {} (line {}, col {})",
+            self.byte, self.line, self.col
+        )
+    }
+}
+
+/// Returns the first byte where `expected` and `actual` differ, or `None`
+/// when they are byte-identical.
+pub fn first_divergence(expected: &str, actual: &str) -> Option<Divergence> {
+    let eb = expected.as_bytes();
+    let ab = actual.as_bytes();
+    let byte = eb
+        .iter()
+        .zip(ab)
+        .position(|(e, a)| e != a)
+        .unwrap_or_else(|| eb.len().min(ab.len()));
+    if byte == eb.len() && byte == ab.len() {
+        return None;
+    }
+    let prefix = &eb[..byte.min(eb.len())];
+    let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+    let line_start = prefix
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    let col = byte - line_start + 1;
+    let take_line = |doc: &str| {
+        doc.get(line_start..)
+            .unwrap_or("")
+            .lines()
+            .next()
+            .unwrap_or("")
+            .to_string()
+    };
+    Some(Divergence {
+        byte,
+        line,
+        col,
+        expected_line: take_line(expected),
+        actual_line: take_line(actual),
+    })
+}
+
+/// Formats a differential failure: where the documents diverge, and the
+/// two offending lines with a column caret. Returns `None` when the
+/// documents are byte-identical.
+pub fn render_report(label: &str, expected: &str, actual: &str) -> Option<String> {
+    let d = first_divergence(expected, actual)?;
+    let caret = format!("{}^", " ".repeat(d.col.saturating_sub(1)));
+    Some(format!(
+        "{label}: documents diverge at byte {} (line {}, col {})\n\
+         expected | {}\n\
+         actual   | {}\n\
+         .........| {caret}\n\
+         (expected {} bytes, actual {} bytes)",
+        d.byte,
+        d.line,
+        d.col,
+        d.expected_line,
+        d.actual_line,
+        expected.len(),
+        actual.len(),
+    ))
+}
+
+/// Asserts byte-identity with a [`render_report`] failure message.
+///
+/// # Panics
+///
+/// Panics with the rendered divergence report when the documents differ.
+pub fn assert_identical(label: &str, expected: &str, actual: &str) {
+    if let Some(report) = render_report(label, expected, actual) {
+        panic!("{report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_documents_have_no_divergence() {
+        assert_eq!(first_divergence("", ""), None);
+        assert_eq!(first_divergence("abc\ndef\n", "abc\ndef\n"), None);
+        assert!(render_report("t", "same", "same").is_none());
+    }
+
+    #[test]
+    fn divergence_is_located_by_line_and_column() {
+        let exp = "alpha\nbeta\ngamma\n";
+        let act = "alpha\nbexa\ngamma\n";
+        let d = first_divergence(exp, act).expect("documents differ");
+        assert_eq!(d.byte, 8);
+        assert_eq!((d.line, d.col), (2, 3));
+        assert_eq!(d.expected_line, "beta");
+        assert_eq!(d.actual_line, "bexa");
+    }
+
+    #[test]
+    fn prefix_truncation_diverges_at_the_shorter_length() {
+        let d = first_divergence("abcdef", "abc").expect("lengths differ");
+        assert_eq!(d.byte, 3);
+        assert_eq!(d.expected_line, "abcdef");
+        assert_eq!(d.actual_line, "abc");
+    }
+
+    #[test]
+    fn report_carries_the_caret_and_byte_counts() {
+        let r = render_report("json", "a\nxbc", "a\nxyc").expect("differ");
+        assert!(r.contains("line 2, col 2"), "{r}");
+        assert!(r.contains(" ^"), "{r}");
+        assert!(r.contains("expected 5 bytes, actual 5 bytes"), "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "diverge at byte 0")]
+    fn assert_identical_panics_with_the_report() {
+        assert_identical("t", "x", "y");
+    }
+}

@@ -12,7 +12,9 @@
 //!   shrinking over the underlying choice tape, and an environment
 //!   seed override (`DUPLO_TEST_SEED`),
 //! * [`bench`] — a lightweight timer-based bench harness (warmup + N
-//!   iterations, median/p95 report) for the `duplo-bench` bench targets.
+//!   iterations, median/p95 report) for the `duplo-bench` bench targets,
+//! * [`diff`] — byte-precise document comparison for differential tests
+//!   (first-divergence location, caret-annotated failure reports).
 //!
 //! # Determinism
 //!
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod diff;
 pub mod prop;
 pub mod rng;
 

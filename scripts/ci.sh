@@ -140,4 +140,49 @@ if [ -s "$JSON_DIR/stderr_silent.txt" ]; then
     exit 1
 fi
 
+# wtrace gate (1/2): the differential replay harness. For EVERY registry
+# experiment, record -> encode -> decode -> replay must reproduce the
+# generator path's ExperimentResult JSON and rendered table byte-for-byte.
+# The full-registry sweep is #[ignore]d under the debug profile (three
+# registry passes are too slow unoptimized), so run it here in release, at
+# both pinned thread counts.
+echo "== wtrace: differential replay, DUPLO_THREADS=1 ==" >&2
+DUPLO_THREADS=1 cargo test -q --release --offline -p duplo-sim \
+    --test wtrace_replay -- --ignored
+
+echo "== wtrace: differential replay, DUPLO_THREADS=4 ==" >&2
+DUPLO_THREADS=4 cargo test -q --release --offline -p duplo-sim \
+    --test wtrace_replay -- --ignored
+
+# wtrace gate (2/2): the CLI round trip. `duplo trace record` must write a
+# decodable wtrace file, and `duplo run --trace-in` must replay it with
+# stdout and stable JSON byte-identical to the direct generator run.
+# --no-cache keeps the comparison honest: the replayed simulations cannot
+# be served from the direct run's cache entries.
+echo "== wtrace: CLI record/replay round trip ==" >&2
+DUPLO_JSON_STABLE=1 \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    trace record smem_policy "$JSON_DIR/smem.wtrace.json" --sample 2 --no-cache \
+    --json "$JSON_DIR/smem_direct.json" > "$JSON_DIR/stdout_direct.txt"
+test -s "$JSON_DIR/smem.wtrace.json" || {
+    echo "trace record wrote no wtrace file" >&2
+    exit 1
+}
+grep -q '"wtrace_version"' "$JSON_DIR/smem.wtrace.json" || {
+    echo "recorded file carries no wtrace_version header" >&2
+    exit 1
+}
+DUPLO_JSON_STABLE=1 \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run smem_policy --trace-in "$JSON_DIR/smem.wtrace.json" --sample 2 --no-cache \
+    --json "$JSON_DIR/smem_replay.json" > "$JSON_DIR/stdout_replay.txt"
+cmp "$JSON_DIR/stdout_direct.txt" "$JSON_DIR/stdout_replay.txt" || {
+    echo "stdout differs between direct and --trace-in replay runs" >&2
+    exit 1
+}
+cmp "$JSON_DIR/smem_direct.json" "$JSON_DIR/smem_replay.json" || {
+    echo "stable JSON differs between direct and --trace-in replay runs" >&2
+    exit 1
+}
+
 echo "tier-1 gate: OK" >&2
