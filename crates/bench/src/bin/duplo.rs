@@ -17,12 +17,12 @@
 //! per-figure binary: both resolve the same registry entry and run through
 //! `duplo_bench::run_spec`.
 use duplo_bench::{
-    USAGE, apply_cache_flags, parse_cli, record_to_file, run_all, run_named, with_replay,
-    with_trace,
+    USAGE, apply_cache_flags, parse_cli, record_to_file, run_all, run_bench, run_named,
+    with_replay, with_trace,
 };
 use duplo_sim::experiments::{find_experiment, registry};
 
-const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)\n  trace summarize <path>     print a phase table of a --trace file\n  trace record <name> <out> [options]  run an experiment, dumping its\n                             kernels to a wtrace file for --trace-in";
+const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)\n  bench [--out <path>] [options]  run the registry in event-driven and\n                             tick-by-tick reference mode, asserting equal\n                             results, and write the BENCH_duplo.json perf\n                             trajectory (default out: ./BENCH_duplo.json)\n  trace summarize <path>     print a phase table of a --trace file\n  trace record <name> <out> [options]  run an experiment, dumping its\n                             kernels to a wtrace file for --trace-in";
 
 fn usage_exit(code: i32) -> ! {
     eprintln!("{COMMANDS}\n\n{USAGE}");
@@ -93,6 +93,40 @@ fn main() {
                         eprintln!("error: {msg}");
                         usage_exit(2);
                     }
+                }
+            }
+        }
+        Some("bench") => {
+            // Split off `--out <path>`; everything else is the shared
+            // option set (sampling defaults to the quick 2-CTA profile so
+            // the committed trajectory regenerates in CI budget).
+            let mut out = std::path::PathBuf::from("BENCH_duplo.json");
+            let mut rest: Vec<String> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                if args[i] == "--out" {
+                    let Some(path) = args.get(i + 1) else {
+                        eprintln!("error: --out requires a value");
+                        usage_exit(2);
+                    };
+                    out = std::path::PathBuf::from(path);
+                    i += 2;
+                } else {
+                    rest.push(args[i].clone());
+                    i += 1;
+                }
+            }
+            match parse_cli(&rest, Some(2)) {
+                Ok(cli) => {
+                    if cli.trace_in.is_some() {
+                        eprintln!("error: --trace-in cannot be combined with bench");
+                        std::process::exit(2);
+                    }
+                    run_bench(&out, &cli);
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    usage_exit(2);
                 }
             }
         }

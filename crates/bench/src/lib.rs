@@ -87,6 +87,20 @@ pub struct CliArgs {
     pub trace_in: Option<PathBuf>,
 }
 
+/// Validates a trace-interval setting coming from `source` (a flag or an
+/// environment variable name). Pure and shared by the `--trace-interval`
+/// flag and the `DUPLO_TRACE_INTERVAL` environment path, so both reject
+/// bad values with the same message — the env path used to silently fall
+/// back to the default on `0` or garbage while the flag errored.
+fn parse_trace_interval(source: &str, v: &str) -> Result<u64, String> {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "{source} requires a positive cycle count, got {v:?}"
+        )),
+    }
+}
+
 /// Parses the shared experiment command line. Pure — no process exit, no
 /// global state — so argument handling is unit-testable; `default_sample`
 /// is used when neither `--sample` nor `--full` is given.
@@ -99,10 +113,10 @@ pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliAr
     let mut cache_dir = None;
     let mut no_cache = false;
     let mut trace = std::env::var_os("DUPLO_TRACE").map(PathBuf::from);
-    let mut trace_interval = std::env::var("DUPLO_TRACE_INTERVAL")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .filter(|&n| n >= 1);
+    let mut trace_interval = match std::env::var("DUPLO_TRACE_INTERVAL") {
+        Ok(v) => Some(parse_trace_interval("DUPLO_TRACE_INTERVAL", v.trim())?),
+        Err(_) => None,
+    };
     let mut trace_full = std::env::var_os("DUPLO_TRACE_FULL").is_some();
     let mut trace_in = None;
     let mut i = 0;
@@ -138,14 +152,7 @@ pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliAr
             "--trace" => trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
             "--trace-interval" => {
                 let v = value(args, &mut i, "--trace-interval")?;
-                match v.parse::<u64>() {
-                    Ok(n) if n >= 1 => trace_interval = Some(n),
-                    _ => {
-                        return Err(format!(
-                            "--trace-interval requires a positive cycle count, got {v:?}"
-                        ));
-                    }
-                }
+                trace_interval = Some(parse_trace_interval("--trace-interval", &v)?);
             }
             "--trace-full" => trace_full = true,
             "--trace-in" => trace_in = Some(PathBuf::from(value(args, &mut i, "--trace-in")?)),
@@ -495,6 +502,148 @@ pub fn run_all(cli: &CliArgs, full_registry: bool) {
     }
 }
 
+/// Runs `spec` once with the run cache bypassed, in event-driven or
+/// tick-by-tick reference mode, returning the rendered table, the
+/// simulated-cycle delta, and the wall-clock seconds.
+fn measure_spec(spec: &ExperimentSpec, opts: &ExpOpts, reference: bool) -> (String, u64, f64) {
+    duplo_sm::force_tick_reference(reference);
+    let cycles_before = duplo_sm::simulated_cycles();
+    let t0 = std::time::Instant::now();
+    let out = (spec.run)(opts);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let cycles = duplo_sm::simulated_cycles() - cycles_before;
+    duplo_sm::force_tick_reference(false);
+    (out.rendered, cycles, wall_s)
+}
+
+/// Runs every registry experiment twice — event-driven wakeup-wheel loop
+/// and tick-by-tick reference — with the run cache bypassed, and writes
+/// the `BENCH_duplo.json` perf trajectory to `out`: per-experiment
+/// simulated cycles, wall-clock, cycles-simulated/sec in both modes, and
+/// the speedup, plus whole-run totals and a geometric-mean speedup.
+///
+/// Doubles as an equivalence gate: the rendered table and the total
+/// simulated cycles of the two modes must match byte-for-byte per
+/// experiment, or the run aborts.
+///
+/// # Panics
+///
+/// Panics when an experiment's event-driven output diverges from the
+/// reference loop, or when the report cannot be written.
+pub fn run_bench(out: &std::path::Path, cli: &CliArgs) {
+    use duplo_testkit::bench::{BenchEntry, BenchReport, MetricValue};
+    // Bypass the run cache process-wide: cached results would turn the
+    // measurement (and the mode comparison) into a no-op.
+    let _nocache = cache::bypass();
+    let opts = &cli.opts;
+    let mut report = BenchReport {
+        schema: duplo_sim::results::SCHEMA_VERSION,
+        meta: vec![
+            (
+                "modes".to_string(),
+                "event-skip vs tick-by-tick reference".to_string(),
+            ),
+            (
+                "sample_ctas".to_string(),
+                match opts.sample_ctas {
+                    Some(n) => n.to_string(),
+                    None => "full".to_string(),
+                },
+            ),
+        ],
+        entries: Vec::new(),
+        summary: Vec::new(),
+    };
+    let (mut total_cycles, mut total_wall, mut total_ref_wall) = (0u64, 0.0f64, 0.0f64);
+    let (mut ln_speedup_sum, mut speedups) = (0.0f64, 0u64);
+    for spec in registry() {
+        let (rendered, cycles, wall_s) = measure_spec(spec, opts, false);
+        let (ref_rendered, ref_cycles, ref_wall_s) = measure_spec(spec, opts, true);
+        assert_eq!(
+            rendered, ref_rendered,
+            "{}: event-driven output diverged from the tick-by-tick reference",
+            spec.name
+        );
+        assert_eq!(
+            cycles, ref_cycles,
+            "{}: event-driven loop simulated a different cycle count than the reference",
+            spec.name
+        );
+        // Identical cycle counts make the cycles/sec ratio a pure time
+        // ratio; experiments that simulate nothing are excluded from the
+        // geometric mean.
+        let speedup = ref_wall_s / wall_s;
+        if cycles > 0 {
+            ln_speedup_sum += speedup.ln();
+            speedups += 1;
+        }
+        log::info(
+            "bench",
+            format_args!(
+                "{}: {cycles} cycles, {wall_s:.3}s event vs {ref_wall_s:.3}s reference ({speedup:.2}x)",
+                spec.name
+            ),
+        );
+        report.entries.push(BenchEntry {
+            name: spec.name.to_string(),
+            metrics: vec![
+                ("cycles".to_string(), MetricValue::U64(cycles)),
+                ("wall_s".to_string(), MetricValue::F64(wall_s)),
+                (
+                    "cycles_per_sec".to_string(),
+                    MetricValue::F64(cycles as f64 / wall_s),
+                ),
+                ("ref_wall_s".to_string(), MetricValue::F64(ref_wall_s)),
+                (
+                    "ref_cycles_per_sec".to_string(),
+                    MetricValue::F64(cycles as f64 / ref_wall_s),
+                ),
+                ("speedup".to_string(), MetricValue::F64(speedup)),
+            ],
+        });
+        total_cycles += cycles;
+        total_wall += wall_s;
+        total_ref_wall += ref_wall_s;
+    }
+    let gmean = if speedups > 0 {
+        (ln_speedup_sum / speedups as f64).exp()
+    } else {
+        1.0
+    };
+    report.summary = vec![
+        (
+            "experiments".to_string(),
+            MetricValue::U64(report.entries.len() as u64),
+        ),
+        ("total_cycles".to_string(), MetricValue::U64(total_cycles)),
+        ("total_wall_s".to_string(), MetricValue::F64(total_wall)),
+        (
+            "total_ref_wall_s".to_string(),
+            MetricValue::F64(total_ref_wall),
+        ),
+        (
+            "cycles_per_sec".to_string(),
+            MetricValue::F64(total_cycles as f64 / total_wall),
+        ),
+        (
+            "ref_cycles_per_sec".to_string(),
+            MetricValue::F64(total_cycles as f64 / total_ref_wall),
+        ),
+        ("speedup_gmean".to_string(), MetricValue::F64(gmean)),
+    ];
+    report
+        .write(out)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    log::info(
+        "bench",
+        format_args!(
+            "wrote {} ({} experiments, gmean speedup {gmean:.2}x)",
+            out.display(),
+            report.entries.len()
+        ),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +718,26 @@ mod tests {
         assert!(err.contains("positive"), "{err}");
         let err = parse_cli(&argv(&["--trace"]), None).unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
+    }
+
+    /// The env path must reject what the flag rejects, with the same
+    /// message shape (it used to silently fall back to the default).
+    /// Tested through the pure helper: setting the real variable would
+    /// race the other tests, which call `parse_cli` concurrently.
+    #[test]
+    fn trace_interval_env_values_fail_like_the_flag() {
+        assert_eq!(parse_trace_interval("DUPLO_TRACE_INTERVAL", "256"), Ok(256));
+        for bad in ["0", "abc", "-1", ""] {
+            let err = parse_trace_interval("DUPLO_TRACE_INTERVAL", bad).unwrap_err();
+            assert!(err.contains("DUPLO_TRACE_INTERVAL"), "{err}");
+            assert!(err.contains("positive cycle count"), "{err}");
+            let flag_err = parse_trace_interval("--trace-interval", bad).unwrap_err();
+            assert_eq!(
+                err.replace("DUPLO_TRACE_INTERVAL", "--trace-interval"),
+                flag_err,
+                "env and flag must share one message shape"
+            );
+        }
     }
 
     #[test]

@@ -255,6 +255,15 @@ impl MemoryHierarchy {
         self.mshr.occupancy()
     }
 
+    /// The earliest cycle strictly after `cycle` at which an outstanding
+    /// MSHR fill completes and frees an entry — the wakeup horizon for a
+    /// pipe stalled on a full MSHR file. `None` when no fill with a known
+    /// completion time is outstanding.
+    pub fn next_mshr_fill(&mut self, cycle: u64) -> Option<u64> {
+        self.mshr.expire(cycle);
+        self.mshr.next_fill().map(|f| f.max(cycle + 1))
+    }
+
     /// Live L2-port backlog at `cycle`, in cycles of queued service.
     pub fn l2_port_backlog(&self, cycle: u64) -> f64 {
         self.l2_port.backlog(cycle)

@@ -126,6 +126,18 @@ impl Mshr {
         self.pending.len()
     }
 
+    /// The earliest recorded fill completion among outstanding entries
+    /// (provisional `u64::MAX` reservations are excluded — they complete
+    /// at an unknown time). `None` when nothing with a known fill time is
+    /// outstanding.
+    pub fn next_fill(&self) -> Option<u64> {
+        self.pending
+            .values()
+            .copied()
+            .filter(|&f| f != u64::MAX)
+            .min()
+    }
+
     /// Peak simultaneous occupancy observed so far (high-water mark).
     pub fn peak_occupancy(&self) -> usize {
         self.peak

@@ -48,7 +48,7 @@ use crate::json::{Json, parse};
 /// Version of the on-disk entry layout; bump when the codec changes shape.
 /// v2: `mem` gained `mshr_peak_occupancy`, `l2_peak_queue_delay`, and
 /// `dram_peak_queue_delay`.
-pub const CACHE_SCHEMA_VERSION: u64 = 2;
+pub const CACHE_SCHEMA_VERSION: u64 = 3;
 
 /// Salt folded into every key; bump when the simulator *model* changes in
 /// a way that alters results without changing any configuration field.
@@ -615,6 +615,7 @@ fn stats_to_json(s: &SmStats) -> Json {
         )
         .field("ldst_pipe_stalls", s.ldst_pipe_stalls)
         .field("rf_peak_rows", s.rf_peak_rows)
+        .field("rf_final_rows", s.rf_final_rows)
         .field(
             "detect",
             Json::obj()
@@ -715,6 +716,7 @@ fn stats_from_json(v: &Json) -> Option<SmStats> {
     s.stalls.barrier = u(stalls, "barrier")?;
     s.ldst_pipe_stalls = u(v, "ldst_pipe_stalls")?;
     s.rf_peak_rows = u32::try_from(u(v, "rf_peak_rows")?).ok()?;
+    s.rf_final_rows = u32::try_from(u(v, "rf_final_rows")?).ok()?;
     s.detect.workspace_loads = u(detect, "workspace_loads")?;
     s.detect.non_workspace_loads = u(detect, "non_workspace_loads")?;
     s.detect.boundary_bypasses = u(detect, "boundary_bypasses")?;
@@ -760,6 +762,7 @@ mod tests {
         s.services.dram = 70;
         s.stalls.data_dependency = 9;
         s.rf_peak_rows = 512;
+        s.rf_final_rows = 3;
         s.lhb.hits = 30;
         s.lhb.misses = 70;
         s.mem.l2_queue_delay = 12.625;

@@ -310,6 +310,7 @@ fn accumulate(agg: &mut SmStats, s: &SmStats) {
     agg.stalls.barrier += s.stalls.barrier;
     agg.ldst_pipe_stalls += s.ldst_pipe_stalls;
     agg.rf_peak_rows = agg.rf_peak_rows.max(s.rf_peak_rows);
+    agg.rf_final_rows += s.rf_final_rows;
     agg.detect.workspace_loads += s.detect.workspace_loads;
     agg.detect.non_workspace_loads += s.detect.non_workspace_loads;
     agg.detect.boundary_bypasses += s.detect.boundary_bypasses;

@@ -1,0 +1,43 @@
+//! End-to-end equivalence of the event-driven SM loop on real registry
+//! experiments (quick sample): rendered tables and structured results
+//! must be byte-identical to the tick-by-tick reference loop.
+//!
+//! Run with `--ignored` (release): the tick-by-tick reference is too slow
+//! for the debug suite.
+//!
+//! This file holds exactly one `#[test]` so it gets its own process: it
+//! flips the process-global `force_tick_reference` toggle, which must not
+//! race other tests running concurrently in the same binary.
+
+use duplo_sim::cache;
+use duplo_sim::experiments::{ExpOpts, find_experiment};
+use duplo_sm::force_tick_reference;
+
+#[test]
+#[ignore = "reference loop is slow in debug — run in release via scripts/ci.sh"]
+fn quick_registry_experiments_match_reference_loop() {
+    // Cached results would short-circuit the simulation entirely.
+    let _nocache = cache::bypass();
+    let opts = ExpOpts::quick();
+    // A cheap cross-section: the shared-memory policy comparison (the
+    // barrier/TLP-heavy shape the wakeup wheel accelerates most), the
+    // Fig. 10 LHB hit-rate sweep, and the implicit-GEMM shared-path
+    // extension (exercises `lhb_on_shared` end to end).
+    for name in ["smem_policy", "fig10_hit_rate", "ext_implicit"] {
+        let spec = find_experiment(name).expect("registered experiment");
+        force_tick_reference(false);
+        let event = (spec.run)(&opts);
+        force_tick_reference(true);
+        let reference = (spec.run)(&opts);
+        force_tick_reference(false);
+        assert_eq!(
+            event.rendered, reference.rendered,
+            "{name}: rendered table diverged"
+        );
+        assert_eq!(
+            event.result.to_json().to_pretty(),
+            reference.result.to_json().to_pretty(),
+            "{name}: structured result diverged"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Full-registry equivalence gate for the event-driven SM loop, run in CI
+//! release builds (`--ignored`): every registered experiment's rendered
+//! table and structured result must be byte-identical between the
+//! event-driven wakeup-wheel loop and the tick-by-tick reference.
+//!
+//! One `#[test]` per file: this flips the process-global
+//! `force_tick_reference` toggle and must own its process.
+
+use duplo_sim::cache;
+use duplo_sim::experiments::{ExpOpts, registry};
+use duplo_sm::force_tick_reference;
+
+#[test]
+#[ignore = "full registry x2 — run in release via scripts/ci.sh"]
+fn full_registry_matches_reference_loop() {
+    let _nocache = cache::bypass();
+    let opts = ExpOpts::quick();
+    for spec in registry() {
+        force_tick_reference(false);
+        let event = (spec.run)(&opts);
+        force_tick_reference(true);
+        let reference = (spec.run)(&opts);
+        force_tick_reference(false);
+        assert_eq!(
+            event.rendered, reference.rendered,
+            "{}: rendered table diverged",
+            spec.name
+        );
+        assert_eq!(
+            event.result.to_json().to_pretty(),
+            reference.result.to_json().to_pretty(),
+            "{}: structured result diverged",
+            spec.name
+        );
+    }
+}

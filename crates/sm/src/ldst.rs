@@ -98,6 +98,11 @@ impl LdstUnit {
         self.queue.front_mut()
     }
 
+    /// Read-only view of the head (the wakeup wheel's stall probe).
+    pub fn head(&self) -> Option<&Inflight> {
+        self.queue.front()
+    }
+
     /// Removes and returns the completed head.
     pub fn pop(&mut self) -> Option<Inflight> {
         self.queue.pop_front()

@@ -30,7 +30,10 @@ pub mod trace;
 pub mod warp;
 
 pub use config::{SchedulerPolicy, SmConfig};
-pub use sm::{Sm, run_kernel, run_kernel_traced};
+pub use sm::{
+    Sm, force_tick_reference, run_kernel, run_kernel_reference, run_kernel_traced,
+    run_kernel_traced_reference, simulated_cycles,
+};
 pub use stats::{ServiceCounts, SmStats, StallBreakdown};
 pub use trace::{CtaSpan, SmSample, SmTraceData, TraceSpec};
 

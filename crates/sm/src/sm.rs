@@ -1,5 +1,35 @@
 //! The SM execution engine: schedulers, tensor cores, LDST pipes, and the
 //! Duplo detection unit, advanced cycle by cycle.
+//!
+//! # The event-driven tick loop
+//!
+//! [`Sm::tick`] normally advances one cycle at a time, but when a tick
+//! makes no progress (nothing issued, no LDST row processed, no retire, no
+//! barrier released) the SM consults a wakeup wheel ([`Sm::next_wake`]):
+//! if every scheduler and every LDST pipe is *provably* blocked until some
+//! future cycle, the loop attributes the intervening cycles to the exact
+//! stall buckets the tick-by-tick loop would have charged
+//! ([`Sm::attribute_skipped`]) and jumps `cycle` there in one step. The
+//! invariants that make the jump sound:
+//!
+//! * **Completeness of the event set.** The wake cycle is the minimum over
+//!   every threshold that could change any unit's state or its stall
+//!   classification: finite scoreboard ready-cycles of each candidate's
+//!   next op, tensor-core free cycles on schedulers with an MMA candidate,
+//!   the retire-queue head, the earliest outstanding MSHR fill (for
+//!   MSHR-blocked pipes), and the next trace-sample boundary.
+//! * **No side-effecting retries are skipped.** An LDST head that could
+//!   progress — or whose retry has side effects (register-file pressure
+//!   force-retires) — forces the tick-by-tick path; only MSHR-full
+//!   rejections, whose retry is idempotent, may be fast-forwarded.
+//! * **Exact attribution.** Each scheduler's classification is constant
+//!   across the skipped interval (every classification-changing threshold
+//!   is itself a wake event), so `issued + stalls == cycles × schedulers`
+//!   holds bit-exactly and [`SmStats`] is byte-identical to the reference
+//!   loop — the `event_skip` equivalence suite pins this.
+//!
+//! Set `DUPLO_TICK_REFERENCE=1` (or call [`force_tick_reference`]) to run
+//! the tick-by-tick reference loop instead.
 
 use crate::config::{SchedulerPolicy, SmConfig};
 use crate::ldst::{Inflight, LdstUnit, MemKind};
@@ -8,10 +38,42 @@ use crate::stats::{SmStats, StallBreakdown};
 use crate::trace::{SmSample, SmTraceData, SmTracer, TraceSpec};
 use crate::warp::WarpCtx;
 use duplo_core::{DetectionUnit, LoadDecision, LoadToken, PhysReg};
-use duplo_isa::{Kernel, Op, Space};
+use duplo_isa::{ArchReg, Kernel, Op, Space};
 use duplo_mem::MemoryHierarchy;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Simulated cycles accumulated by every `run_kernel*` call in this
+/// process (all SMs, all runs). The bench trajectory divides deltas of
+/// this counter by wall-clock time to report cycles-simulated/sec.
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide override forcing the tick-by-tick reference loop (see
+/// [`force_tick_reference`]).
+static TICK_REFERENCE: AtomicBool = AtomicBool::new(false);
+
+/// Total simulated SM cycles across every `run_kernel*` call so far.
+pub fn simulated_cycles() -> u64 {
+    SIM_CYCLES.load(Ordering::Relaxed)
+}
+
+/// Forces (or releases) the tick-by-tick reference loop process-wide.
+/// Results are identical either way — the reference loop exists so the
+/// equivalence gates and the bench trajectory's reference column have
+/// something to diff against. The `DUPLO_TICK_REFERENCE` environment
+/// variable (any value but `0`) has the same effect.
+pub fn force_tick_reference(on: bool) {
+    TICK_REFERENCE.store(on, Ordering::SeqCst);
+}
+
+/// Whether new SMs should use the tick-by-tick reference loop.
+fn reference_mode() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var_os("DUPLO_TICK_REFERENCE").is_some_and(|v| v != "0"))
+        || TICK_REFERENCE.load(Ordering::SeqCst)
+}
 
 #[derive(Clone, Debug)]
 struct CtaState {
@@ -42,6 +104,24 @@ pub struct Sm {
     /// Cycle-resolved trace recorder; `None` (the default) costs one
     /// branch per tick and nothing else.
     tracer: Option<Box<SmTracer>>,
+    /// Event-driven fast-forward enabled (the default); the tick-by-tick
+    /// reference loop runs when false.
+    event_skip: bool,
+    /// Whether the current tick retired, issued, processed a row, or
+    /// released a barrier — cleared at tick start, gates the wakeup wheel.
+    progress: bool,
+    /// Reusable candidate buffer (hoisted out of `tick_scheduler`).
+    cand_scratch: Vec<usize>,
+    /// Recycled `Inflight::pregs` vectors.
+    preg_pool: Vec<Vec<PhysReg>>,
+    /// Recycled `Inflight::tokens` vectors.
+    token_pool: Vec<Vec<LoadToken>>,
+    /// Per-scheduler runnable-warp mask: bit `b` of entry `s` covers warp
+    /// slot `b * schedulers + s` — set while the warp is resident and not
+    /// parked at a barrier.
+    run_mask: Vec<u64>,
+    /// Per-scheduler barrier mask: resident warps parked at a barrier.
+    barrier_mask: Vec<u64>,
 }
 
 /// What happened when the LDST pipe processed one row.
@@ -54,10 +134,54 @@ enum RowOutcome {
     },
 }
 
+/// Applies the scheduler's stall-classification priority: the cycle is
+/// charged to the most actionable cause among the blocked candidates.
+/// Shared by the per-tick path (`n == 1`) and the fast-forward attribution
+/// so the two can never drift apart.
+fn classify_stall(stalls: &mut StallBreakdown, blocked: &StallBreakdown, n: u64) {
+    if blocked.ldst_full > 0 {
+        stalls.ldst_full += n;
+    } else if blocked.tensor_busy > 0 {
+        stalls.tensor_busy += n;
+    } else if blocked.data_dependency > 0 {
+        stalls.data_dependency += n;
+    } else {
+        stalls.barrier += n;
+    }
+}
+
+/// Folds one scoreboard entry into a wake computation: clears `ready` when
+/// the register is still pending after `cycle` and records finite ready
+/// cycles as wake events (`u64::MAX` means "unknown until a load lands",
+/// which some other event must resolve first).
+fn dep_event(
+    pending: &HashMap<ArchReg, u64>,
+    reg: ArchReg,
+    cycle: u64,
+    wake: &mut u64,
+    ready: &mut bool,
+) {
+    if let Some(&r) = pending.get(&reg) {
+        if r > cycle {
+            *ready = false;
+            if r != u64::MAX {
+                *wake = (*wake).min(r);
+            }
+        }
+    }
+}
+
 impl Sm {
     /// Creates an SM for a kernel (programs the detection unit when the
     /// kernel carries a workspace descriptor and the config enables Duplo).
     pub fn new(config: SmConfig, kernel: &dyn Kernel) -> Sm {
+        assert!(
+            config.max_warps <= 64 * config.schedulers,
+            "max_warps ({}) must fit the bit-packed per-scheduler warp \
+             masks (64 x {} schedulers)",
+            config.max_warps,
+            config.schedulers
+        );
         let detect = match (&config.lhb, kernel.workspace()) {
             (Some(lhb), Some(desc)) => {
                 let mut du = DetectionUnit::new(&desc, *lhb, 0);
@@ -88,8 +212,22 @@ impl Sm {
             stats: SmStats::default(),
             tracer: None,
             cycle: 0,
+            event_skip: !reference_mode(),
+            progress: false,
+            cand_scratch: Vec::with_capacity(config.max_warps),
+            preg_pool: Vec::new(),
+            token_pool: Vec::new(),
+            run_mask: vec![0; config.schedulers],
+            barrier_mask: vec![0; config.schedulers],
             config,
         }
+    }
+
+    /// Selects the event-driven fast-forward loop (`true`, the default) or
+    /// the tick-by-tick reference loop (`false`). Statistics are identical
+    /// either way; only wall-clock time differs.
+    pub fn set_event_skip(&mut self, on: bool) {
+        self.event_skip = on;
     }
 
     /// Attaches a cycle-resolved trace recorder; samples are taken every
@@ -130,6 +268,7 @@ impl Sm {
                 .position(|w| w.is_none())
                 .expect("checked free slots");
             self.warps[slot] = Some(WarpCtx::new(wt.ops, cta_slot, self.next_age));
+            self.run_mask[slot % self.config.schedulers] |= 1 << (slot / self.config.schedulers);
             self.next_age += 1;
         }
         true
@@ -145,15 +284,19 @@ impl Sm {
         self.cycle
     }
 
-    /// Advances the SM by one cycle.
+    /// Advances the SM by at least one cycle; when nothing progressed and
+    /// every unit is provably blocked, fast-forwards to the next event
+    /// (see the module docs for the invariants).
     pub fn tick(&mut self) {
         self.cycle += 1;
+        self.progress = false;
         // 1. Retire loads whose commit window has passed.
         while let Some(&Reverse((when, token))) = self.retire_queue.peek() {
             if when > self.cycle {
                 break;
             }
             self.retire_queue.pop();
+            self.progress = true;
             if let Some(du) = self.detect.as_mut() {
                 if let Some(p) = du.retire(LoadToken(token)) {
                     self.regfile.release(p);
@@ -170,12 +313,178 @@ impl Sm {
         }
         // 4. Barrier resolution.
         self.resolve_barriers();
-        // 5. Trace sampling (one branch when tracing is off).
-        if self.tracer.is_some() {
-            let interval = self.tracer.as_ref().expect("checked").spec.interval;
-            if self.cycle % interval == 0 {
-                let sample = self.sample_now();
-                self.tracer.as_mut().expect("checked").push_sample(sample);
+        // 5. Trace sampling (detached while the sample borrows the SM).
+        if let Some(mut t) = self.tracer.take() {
+            if self.cycle % t.spec.interval == 0 {
+                t.push_sample(self.sample_now());
+            }
+            self.tracer = Some(t);
+        }
+        // 6. Event-driven fast-forward: on a no-progress tick, jump to the
+        // cycle before the next event, charging the interval to the same
+        // stall buckets the tick-by-tick loop would have.
+        if self.event_skip && !self.progress {
+            if let Some(wake) = self.next_wake() {
+                let skipped = wake - self.cycle - 1;
+                if skipped > 0 {
+                    self.attribute_skipped(skipped);
+                    self.cycle += skipped;
+                }
+            }
+        }
+    }
+
+    /// The earliest cycle after the current one at which any unit's state
+    /// or stall classification can change, or `None` when some unit could
+    /// make progress next cycle (or has a retry with side effects, or no
+    /// finite event exists) — callers must then tick cycle by cycle.
+    fn next_wake(&mut self) -> Option<u64> {
+        let c = self.cycle;
+        let mut wake = u64::MAX;
+        // LDST pipes. Only a global-load head rejected by a full MSHR file
+        // is provably stuck — and its retry is idempotent; it wakes when
+        // the earliest outstanding fill lands. Every other head (shared
+        // rows, stores, register-file-pressure retries whose force-retire
+        // pops have side effects) must be retried every cycle.
+        for s in 0..self.config.schedulers {
+            let Some(head) = self.ldst[s].head() else {
+                continue;
+            };
+            let mshr_gated = head.space == Space::Global
+                && matches!(head.kind, MemKind::TensorLoad | MemKind::ScalarLoad);
+            if !mshr_gated || self.hierarchy.can_accept(c) {
+                return None;
+            }
+            wake = wake.min(self.hierarchy.next_mshr_fill(c)?);
+        }
+        // Retire-queue head: retirement releases registers and LHB
+        // entries, which can change what the pipes do when they resume.
+        if let Some(&Reverse((when, _))) = self.retire_queue.peek() {
+            wake = wake.min(when);
+        }
+        // Scheduler candidates: every blocked candidate contributes the
+        // thresholds that could unblock or reclassify it; an issuable
+        // candidate forbids the jump entirely.
+        for s in 0..self.config.schedulers {
+            let mut any_mma = false;
+            let mut m = self.run_mask[s];
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let w = b * self.config.schedulers + s;
+                let wc = self.warps[w].as_ref().expect("masked warp resident");
+                let Some(&op) = wc.next_op() else {
+                    continue;
+                };
+                let mut ready = true;
+                for src in op.srcs().into_iter().flatten() {
+                    dep_event(&wc.pending, src, c, &mut wake, &mut ready);
+                }
+                if let Some(dst) = op.dst() {
+                    dep_event(&wc.pending, dst, c, &mut wake, &mut ready);
+                }
+                if matches!(op, Op::Exit) {
+                    // Exit drains the whole scoreboard, not just its own
+                    // operands.
+                    for &r in wc.pending.values() {
+                        if r > c {
+                            ready = false;
+                            if r != u64::MAX {
+                                wake = wake.min(r);
+                            }
+                        }
+                    }
+                }
+                match op {
+                    Op::WmmaMma { .. } => {
+                        any_mma = true;
+                        if ready && self.tc_busy[s].iter().any(|&busy| busy <= c) {
+                            return None;
+                        }
+                    }
+                    Op::WmmaLoad { .. } | Op::WmmaStore { .. } | Op::Ld { .. } | Op::St { .. } => {
+                        if ready && self.ldst[s].can_accept() {
+                            return None;
+                        }
+                        // Ready but queue-full: the queue drains only via
+                        // its head, whose wake (MSHR fill) or tick-by-tick
+                        // verdict was computed above.
+                    }
+                    _ => {
+                        if ready {
+                            return None;
+                        }
+                    }
+                }
+            }
+            if any_mma {
+                for &busy in &self.tc_busy[s] {
+                    if busy > c {
+                        wake = wake.min(busy);
+                    }
+                }
+            }
+        }
+        // Trace samples read live gauges, so a sample boundary is an event.
+        if let Some(t) = &self.tracer {
+            wake = wake.min((c / t.spec.interval + 1) * t.spec.interval);
+        }
+        if wake == u64::MAX || wake <= c + 1 {
+            None
+        } else {
+            Some(wake)
+        }
+    }
+
+    /// Charges `skipped` fully-blocked cycles to the stall buckets each
+    /// scheduler (and each stalled LDST pipe) accrues per blocked cycle.
+    /// Only valid right after [`Sm::next_wake`] returned a wake cycle: the
+    /// classification is then constant across the interval.
+    fn attribute_skipped(&mut self, skipped: u64) {
+        let c = self.cycle;
+        let scheds = self.config.schedulers;
+        for s in 0..scheds {
+            if self.run_mask[s] == 0 {
+                if self.barrier_mask[s] != 0 {
+                    self.stats.stalls.barrier += skipped;
+                } else {
+                    self.stats.stalls.empty += skipped;
+                }
+                continue;
+            }
+            let mut blocked = StallBreakdown::default();
+            let mut m = self.run_mask[s];
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let w = b * scheds + s;
+                let wc = self.warps[w].as_ref().expect("masked warp resident");
+                let Some(op) = wc.next_op() else {
+                    blocked.data_dependency += 1;
+                    continue;
+                };
+                let dep_blocked = !wc.deps_ready(op, c)
+                    || (matches!(op, Op::Exit) && wc.pending.values().any(|&r| r > c));
+                if dep_blocked {
+                    blocked.data_dependency += 1;
+                } else {
+                    match op {
+                        Op::WmmaMma { .. } => blocked.tensor_busy += 1,
+                        Op::WmmaLoad { .. }
+                        | Op::WmmaStore { .. }
+                        | Op::Ld { .. }
+                        | Op::St { .. } => blocked.ldst_full += 1,
+                        _ => unreachable!("issuable candidate survived next_wake"),
+                    }
+                }
+            }
+            classify_stall(&mut self.stats.stalls, &blocked, skipped);
+        }
+        // Every non-empty pipe is head-stalled across the interval
+        // (guaranteed by next_wake), accruing one pipe stall per cycle.
+        for s in 0..scheds {
+            if !self.ldst[s].is_empty() {
+                self.stats.ldst_pipe_stalls += skipped;
             }
         }
     }
@@ -220,47 +529,50 @@ impl Sm {
     }
 
     fn resolve_barriers(&mut self) {
+        let scheds = self.config.schedulers;
         for cta_slot in 0..self.ctas.len() {
             let release = match &self.ctas[cta_slot] {
                 Some(c) => c.at_barrier > 0 && c.at_barrier == c.live_warps,
                 None => false,
             };
             if release {
-                for w in self.warps.iter_mut().flatten() {
-                    if w.cta_slot == cta_slot {
-                        w.at_barrier = false;
+                for w in 0..self.warps.len() {
+                    let Some(wc) = self.warps[w].as_mut() else {
+                        continue;
+                    };
+                    if wc.cta_slot == cta_slot && wc.at_barrier {
+                        wc.at_barrier = false;
+                        let bit = 1u64 << (w / scheds);
+                        self.barrier_mask[w % scheds] &= !bit;
+                        self.run_mask[w % scheds] |= bit;
                     }
                 }
                 self.ctas[cta_slot].as_mut().expect("checked").at_barrier = 0;
+                self.progress = true;
             }
         }
     }
 
     /// Scheduler `s` tries to issue one instruction (GTO or LRR order).
     fn tick_scheduler(&mut self, s: usize) {
-        let mut candidates: Vec<usize> = (0..self.warps.len())
-            .filter(|w| w % self.config.schedulers == s)
-            .filter(|&w| {
-                self.warps[w]
-                    .as_ref()
-                    .is_some_and(|wc| !wc.done && !wc.at_barrier)
-            })
-            .collect();
+        let scheds = self.config.schedulers;
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        candidates.clear();
+        let mut m = self.run_mask[s];
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            candidates.push(b * scheds + s);
+        }
         if candidates.is_empty() {
             // Attribute the idle slot: a scheduler whose live warps are all
             // parked at a barrier is stalled on synchronization, not empty.
-            let any_at_barrier = (0..self.warps.len())
-                .filter(|w| w % self.config.schedulers == s)
-                .any(|w| {
-                    self.warps[w]
-                        .as_ref()
-                        .is_some_and(|wc| !wc.done && wc.at_barrier)
-                });
-            if any_at_barrier {
+            if self.barrier_mask[s] != 0 {
                 self.stats.stalls.barrier += 1;
             } else {
                 self.stats.stalls.empty += 1;
             }
+            self.cand_scratch = candidates;
             return;
         }
         match self.config.policy {
@@ -283,27 +595,27 @@ impl Sm {
         }
 
         let mut blocked = StallBreakdown::default();
+        let mut issued = false;
         for &w in &candidates {
             match self.try_issue(w, s) {
                 IssueResult::Issued => {
                     self.last_warp[s] = Some(w);
-                    return;
+                    issued = true;
+                    break;
                 }
                 IssueResult::DepBlocked => blocked.data_dependency += 1,
                 IssueResult::LdstFull => blocked.ldst_full += 1,
                 IssueResult::TensorBusy => blocked.tensor_busy += 1,
             }
         }
-        // Nothing issued: classify the cycle by the most actionable cause.
-        if blocked.ldst_full > 0 {
-            self.stats.stalls.ldst_full += 1;
-        } else if blocked.tensor_busy > 0 {
-            self.stats.stalls.tensor_busy += 1;
-        } else if blocked.data_dependency > 0 {
-            self.stats.stalls.data_dependency += 1;
+        if issued {
+            self.progress = true;
         } else {
-            self.stats.stalls.barrier += 1;
+            // Nothing issued: classify the cycle by the most actionable
+            // cause.
+            classify_stall(&mut self.stats.stalls, &blocked, 1);
         }
+        self.cand_scratch = candidates;
     }
 
     fn try_issue(&mut self, w: usize, s: usize) -> IssueResult {
@@ -348,6 +660,9 @@ impl Sm {
                 wc.at_barrier = true;
                 let cta = wc.cta_slot;
                 wc.pc += 1;
+                let bit = 1u64 << (w / self.config.schedulers);
+                self.run_mask[s] &= !bit;
+                self.barrier_mask[s] |= bit;
                 self.ctas[cta].as_mut().expect("live cta").at_barrier += 1;
                 self.stats.issued_other += 1;
                 IssueResult::Issued
@@ -464,8 +779,8 @@ impl Sm {
             space,
             next_row: 0,
             ready: 0,
-            pregs: Vec::new(),
-            tokens: Vec::new(),
+            pregs: self.preg_pool.pop().unwrap_or_default(),
+            tokens: self.token_pool.pop().unwrap_or_default(),
         });
         match kind {
             MemKind::TensorLoad => self.stats.issued_tensor_loads += 1,
@@ -476,24 +791,23 @@ impl Sm {
 
     /// LDST pipe `s`: process one row of the head instruction.
     fn tick_ldst(&mut self, s: usize) {
-        let (warp, kind, row_addr, seg, space) = {
+        let (kind, row_addr, seg, space) = {
             let Some(head) = self.ldst[s].head_mut() else {
                 return;
             };
             (
-                head.warp,
                 head.kind,
                 head.row_addr(head.next_row),
                 u32::from(head.seg_bytes),
                 head.space,
             )
         };
-        let outcome = self.process_row(kind, row_addr, seg, space);
-        match outcome {
+        match self.process_row(kind, row_addr, seg, space) {
             RowOutcome::Stall => {
                 self.stats.ldst_pipe_stalls += 1;
             }
             RowOutcome::Done { ready, preg, token } => {
+                self.progress = true;
                 let done = {
                     let head = self.ldst[s].head_mut().expect("head exists");
                     head.next_row += 1;
@@ -510,7 +824,6 @@ impl Sm {
                     let infl = self.ldst[s].pop().expect("head exists");
                     self.finish_mem(infl);
                 }
-                let _ = warp;
             }
         }
     }
@@ -572,13 +885,18 @@ impl Sm {
     /// memory and allocate an entry.
     fn process_tensor_row_shared(&mut self, addr: u64, seg: u32) -> RowOutcome {
         let cycle = self.cycle;
-        let Some(preg) = self.regfile.alloc() else {
-            self.force_retire(64);
-            match self.regfile.alloc() {
-                Some(_) => {}
-                None => return RowOutcome::Stall,
+        // Under register-file pressure, force-retire the oldest pending
+        // load commitments to reclaim the rows their LHB entries pin —
+        // same relief path as the global route below.
+        let preg = match self.regfile.alloc() {
+            Some(p) => p,
+            None => {
+                self.force_retire(64);
+                match self.regfile.alloc() {
+                    Some(p) => p,
+                    None => return RowOutcome::Stall,
+                }
             }
-            return RowOutcome::Stall;
         };
         self.stats.row_loads += 1;
         let token = LoadToken(self.next_token);
@@ -744,14 +1062,15 @@ impl Sm {
         for t in &infl.tokens {
             self.retire_queue.push(Reverse((commit, t.0)));
         }
+        let mut tokens = infl.tokens;
+        tokens.clear();
+        self.token_pool.push(tokens);
         let warp_done = self.warps[infl.warp].as_ref().is_none_or(|wc| wc.done);
         if warp_done {
             // The warp exited (only possible if it had no pending regs, so
             // this cannot be a load of a live register) — drop this load's
             // own references; LHB references drain via the retire queue.
-            for p in infl.pregs {
-                self.regfile.release(p);
-            }
+            self.release_into_pool(infl.pregs);
             return;
         }
         if let Some(dst) = infl.dst {
@@ -759,24 +1078,28 @@ impl Sm {
             wc.resolve_pending(dst, ready);
             let old = wc.bindings.insert(dst, infl.pregs);
             if let Some(old_pregs) = old {
-                for p in old_pregs {
-                    self.regfile.release(p);
-                }
+                self.release_into_pool(old_pregs);
             }
         } else {
-            for p in infl.pregs {
-                self.regfile.release(p);
-            }
+            self.release_into_pool(infl.pregs);
         }
+    }
+
+    /// Releases every row in `pregs` and recycles the vector.
+    fn release_into_pool(&mut self, mut pregs: Vec<PhysReg>) {
+        for &p in &pregs {
+            self.regfile.release(p);
+        }
+        pregs.clear();
+        self.preg_pool.push(pregs);
     }
 
     /// Issues warp exit: release every binding, update CTA accounting.
     fn finish_warp(&mut self, w: usize) {
         let wc = self.warps[w].take().expect("warp exists");
+        self.run_mask[w % self.config.schedulers] &= !(1u64 << (w / self.config.schedulers));
         for (_, pregs) in wc.bindings {
-            for p in pregs {
-                self.regfile.release(p);
-            }
+            self.release_into_pool(pregs);
         }
         let cta = self.ctas[wc.cta_slot].as_mut().expect("live cta");
         cta.live_warps -= 1;
@@ -795,14 +1118,12 @@ impl Sm {
     /// tracer was attached). A final end-of-run sample is appended so the
     /// timeline always closes on counters equal to the returned stats.
     pub fn into_stats_and_trace(mut self) -> (SmStats, Option<SmTraceData>) {
-        if self.tracer.is_some() {
+        let mut tracer = self.tracer.take();
+        if let Some(t) = tracer.as_mut() {
             let sample = self.sample_now();
-            self.tracer
-                .as_mut()
-                .expect("checked")
-                .push_final_sample(sample);
+            t.push_final_sample(sample);
         }
-        let trace = self.tracer.take().map(|t| t.data);
+        let trace = tracer.map(|t| t.data);
         (self.into_stats(), trace)
     }
 
@@ -815,6 +1136,18 @@ impl Sm {
             self.stats.lhb = du.lhb_stats();
         }
         self.stats.mem = self.hierarchy.stats();
+        // Drain the retire queue (counters were snapshotted above, so the
+        // late retirements don't perturb reported LHB stats). Afterwards no
+        // LHB entry pins a row and every warp has released its bindings, so
+        // any nonzero residue is a genuine reference-count leak.
+        while let Some(Reverse((_, token))) = self.retire_queue.pop() {
+            if let Some(du) = self.detect.as_mut() {
+                if let Some(p) = du.retire(LoadToken(token)) {
+                    self.regfile.release(p);
+                }
+            }
+        }
+        self.stats.rf_final_rows = self.regfile.in_use();
         self.stats
     }
 
@@ -852,6 +1185,7 @@ fn drive(sm: &mut Sm, kernel: &dyn Kernel, cta_ids: &[usize]) {
             "simulation exceeded {LIMIT} cycles — deadlock?"
         );
     }
+    SIM_CYCLES.fetch_add(sm.cycle(), Ordering::Relaxed);
 }
 
 /// Runs `cta_ids` of `kernel` to completion on one SM and returns the
@@ -862,6 +1196,17 @@ fn drive(sm: &mut Sm, kernel: &dyn Kernel, cta_ids: &[usize]) {
 /// Panics if the simulation exceeds two billion cycles (deadlock guard).
 pub fn run_kernel(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> SmStats {
     let mut sm = Sm::new(config, kernel);
+    drive(&mut sm, kernel, cta_ids);
+    sm.into_stats()
+}
+
+/// Like [`run_kernel`], but forces the tick-by-tick reference loop for
+/// this run regardless of process-wide settings. Statistics are
+/// byte-identical to [`run_kernel`]'s — the equivalence suite asserts
+/// exactly that — only wall-clock time differs.
+pub fn run_kernel_reference(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> SmStats {
+    let mut sm = Sm::new(config, kernel);
+    sm.set_event_skip(false);
     drive(&mut sm, kernel, cta_ids);
     sm.into_stats()
 }
@@ -878,6 +1223,22 @@ pub fn run_kernel_traced(
     spec: TraceSpec,
 ) -> (SmStats, SmTraceData) {
     let mut sm = Sm::new(config, kernel);
+    sm.attach_tracer(spec);
+    drive(&mut sm, kernel, cta_ids);
+    let (stats, trace) = sm.into_stats_and_trace();
+    (stats, trace.expect("tracer attached above"))
+}
+
+/// Like [`run_kernel_traced`], but on the tick-by-tick reference loop (the
+/// traced counterpart of [`run_kernel_reference`]).
+pub fn run_kernel_traced_reference(
+    kernel: &dyn Kernel,
+    cta_ids: &[usize],
+    config: SmConfig,
+    spec: TraceSpec,
+) -> (SmStats, SmTraceData) {
+    let mut sm = Sm::new(config, kernel);
+    sm.set_event_skip(false);
     sm.attach_tracer(spec);
     drive(&mut sm, kernel, cta_ids);
     let (stats, trace) = sm.into_stats_and_trace();

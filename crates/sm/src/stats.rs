@@ -81,7 +81,7 @@ impl StallBreakdown {
 }
 
 /// Complete statistics of one SM run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct SmStats {
     /// Total cycles to drain all assigned CTAs.
     pub cycles: u64,
@@ -106,6 +106,9 @@ pub struct SmStats {
     pub ldst_pipe_stalls: u64,
     /// Peak physical register rows in use.
     pub rf_peak_rows: u32,
+    /// Physical register rows still allocated after the end-of-run retire
+    /// drain — exactly 0 unless a reference-count leak occurred.
+    pub rf_final_rows: u32,
     /// Detection-unit stats (zeroed for baseline runs).
     pub detect: DetectStats,
     /// LHB stats (zeroed for baseline runs).

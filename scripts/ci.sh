@@ -185,4 +185,38 @@ cmp "$JSON_DIR/smem_direct.json" "$JSON_DIR/smem_replay.json" || {
     exit 1
 }
 
+# Event-loop gate (1/3): every registry experiment must render the same
+# table and structured result from the event-driven wakeup-wheel loop and
+# the tick-by-tick reference loop. #[ignore]d in debug (the reference loop
+# is too slow unoptimized), so run it here in release.
+echo "== event loop: full-registry reference equivalence ==" >&2
+cargo test -q --release --offline -p duplo-sim \
+    --test event_skip_registry -- --ignored
+
+# Event-loop gate (2/3): DUPLO_TICK_REFERENCE=1 pins the reference loop
+# itself — the determinism suite must pass under it, and a reference-mode
+# run must produce stable JSON byte-identical to the event-mode runs above.
+echo "== event loop: reference-mode determinism + JSON equivalence ==" >&2
+DUPLO_TICK_REFERENCE=1 DUPLO_THREADS=1 \
+    cargo test -q --release --offline -p duplo-sim --test determinism
+DUPLO_TICK_REFERENCE=1 DUPLO_THREADS=4 \
+    cargo test -q --release --offline -p duplo-sim --test determinism
+DUPLO_JSON_STABLE=1 DUPLO_TICK_REFERENCE=1 DUPLO_THREADS=4 \
+    cargo run -q --release --offline -p duplo-bench --bin smem_policy -- \
+    --sample 2 --json "$JSON_DIR/smem_ref.json" > /dev/null
+cmp "$JSON_DIR/smem_t1.json" "$JSON_DIR/smem_ref.json" || {
+    echo "stable JSON differs between event-driven and reference loops" >&2
+    exit 1
+}
+
+# Event-loop gate (3/3): the committed perf trajectory. `duplo bench` runs
+# the registry in both modes (asserting per-experiment output and cycle
+# equality — the stall-attribution identity is enforced inside the SM), and
+# the written report must pass the shared JSON validator.
+echo "== event loop: bench trajectory regeneration ==" >&2
+cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    bench --out "$JSON_DIR/BENCH_fresh.json"
+cargo run -q --release --offline -p duplo-bench --bin json_check -- \
+    "$JSON_DIR/BENCH_fresh.json"
+
 echo "tier-1 gate: OK" >&2
