@@ -25,6 +25,7 @@ pub struct StreamKernel {
     num_ctas: usize,
     warps_per_cta: usize,
     iters: usize,
+    stride_lines: u64,
 }
 
 impl StreamKernel {
@@ -35,15 +36,41 @@ impl StreamKernel {
     ///
     /// Panics if any dimension is zero.
     pub fn new(num_ctas: usize, warps_per_cta: usize, iters: usize) -> StreamKernel {
+        StreamKernel::strided(num_ctas, warps_per_cta, iters, 1)
+    }
+
+    /// Like [`StreamKernel::new`], but spaces consecutive accesses
+    /// `stride_lines` cache lines apart, so every line index the grid
+    /// touches is a multiple of the stride. With a modulo L2 partition
+    /// hash and a stride that is a multiple of the slice count, the whole
+    /// grid camps on slice zero; a XOR-folded hash spreads the same
+    /// footprint across slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero.
+    pub fn strided(
+        num_ctas: usize,
+        warps_per_cta: usize,
+        iters: usize,
+        stride_lines: u64,
+    ) -> StreamKernel {
         assert!(
             num_ctas > 0 && warps_per_cta > 0 && iters > 0,
             "StreamKernel dimensions must be nonzero"
         );
+        assert!(stride_lines > 0, "StreamKernel stride must be nonzero");
+        let name = if stride_lines == 1 {
+            format!("stream_{num_ctas}x{warps_per_cta}x{iters}")
+        } else {
+            format!("stream_{num_ctas}x{warps_per_cta}x{iters}s{stride_lines}")
+        };
         StreamKernel {
-            name: format!("stream_{num_ctas}x{warps_per_cta}x{iters}"),
+            name,
             num_ctas,
             warps_per_cta,
             iters,
+            stride_lines,
         }
     }
 }
@@ -64,11 +91,12 @@ impl Kernel for StreamKernel {
         let warps = (0..self.warps_per_cta)
             .map(|w| {
                 let mut ops = Vec::with_capacity(self.iters * 3 + 1);
-                // Disjoint line ranges per (cta, warp).
+                // Disjoint line ranges per (cta, warp); every line index
+                // is a multiple of the stride.
                 let lane = (idx * self.warps_per_cta + w) as u64;
-                let base = lane * self.iters as u64 * u64::from(LINE_BYTES);
+                let base = lane * self.iters as u64;
                 for i in 0..self.iters as u64 {
-                    let off = base + i * u64::from(LINE_BYTES);
+                    let off = (base + i) * self.stride_lines * u64::from(LINE_BYTES);
                     ops.push(Op::Ld {
                         dst: data,
                         addr: INPUT_BASE + off,
@@ -123,6 +151,26 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 4 * 2 * 8);
+    }
+
+    #[test]
+    fn strided_variant_touches_only_stride_multiples() {
+        let stride = 4u64;
+        let k = StreamKernel::strided(2, 2, 4, stride);
+        assert_eq!(k.name(), "stream_2x2x4s4");
+        let mut seen = HashSet::new();
+        for idx in 0..k.num_ctas() {
+            for warp in &k.cta(idx).warps {
+                for op in &warp.ops {
+                    if let Op::Ld { addr, .. } = op {
+                        let line = (addr - INPUT_BASE) / u64::from(LINE_BYTES);
+                        assert_eq!(line % stride, 0, "line {line} not on the stride grid");
+                        assert!(seen.insert(line), "line {line} reused");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2 * 2 * 4);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! cycle at issue time from cache state plus queueing delay at the L2/DRAM
 //! bandwidth servers. This models both latency and bandwidth contention
 //! without a global event wheel.
+//!
+//! The memory side behind the L1 comes in two flavours selected by
+//! [`HierarchyConfig::l2_slices`]: the original flat model (`0`) and a
+//! partitioned one (`>= 1`) where the L2 is split into slices reached over
+//! a `duplo-noc` crossbar with hashed address interleaving. One slice with
+//! the passthrough crossbar reproduces the flat model byte-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,5 +30,6 @@ mod mshr;
 
 pub use cache::{Cache, CacheConfig};
 pub use dram::{BandwidthQueue, BandwidthQueueConfig};
-pub use hierarchy::{HierarchyConfig, MemStats, MemoryHierarchy, ServiceLevel};
+pub use duplo_noc::{AddrDec, HashKind, LinkConfig, NocConfig};
+pub use hierarchy::{HierarchyConfig, MemStats, MemoryHierarchy, ServiceLevel, SliceStat};
 pub use mshr::{Mshr, MshrOutcome};

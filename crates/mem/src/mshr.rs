@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use crate::ServiceLevel;
+
 /// Result of consulting the MSHR for a missing line.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum MshrOutcome {
@@ -11,6 +13,10 @@ pub enum MshrOutcome {
     Merged {
         /// Completion cycle of the outstanding fill.
         fill_cycle: u64,
+        /// Which level the outstanding fill is being served from — merged
+        /// accesses ride that fill, so they are attributed to the same
+        /// level (a DRAM-backed merge is a DRAM-serviced sector, not L2).
+        level: ServiceLevel,
     },
     /// A new entry was allocated; the caller must fetch the line and then
     /// report its fill time via [`Mshr::record_fill`].
@@ -19,12 +25,21 @@ pub enum MshrOutcome {
     Full,
 }
 
+/// One outstanding fill.
+#[derive(Copy, Clone, Debug)]
+struct Fill {
+    /// Completion cycle (`u64::MAX` = provisional reservation).
+    cycle: u64,
+    /// Level servicing the fill.
+    level: ServiceLevel,
+}
+
 /// The MSHR file of one cache.
 #[derive(Clone, Debug)]
 pub struct Mshr {
     capacity: usize,
-    /// line address -> completion cycle of the outstanding fill.
-    pending: HashMap<u64, u64>,
+    /// line address -> outstanding fill (completion cycle + service level).
+    pending: HashMap<u64, Fill>,
     /// Peak simultaneous occupancy (diagnostics).
     peak: usize,
     /// Secondary misses merged.
@@ -48,14 +63,15 @@ impl Mshr {
 
     /// Retires entries whose fills completed at or before `cycle`.
     pub fn expire(&mut self, cycle: u64) {
-        self.pending.retain(|_, fill| *fill > cycle);
+        self.pending.retain(|_, fill| fill.cycle > cycle);
     }
 
-    /// Returns the completion cycle of an outstanding fill covering
-    /// `line_addr`, if any (expired entries are retired first).
-    pub fn pending_fill(&mut self, cycle: u64, line_addr: u64) -> Option<u64> {
+    /// Returns the completion cycle and service level of an outstanding
+    /// fill covering `line_addr`, if any (expired entries are retired
+    /// first).
+    pub fn pending_fill(&mut self, cycle: u64, line_addr: u64) -> Option<(u64, ServiceLevel)> {
         self.expire(cycle);
-        self.pending.get(&line_addr).copied()
+        self.pending.get(&line_addr).map(|f| (f.cycle, f.level))
     }
 
     /// Counts a secondary miss merged outside [`Mshr::lookup`].
@@ -68,7 +84,10 @@ impl Mshr {
         self.expire(cycle);
         if let Some(&fill) = self.pending.get(&line_addr) {
             self.merges += 1;
-            return MshrOutcome::Merged { fill_cycle: fill };
+            return MshrOutcome::Merged {
+                fill_cycle: fill.cycle,
+                level: fill.level,
+            };
         }
         if self.pending.len() >= self.capacity {
             self.stalls += 1;
@@ -76,20 +95,32 @@ impl Mshr {
         }
         // Reserve the slot with a provisional far-future fill; the caller
         // must overwrite it via `record_fill`.
-        self.pending.insert(line_addr, u64::MAX);
+        self.pending.insert(
+            line_addr,
+            Fill {
+                cycle: u64::MAX,
+                level: ServiceLevel::Dram,
+            },
+        );
         self.peak = self.peak.max(self.pending.len());
         MshrOutcome::Allocated
     }
 
-    /// Records the actual completion cycle of the fill for `line_addr`.
+    /// Records the actual completion cycle and service level of the fill
+    /// for `line_addr`.
     ///
     /// Calling this for a line that holds no reservation is a protocol
     /// violation (the caller lost track of its `lookup` outcome); it used
     /// to be silently ignored, which hid exactly the accounting bugs the
     /// exported counters are meant to surface.
-    pub fn record_fill(&mut self, line_addr: u64, fill_cycle: u64) {
+    pub fn record_fill(&mut self, line_addr: u64, fill_cycle: u64, level: ServiceLevel) {
         match self.pending.get_mut(&line_addr) {
-            Some(slot) => *slot = fill_cycle,
+            Some(slot) => {
+                *slot = Fill {
+                    cycle: fill_cycle,
+                    level,
+                }
+            }
             None => debug_assert!(
                 false,
                 "record_fill for line {line_addr:#x} without a reservation"
@@ -133,7 +164,7 @@ impl Mshr {
     pub fn next_fill(&self) -> Option<u64> {
         self.pending
             .values()
-            .copied()
+            .map(|f| f.cycle)
             .filter(|&f| f != u64::MAX)
             .min()
     }
@@ -149,21 +180,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn merge_returns_existing_fill_time() {
+    fn merge_returns_existing_fill_time_and_level() {
         let mut m = Mshr::new(4);
         assert_eq!(m.lookup(0, 0x100), MshrOutcome::Allocated);
-        m.record_fill(0x100, 250);
-        assert_eq!(m.lookup(10, 0x100), MshrOutcome::Merged { fill_cycle: 250 });
+        m.record_fill(0x100, 250, ServiceLevel::Dram);
+        assert_eq!(
+            m.lookup(10, 0x100),
+            MshrOutcome::Merged {
+                fill_cycle: 250,
+                level: ServiceLevel::Dram,
+            }
+        );
         assert_eq!(m.merges(), 1);
+        // An L2-backed fill is reported as such to the merging access.
+        assert_eq!(m.lookup(0, 0x200), MshrOutcome::Allocated);
+        m.record_fill(0x200, 40, ServiceLevel::L2);
+        assert_eq!(
+            m.lookup(10, 0x200),
+            MshrOutcome::Merged {
+                fill_cycle: 40,
+                level: ServiceLevel::L2,
+            }
+        );
     }
 
     #[test]
     fn capacity_limits_outstanding_fills() {
         let mut m = Mshr::new(2);
         assert_eq!(m.lookup(0, 0x100), MshrOutcome::Allocated);
-        m.record_fill(0x100, 500);
+        m.record_fill(0x100, 500, ServiceLevel::Dram);
         assert_eq!(m.lookup(0, 0x200), MshrOutcome::Allocated);
-        m.record_fill(0x200, 500);
+        m.record_fill(0x200, 500, ServiceLevel::Dram);
         assert_eq!(m.lookup(0, 0x300), MshrOutcome::Full);
         assert_eq!(m.stalls(), 1);
         // After the fills complete, capacity frees up.
@@ -180,11 +227,11 @@ mod tests {
         assert_eq!(m.lookup(0, 0xA00), MshrOutcome::Allocated);
         // The caller "forgets" to record a fill for 0xA00.
         assert_eq!(m.lookup(0, 0xB00), MshrOutcome::Allocated);
-        m.record_fill(0xB00, 10);
+        m.record_fill(0xB00, 10, ServiceLevel::L2);
         // Far in the future 0xB00 has expired, but the leaked 0xA00
         // reservation still occupies a slot...
         assert_eq!(m.lookup(1_000_000, 0xC00), MshrOutcome::Allocated);
-        m.record_fill(0xC00, 1_000_010);
+        m.record_fill(0xC00, 1_000_010, ServiceLevel::Dram);
         assert_eq!(m.lookup(1_000_000, 0xD00), MshrOutcome::Full);
         assert_eq!(m.occupancy(), 2);
         // ...until the caller aborts it, restoring full capacity.
@@ -197,7 +244,7 @@ mod tests {
     #[should_panic(expected = "without a reservation")]
     fn record_fill_for_unknown_line_is_a_protocol_violation() {
         let mut m = Mshr::new(2);
-        m.record_fill(0xDEAD, 100);
+        m.record_fill(0xDEAD, 100, ServiceLevel::Dram);
     }
 
     #[test]
@@ -214,12 +261,12 @@ mod tests {
         assert_eq!(m.peak_occupancy(), 0);
         for i in 0..3u64 {
             assert_eq!(m.lookup(0, 0x100 * (i + 1)), MshrOutcome::Allocated);
-            m.record_fill(0x100 * (i + 1), 10);
+            m.record_fill(0x100 * (i + 1), 10, ServiceLevel::L2);
         }
         assert_eq!(m.peak_occupancy(), 3);
         // Fills expire, occupancy drops — but the peak stays.
         assert_eq!(m.lookup(1000, 0x900), MshrOutcome::Allocated);
-        m.record_fill(0x900, 1010);
+        m.record_fill(0x900, 1010, ServiceLevel::L2);
         assert_eq!(m.occupancy(), 1);
         assert_eq!(m.peak_occupancy(), 3);
     }
@@ -228,9 +275,15 @@ mod tests {
     fn expiry_is_cycle_accurate() {
         let mut m = Mshr::new(1);
         assert_eq!(m.lookup(0, 0x100), MshrOutcome::Allocated);
-        m.record_fill(0x100, 100);
+        m.record_fill(0x100, 100, ServiceLevel::Dram);
         // At cycle 100 the fill completes; lookups at 99 still merge.
-        assert_eq!(m.lookup(99, 0x100), MshrOutcome::Merged { fill_cycle: 100 });
+        assert_eq!(
+            m.lookup(99, 0x100),
+            MshrOutcome::Merged {
+                fill_cycle: 100,
+                level: ServiceLevel::Dram,
+            }
+        );
         assert_eq!(m.lookup(100, 0x100), MshrOutcome::Allocated);
     }
 }

@@ -4,7 +4,9 @@
 //! Runs on the hermetic `duplo_testkit::prop` runner; set `DUPLO_TEST_SEED`
 //! to reproduce a failure (the panic message prints the seed to use).
 
-use duplo_mem::{BandwidthQueue, BandwidthQueueConfig, Cache, CacheConfig, Mshr, MshrOutcome};
+use duplo_mem::{
+    BandwidthQueue, BandwidthQueueConfig, Cache, CacheConfig, Mshr, MshrOutcome, ServiceLevel,
+};
 use duplo_testkit::prop::check;
 use duplo_testkit::{Rng, require, require_eq};
 
@@ -140,8 +142,8 @@ fn mshr_capacity_respected() {
             for &l in lines {
                 cycle += 1;
                 match m.lookup(cycle, l) {
-                    MshrOutcome::Allocated => m.record_fill(l, cycle + 100),
-                    MshrOutcome::Merged { fill_cycle } => {
+                    MshrOutcome::Allocated => m.record_fill(l, cycle + 100, ServiceLevel::Dram),
+                    MshrOutcome::Merged { fill_cycle, .. } => {
                         require!(fill_cycle > cycle);
                     }
                     MshrOutcome::Full => {}

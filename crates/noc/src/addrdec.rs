@@ -1,0 +1,180 @@
+//! Hashed partition mapping: line address → (slice, local line).
+//!
+//! The mapping must be bijective — each slice tags lines by their *local*
+//! index, so two distinct global lines may never collide on the same
+//! `(slice, local)` pair, and every `(slice, local)` pair must correspond
+//! to a global line. Both schemes here satisfy that by construction and
+//! expose [`AddrDec::unmap`] so tests can check the round trip directly.
+
+/// Partition hash scheme.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum HashKind {
+    /// `slice = line % n`, `local = line / n`. Simple interleave; a stream
+    /// whose stride is a multiple of `n` lines camps on one slice.
+    Mod,
+    /// XOR-fold: the line index is cut into `log2(n)`-bit chunks and the
+    /// chunks are XORed together to pick the slice; `local = line >> k`.
+    /// Strided streams that would camp under [`HashKind::Mod`] spread,
+    /// because higher address bits perturb the slice choice. Requires a
+    /// power-of-two slice count (non-powers fall back to `Mod`).
+    XorFold,
+}
+
+impl HashKind {
+    /// Parses the `DUPLO_L2_HASH` knob spelling.
+    pub fn parse(s: &str) -> Option<HashKind> {
+        match s {
+            "mod" => Some(HashKind::Mod),
+            "xor" => Some(HashKind::XorFold),
+            _ => None,
+        }
+    }
+
+    /// Display label (matches the knob spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HashKind::Mod => "mod",
+            HashKind::XorFold => "xor",
+        }
+    }
+}
+
+/// Line-address decoder for an `n`-slice partitioned L2.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AddrDec {
+    slices: usize,
+    /// `log2(slices)` when the XOR-fold is active, else 0.
+    bits: u32,
+    hash: HashKind,
+}
+
+impl AddrDec {
+    /// Builds a decoder over `slices` partitions. `XorFold` needs a
+    /// power-of-two count; anything else silently uses `Mod` (the fold has
+    /// no defined chunking otherwise).
+    pub fn new(slices: usize, hash: HashKind) -> AddrDec {
+        assert!(slices >= 1, "need at least one L2 slice");
+        let hash = if slices.is_power_of_two() {
+            hash
+        } else {
+            HashKind::Mod
+        };
+        let bits = match hash {
+            HashKind::XorFold => slices.trailing_zeros(),
+            HashKind::Mod => 0,
+        };
+        AddrDec { slices, bits, hash }
+    }
+
+    /// Number of slices mapped over.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// The scheme in effect (after the power-of-two fallback).
+    pub fn hash(&self) -> HashKind {
+        self.hash
+    }
+
+    /// Maps a global line index to `(slice, local_line)`.
+    pub fn map(&self, line: u64) -> (usize, u64) {
+        match self.hash {
+            HashKind::Mod => {
+                let n = self.slices as u64;
+                ((line % n) as usize, line / n)
+            }
+            HashKind::XorFold => {
+                if self.bits == 0 {
+                    return (0, line);
+                }
+                let mask = (1u64 << self.bits) - 1;
+                let mut fold = 0u64;
+                let mut rest = line;
+                while rest != 0 {
+                    fold ^= rest & mask;
+                    rest >>= self.bits;
+                }
+                (fold as usize, line >> self.bits)
+            }
+        }
+    }
+
+    /// Inverse of [`AddrDec::map`]: reconstructs the global line index.
+    ///
+    /// For the XOR-fold the low chunk is `slice ⊕ fold(local)` — the fold
+    /// of the higher chunks is recoverable from `local` alone, which is
+    /// what makes the mapping bijective.
+    pub fn unmap(&self, slice: usize, local: u64) -> u64 {
+        assert!(slice < self.slices);
+        match self.hash {
+            HashKind::Mod => local * self.slices as u64 + slice as u64,
+            HashKind::XorFold => {
+                if self.bits == 0 {
+                    return local;
+                }
+                let mask = (1u64 << self.bits) - 1;
+                let mut fold = slice as u64;
+                let mut rest = local;
+                while rest != 0 {
+                    fold ^= rest & mask;
+                    rest >>= self.bits;
+                }
+                (local << self.bits) | (fold & mask)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_slice_is_identity() {
+        for hash in [HashKind::Mod, HashKind::XorFold] {
+            let dec = AddrDec::new(1, hash);
+            for line in [0u64, 1, 7, 1 << 40] {
+                assert_eq!(dec.map(line), (0, line));
+                assert_eq!(dec.unmap(0, line), line);
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_falls_back_to_mod() {
+        let dec = AddrDec::new(6, HashKind::XorFold);
+        assert_eq!(dec.hash(), HashKind::Mod);
+        assert_eq!(dec.map(13), (1, 2));
+    }
+
+    #[test]
+    fn mod_hash_camps_on_stride_equal_to_slices() {
+        let dec = AddrDec::new(4, HashKind::Mod);
+        for i in 0..64u64 {
+            let (s, _) = dec.map(i * 4);
+            assert_eq!(s, 0, "stride-4 stream must camp on slice 0");
+        }
+    }
+
+    #[test]
+    fn xor_fold_spreads_stride_equal_to_slices() {
+        let dec = AddrDec::new(4, HashKind::XorFold);
+        let mut buckets = [0u32; 4];
+        for i in 0..64u64 {
+            let (s, _) = dec.map(i * 4);
+            buckets[s] += 1;
+        }
+        assert!(
+            buckets.iter().all(|&b| b > 0),
+            "fold must touch every slice: {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn hash_kind_parses_knob_spellings() {
+        assert_eq!(HashKind::parse("mod"), Some(HashKind::Mod));
+        assert_eq!(HashKind::parse("xor"), Some(HashKind::XorFold));
+        assert_eq!(HashKind::parse("bogus"), None);
+        assert_eq!(HashKind::XorFold.label(), "xor");
+    }
+}

@@ -1,0 +1,21 @@
+//! SM↔L2-slice interconnect: hashed address decoding (which slice owns a
+//! line) and a crossbar of per-direction bandwidth/latency links.
+//!
+//! A Titan V-class chip partitions its L2 into slices reached over a
+//! crossbar; line addresses are interleaved across slices by a hash so
+//! strided streams do not camp on one partition (gpucachesim's `addrdec`
+//! models the same mechanism). This crate supplies both pieces to
+//! `duplo-mem`: [`AddrDec`] maps a line address to `(slice, local_line)`
+//! bijectively, and [`Crossbar`] prices the request/response hops with the
+//! same single-server queue arithmetic as the hierarchy's bandwidth
+//! servers, so a one-slice passthrough configuration degenerates to the
+//! flat model exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addrdec;
+pub mod xbar;
+
+pub use addrdec::{AddrDec, HashKind};
+pub use xbar::{Crossbar, Link, LinkConfig, NocConfig};

@@ -1,0 +1,203 @@
+//! The SM↔slice crossbar: one request link and one response link per
+//! slice, each a single-server latency/bandwidth queue (VC-less).
+//!
+//! [`Link::request`] mirrors the arithmetic of the hierarchy's
+//! `BandwidthQueue` exactly, so a metered link composes with the slice
+//! port/DRAM servers without changing the queueing model. An *unmetered*
+//! link (`bytes_per_cycle = ∞`) is a pure wire: it adds its latency but
+//! never serializes — that is what makes the one-slice
+//! [`NocConfig::passthrough`] configuration reproduce the flat hierarchy
+//! byte-identically even when completions arrive out of issue order.
+
+/// One direction of one crossbar port.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct LinkConfig {
+    /// Fixed traversal latency in cycles.
+    pub latency: u32,
+    /// Service bandwidth; `f64::INFINITY` disables serialization.
+    pub bytes_per_cycle: f64,
+}
+
+/// Crossbar configuration (request and response directions).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct NocConfig {
+    /// SM → slice direction (commands + store data).
+    pub req: LinkConfig,
+    /// Slice → SM direction (fill data).
+    pub resp: LinkConfig,
+}
+
+impl NocConfig {
+    /// A zero-latency, unmetered crossbar: requests pass through
+    /// untouched. The degenerate one-slice configuration uses this so the
+    /// sliced engine reproduces the flat model exactly.
+    pub fn passthrough() -> NocConfig {
+        let wire = LinkConfig {
+            latency: 0,
+            bytes_per_cycle: f64::INFINITY,
+        };
+        NocConfig {
+            req: wire,
+            resp: wire,
+        }
+    }
+
+    /// Titan V-like per-slice-port figures: a short traversal and a 32
+    /// B/cycle injection rate per direction (one L2 sector per cycle).
+    pub fn titan_v() -> NocConfig {
+        let port = LinkConfig {
+            latency: 8,
+            bytes_per_cycle: 32.0,
+        };
+        NocConfig {
+            req: port,
+            resp: port,
+        }
+    }
+}
+
+/// A single crossbar link: FCFS single-server queue.
+#[derive(Clone, Debug)]
+pub struct Link {
+    config: LinkConfig,
+    next_free: f64,
+    requests: u64,
+    total_wait: f64,
+    peak_wait: f64,
+}
+
+impl Link {
+    /// Builds an idle link.
+    pub fn new(config: LinkConfig) -> Link {
+        assert!(
+            config.bytes_per_cycle > 0.0,
+            "link needs positive bandwidth"
+        );
+        Link {
+            config,
+            next_free: 0.0,
+            requests: 0,
+            total_wait: 0.0,
+            peak_wait: 0.0,
+        }
+    }
+
+    /// Schedules a `bytes`-sized flit arriving at `cycle`; returns the
+    /// cycle its tail reaches the far side.
+    pub fn request(&mut self, cycle: u64, bytes: u32) -> u64 {
+        self.requests += 1;
+        if self.config.bytes_per_cycle.is_infinite() {
+            // Pure wire: latency only, no occupancy, no ordering coupling.
+            return cycle + u64::from(self.config.latency);
+        }
+        let arrival = cycle as f64;
+        let start = arrival.max(self.next_free);
+        let service = f64::from(bytes) / self.config.bytes_per_cycle;
+        self.next_free = start + service;
+        let wait = start - arrival;
+        self.total_wait += wait;
+        self.peak_wait = self.peak_wait.max(wait);
+        (start + service).ceil() as u64 + u64::from(self.config.latency)
+    }
+
+    /// Flits carried so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Accumulated queueing delay (cycles), excluding service and latency.
+    pub fn total_wait(&self) -> f64 {
+        self.total_wait
+    }
+
+    /// Worst single-flit queueing delay seen so far.
+    pub fn peak_wait(&self) -> f64 {
+        self.peak_wait
+    }
+
+    /// Queued service remaining at `cycle`, in cycles (live gauge).
+    pub fn backlog(&self, cycle: u64) -> f64 {
+        (self.next_free - cycle as f64).max(0.0)
+    }
+}
+
+/// Per-slice request/response link pairs for one SM's port into the NoC.
+#[derive(Clone, Debug)]
+pub struct Crossbar {
+    req: Vec<Link>,
+    resp: Vec<Link>,
+}
+
+impl Crossbar {
+    /// Builds an idle crossbar with `slices` ports.
+    pub fn new(slices: usize, config: NocConfig) -> Crossbar {
+        assert!(slices >= 1);
+        Crossbar {
+            req: (0..slices).map(|_| Link::new(config.req)).collect(),
+            resp: (0..slices).map(|_| Link::new(config.resp)).collect(),
+        }
+    }
+
+    /// Request-direction link toward `slice`.
+    pub fn req(&mut self, slice: usize) -> &mut Link {
+        &mut self.req[slice]
+    }
+
+    /// Response-direction link from `slice`.
+    pub fn resp(&mut self, slice: usize) -> &mut Link {
+        &mut self.resp[slice]
+    }
+
+    /// Read-only request link (stats).
+    pub fn req_ref(&self, slice: usize) -> &Link {
+        &self.req[slice]
+    }
+
+    /// Read-only response link (stats).
+    pub fn resp_ref(&self, slice: usize) -> &Link {
+        &self.resp[slice]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_is_timing_transparent_even_out_of_order() {
+        let mut l = Link::new(NocConfig::passthrough().resp);
+        assert_eq!(l.request(1000, 128), 1000);
+        // An out-of-order earlier arrival must NOT queue behind cycle 1000.
+        assert_eq!(l.request(500, 128), 500);
+        assert_eq!(l.total_wait(), 0.0);
+        assert_eq!(l.backlog(0), 0.0);
+        assert_eq!(l.requests(), 2);
+    }
+
+    #[test]
+    fn metered_link_serializes_and_records_wait() {
+        let mut l = Link::new(LinkConfig {
+            latency: 8,
+            bytes_per_cycle: 32.0,
+        });
+        // 128 B at 32 B/cyc = 4 cycles of service + 8 cycles latency.
+        assert_eq!(l.request(0, 128), 12);
+        // Back-to-back flit queues behind the first.
+        assert_eq!(l.request(0, 128), 16);
+        assert_eq!(l.total_wait(), 4.0);
+        assert_eq!(l.peak_wait(), 4.0);
+        assert!(l.backlog(0) > 0.0);
+        assert_eq!(l.backlog(1_000), 0.0);
+    }
+
+    #[test]
+    fn crossbar_links_are_independent_per_slice() {
+        let mut x = Crossbar::new(2, NocConfig::titan_v());
+        let t0 = x.req(0).request(0, 128);
+        let t1 = x.req(1).request(0, 128);
+        assert_eq!(t0, t1, "distinct slices must not contend");
+        let t0b = x.req(0).request(0, 128);
+        assert!(t0b > t0, "same slice must serialize");
+        assert_eq!(x.req_ref(1).total_wait(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the address decoder: slice range, bijectivity
+//! of the line-shift mapping, and balance over strided address sweeps.
+//!
+//! Runs on the hermetic `duplo_testkit::prop` runner; set `DUPLO_TEST_SEED`
+//! to reproduce a failure (the panic message prints the seed to use).
+
+use duplo_noc::{AddrDec, HashKind};
+use duplo_testkit::prop::check;
+use duplo_testkit::{Rng, require, require_eq};
+
+fn arb_slices(rng: &mut Rng) -> usize {
+    // Mix of powers of two (XorFold-capable) and odd counts (Mod fallback).
+    let choices = [1usize, 2, 3, 4, 6, 8, 16, 32];
+    choices[rng.gen_range(0usize..choices.len())]
+}
+
+fn arb_hash(rng: &mut Rng) -> HashKind {
+    if rng.gen_range(0u32..2) == 0 {
+        HashKind::Mod
+    } else {
+        HashKind::XorFold
+    }
+}
+
+/// The slice index is always in range, for any line address.
+#[test]
+fn slice_index_in_range() {
+    check(
+        "slice_index_in_range",
+        128,
+        |rng| {
+            let n = arb_slices(rng);
+            let hash = arb_hash(rng);
+            let lines: Vec<u64> = (0..64).map(|_| rng.gen_range(0u64..u64::MAX / 2)).collect();
+            Some((n, hash, lines))
+        },
+        |(n, hash, lines)| {
+            let dec = AddrDec::new(*n, *hash);
+            for &line in lines {
+                let (s, _) = dec.map(line);
+                require!(s < *n, "slice {s} out of range for {n} slices");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// map ∘ unmap and unmap ∘ map are both identities — the line-shift
+/// mapping is a bijection, so slice tag arrays indexed by local line can
+/// never alias two distinct global lines.
+#[test]
+fn line_shift_mapping_is_bijective() {
+    check(
+        "line_shift_mapping_is_bijective",
+        128,
+        |rng| {
+            let n = arb_slices(rng);
+            let hash = arb_hash(rng);
+            let lines: Vec<u64> = (0..64).map(|_| rng.gen_range(0u64..1 << 48)).collect();
+            Some((n, hash, lines))
+        },
+        |(n, hash, lines)| {
+            let dec = AddrDec::new(*n, *hash);
+            for &line in lines {
+                let (s, local) = dec.map(line);
+                require_eq!(dec.unmap(s, local), line);
+            }
+            // The other direction, over arbitrary (slice, local) pairs.
+            for &local in lines.iter().take(16) {
+                let local = local >> 16;
+                for s in 0..*n {
+                    let line = dec.unmap(s, local);
+                    require_eq!(dec.map(line), (s, local));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Chi-square-style balance: over a dense line sweep, every slice receives
+/// its fair share (each bucket within 2x of the uniform expectation).
+#[test]
+fn dense_sweep_is_balanced() {
+    check(
+        "dense_sweep_is_balanced",
+        64,
+        |rng| {
+            let n = arb_slices(rng);
+            let hash = arb_hash(rng);
+            let base = rng.gen_range(0u64..1 << 32);
+            Some((n, hash, base))
+        },
+        |(n, hash, base)| {
+            let dec = AddrDec::new(*n, *hash);
+            let per = 64u64;
+            let total = per * *n as u64;
+            let mut buckets = vec![0u64; *n];
+            for i in 0..total {
+                let (s, _) = dec.map(base + i);
+                buckets[s] += 1;
+            }
+            for (s, &b) in buckets.iter().enumerate() {
+                require!(
+                    b > 0 && b <= 2 * per,
+                    "slice {s} got {b}/{total} of a dense sweep (expected ~{per})"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The XOR fold spreads strided sweeps that camp under the Mod hash:
+/// whenever the stride is a multiple of the slice count, Mod pins every
+/// access to one slice while the fold still touches several.
+#[test]
+fn xor_fold_spreads_camping_strides() {
+    check(
+        "xor_fold_spreads_camping_strides",
+        64,
+        |rng| {
+            let n = [2usize, 4, 8, 16][rng.gen_range(0usize..4)];
+            let stride = n as u64 * rng.gen_range(1u64..8);
+            let base = rng.gen_range(0u64..1 << 20) * n as u64;
+            Some((n, stride, base))
+        },
+        |&(n, stride, base)| {
+            let modular = AddrDec::new(n, HashKind::Mod);
+            let folded = AddrDec::new(n, HashKind::XorFold);
+            let sweep: Vec<u64> = (0..256u64).map(|i| base + i * stride).collect();
+            let camp = modular.map(sweep[0]).0;
+            for &line in &sweep {
+                require_eq!(modular.map(line).0, camp, "Mod must camp on one slice");
+            }
+            let mut touched = vec![false; n];
+            for &line in &sweep {
+                touched[folded.map(line).0] = true;
+            }
+            let spread = touched.iter().filter(|&&t| t).count();
+            require!(
+                spread > 1,
+                "XOR fold left a stride-{stride} sweep on {spread} slice(s)"
+            );
+            Ok(())
+        },
+    );
+}

@@ -47,12 +47,15 @@ use crate::json::{Json, parse};
 
 /// Version of the on-disk entry layout; bump when the codec changes shape.
 /// v2: `mem` gained `mshr_peak_occupancy`, `l2_peak_queue_delay`, and
-/// `dram_peak_queue_delay`.
-pub const CACHE_SCHEMA_VERSION: u64 = 3;
+/// `dram_peak_queue_delay`. v4: stats gained the per-L2-slice `slices`
+/// array.
+pub const CACHE_SCHEMA_VERSION: u64 = 4;
 
 /// Salt folded into every key; bump when the simulator *model* changes in
 /// a way that alters results without changing any configuration field.
-pub const CACHE_MODEL_SALT: u64 = 1;
+/// v2: hierarchy accounting fixes (merge service-level attribution,
+/// once-per-access miss counting, store-invalidates-L2).
+pub const CACHE_MODEL_SALT: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // Counters and controls
@@ -443,6 +446,20 @@ fn config_json(cfg: &GpuConfig) -> Json {
             .field("bytes_per_cycle", q.bytes_per_cycle)
             .build()
     };
+    // An unmetered link has infinite bandwidth, which JSON cannot carry as
+    // a number — encode it as the string "inf" so passthrough and metered
+    // crossbars always digest differently.
+    let link_cfg = |l: &duplo_mem::LinkConfig| {
+        let bw = if l.bytes_per_cycle.is_finite() {
+            Json::from(l.bytes_per_cycle)
+        } else {
+            Json::from("inf")
+        };
+        Json::obj()
+            .field("latency", l.latency)
+            .field("bytes_per_cycle", bw)
+            .build()
+    };
     let lhb = sm.lhb.map(|l| {
         Json::obj()
             .field("entries", l.entries)
@@ -485,6 +502,16 @@ fn config_json(cfg: &GpuConfig) -> Json {
                         .field("l2", cache_cfg(&h.l2))
                         .field("l2_port", queue_cfg(&h.l2_port))
                         .field("dram", queue_cfg(&h.dram))
+                        .field("l2_slices", h.l2_slices)
+                        .field("slice_mshr", h.slice_mshr)
+                        .field("hash", h.hash.label())
+                        .field(
+                            "noc",
+                            Json::obj()
+                                .field("req", link_cfg(&h.noc.req))
+                                .field("resp", link_cfg(&h.noc.resp))
+                                .build(),
+                        )
                         .build(),
                 )
                 .field("lhb", lhb)
@@ -657,6 +684,29 @@ fn stats_to_json(s: &SmStats) -> Json {
                 .field("dram_peak_queue_delay", s.mem.dram_peak_queue_delay)
                 .build(),
         )
+        .field(
+            "slices",
+            Json::Arr(
+                s.slices
+                    .iter()
+                    .map(|sl| {
+                        Json::obj()
+                            .field("accesses", sl.accesses)
+                            .field("l2_hits", sl.l2_hits)
+                            .field("dram_accesses", sl.dram_accesses)
+                            .field("stores", sl.stores)
+                            .field("port_requests", sl.port_requests)
+                            .field("port_queue_delay", sl.port_queue_delay)
+                            .field("port_peak_queue_delay", sl.port_peak_queue_delay)
+                            .field("dram_queue_delay", sl.dram_queue_delay)
+                            .field("noc_req_delay", sl.noc_req_delay)
+                            .field("noc_resp_delay", sl.noc_resp_delay)
+                            .field("mshr_peak", sl.mshr_peak)
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
         .field("rename_pairs", Json::Arr(pairs))
         .field("ctas_run", s.ctas_run)
         .build()
@@ -743,6 +793,21 @@ fn stats_from_json(v: &Json) -> Option<SmStats> {
     s.mem.mshr_peak_occupancy = u(mem, "mshr_peak_occupancy")?;
     s.mem.l2_peak_queue_delay = f(mem, "l2_peak_queue_delay")?;
     s.mem.dram_peak_queue_delay = f(mem, "dram_peak_queue_delay")?;
+    for sl in v.get("slices")?.as_arr()? {
+        s.slices.push(duplo_sm::SliceStat {
+            accesses: u(sl, "accesses")?,
+            l2_hits: u(sl, "l2_hits")?,
+            dram_accesses: u(sl, "dram_accesses")?,
+            stores: u(sl, "stores")?,
+            port_requests: u(sl, "port_requests")?,
+            port_queue_delay: f(sl, "port_queue_delay")?,
+            port_peak_queue_delay: f(sl, "port_peak_queue_delay")?,
+            dram_queue_delay: f(sl, "dram_queue_delay")?,
+            noc_req_delay: f(sl, "noc_req_delay")?,
+            noc_resp_delay: f(sl, "noc_resp_delay")?,
+            mshr_peak: u(sl, "mshr_peak")?,
+        });
+    }
     s.rename_pairs = rename_pairs;
     s.ctas_run = u(v, "ctas_run")?;
     Some(s)
@@ -767,6 +832,22 @@ mod tests {
         s.lhb.misses = 70;
         s.mem.l2_queue_delay = 12.625;
         s.mem.dram_queue_delay = 0.1;
+        s.slices = vec![
+            duplo_sm::SliceStat {
+                accesses: 40,
+                l2_hits: 10,
+                dram_accesses: 30,
+                stores: 4,
+                port_requests: 44,
+                port_queue_delay: 7.5,
+                port_peak_queue_delay: 2.25,
+                dram_queue_delay: 99.0,
+                noc_req_delay: 1.125,
+                noc_resp_delay: 0.5,
+                mshr_peak: 6,
+            },
+            duplo_sm::SliceStat::default(),
+        ];
         s.rename_pairs = vec![(0x1000, 0x2000), (0x3000, 0x4000)];
         s.ctas_run = 4;
         GpuRunResult {

@@ -341,7 +341,15 @@ fn run_wl_membound(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-static REGISTRY: [ExperimentSpec; 20] = [
+fn run_wl_slice_camp(opts: &ExpOpts) -> ExperimentOutput {
+    let rows = workloads::slice_camp::run(opts);
+    ExperimentOutput {
+        rendered: workloads::slice_camp::render(&rows),
+        result: workloads::slice_camp::result(&rows, opts),
+    }
+}
+
+static REGISTRY: [ExperimentSpec; 21] = [
     ExperimentSpec {
         name: "table03_config",
         title: "Table III — baseline GPU model",
@@ -562,6 +570,17 @@ static REGISTRY: [ExperimentSpec; 20] = [
         in_all: false,
         run: run_wl_membound,
     },
+    ExperimentSpec {
+        name: workloads::slice_camp::NAME,
+        title: workloads::slice_camp::TITLE,
+        paper_ref: "ROADMAP item: whole-GPU memory side",
+        tag: "wl_slice",
+        banner: true,
+        timed: true,
+        default_sample: Some(4),
+        in_all: false,
+        run: run_wl_slice_camp,
+    },
 ];
 
 #[cfg(test)]
@@ -583,7 +602,7 @@ mod registry_tests {
 
     #[test]
     fn registry_covers_all_experiments_plus_extensions() {
-        assert_eq!(registry().len(), 20);
+        assert_eq!(registry().len(), 21);
         assert_eq!(registry().iter().filter(|s| s.in_all).count(), 12);
         // The EXPERIMENTS.md subset leads, in all_experiments print order.
         assert_eq!(registry()[0].name, "table03_config");

@@ -372,6 +372,158 @@ pub mod membound {
     }
 }
 
+/// L2 slice camping: the same strided streaming kernel under a sliced L2,
+/// once with a modulo partition hash (every line lands on slice 0 because
+/// the stride is a multiple of the slice count) and once with the
+/// XOR-folded hash that spreads the stride across slices. The camped run
+/// funnels all traffic through one slice's port/DRAM queues and pays for
+/// it in cycles.
+pub mod slice_camp {
+    use super::*;
+    use duplo_mem::HashKind;
+
+    /// Registry name.
+    pub const NAME: &str = "wl_slice_camp";
+    /// Registry title.
+    pub const TITLE: &str = "WL — L2 slice camping: mod hash vs XOR-folded spread";
+    /// L2 slices in both runs.
+    pub const SLICES: usize = 4;
+    /// Access stride in cache lines — a multiple of [`SLICES`], so the
+    /// modulo hash maps the whole footprint to one slice.
+    pub const STRIDE_LINES: u64 = 4;
+
+    /// One hash configuration's run, with its per-slice access profile.
+    #[derive(Clone, Debug)]
+    pub struct CampRow {
+        /// Row label (`mod (camped)` / `xor (spread)`).
+        pub item: String,
+        /// Partition hash label.
+        pub hash: String,
+        /// End-to-end cycles of the run.
+        pub cycles: f64,
+        /// Per-slice access counts, slice index order.
+        pub slice_accesses: Vec<u64>,
+        /// Hottest slice index.
+        pub hot_slice: usize,
+        /// Hottest slice's share of all slice accesses (1.0 = camped).
+        pub hot_share: f64,
+        /// Hottest slice's summed port + DRAM queue delay (cycles).
+        pub hot_queue_delay: f64,
+        /// Summed port + DRAM queue delay of every other slice.
+        pub rest_queue_delay: f64,
+    }
+
+    fn row(item: &str, hash: HashKind, r: &GpuRunResult) -> CampRow {
+        let accesses: Vec<u64> = r.stats.slices.iter().map(|s| s.accesses).collect();
+        let total: u64 = accesses.iter().sum();
+        let hot = accesses
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, a)| a)
+            .map_or(0, |(i, _)| i);
+        let delay =
+            |i: usize| r.stats.slices[i].port_queue_delay + r.stats.slices[i].dram_queue_delay;
+        CampRow {
+            item: item.to_string(),
+            hash: hash.label().to_string(),
+            cycles: r.cycles,
+            hot_slice: hot,
+            hot_share: if total == 0 {
+                0.0
+            } else {
+                accesses[hot] as f64 / total as f64
+            },
+            hot_queue_delay: delay(hot),
+            rest_queue_delay: (0..accesses.len()).filter(|&i| i != hot).map(delay).sum(),
+            slice_accesses: accesses,
+        }
+    }
+
+    /// Runs the workload: one strided stream per hash kind.
+    pub fn run(opts: &ExpOpts) -> Vec<CampRow> {
+        let kernel = StreamKernel::strided(16, 4, 32, STRIDE_LINES);
+        let hashes = [
+            ("mod (camped)", HashKind::Mod),
+            ("xor (spread)", HashKind::XorFold),
+        ];
+        let results: Vec<GpuRunResult> = crate::runner::par_map(&hashes, |&(_, hash)| {
+            let mut cfg = opts.apply(GpuConfig::titan_v());
+            cfg.sm.lhb = None;
+            cfg.sm.hierarchy = cfg.sm.hierarchy.sliced(SLICES, hash);
+            GpuSim::new(cfg).run(&kernel)
+        });
+        hashes
+            .iter()
+            .zip(&results)
+            .map(|(&(item, hash), r)| row(item, hash, r))
+            .collect()
+    }
+
+    /// Structured result.
+    pub fn result(rows: &[CampRow], opts: &ExpOpts) -> ExperimentResult {
+        let json_rows: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("item", r.item.as_str())
+                    .field("hash", r.hash.as_str())
+                    .field("cycles", r.cycles)
+                    .field(
+                        "slice_accesses",
+                        Json::Arr(r.slice_accesses.iter().map(|&a| Json::from(a)).collect()),
+                    )
+                    .field("hot_slice", r.hot_slice)
+                    .field("hot_share", r.hot_share)
+                    .field("hot_queue_delay", r.hot_queue_delay)
+                    .field("rest_queue_delay", r.rest_queue_delay)
+                    .build()
+            })
+            .collect();
+        let slowdown = match rows {
+            [camp, spread, ..] if spread.cycles > 0.0 => Some(camp.cycles / spread.cycles),
+            _ => None,
+        };
+        let mut summary = Json::obj()
+            .field("slices", SLICES)
+            .field("stride_lines", STRIDE_LINES);
+        if let Some(s) = slowdown {
+            summary = summary.field("camp_over_spread", s);
+        }
+        ExperimentResult::new(NAME, TITLE, opts_json(opts), json_rows, summary.build())
+    }
+
+    /// Summary table.
+    pub fn render(rows: &[CampRow]) -> String {
+        let mut t = Table::new(
+            TITLE,
+            &[
+                "item",
+                "hash",
+                "cycles",
+                "hot slice",
+                "hot share",
+                "hot qdelay",
+                "rest qdelay",
+            ],
+        );
+        for r in rows {
+            t.push_row(vec![
+                r.item.clone(),
+                r.hash.clone(),
+                format!("{:.0}", r.cycles),
+                r.hot_slice.to_string(),
+                fmt_pct_plain(r.hot_share),
+                format!("{:.0}", r.hot_queue_delay),
+                format!("{:.0}", r.rest_queue_delay),
+            ]);
+        }
+        t.note(&format!(
+            "stride {STRIDE_LINES} lines on {SLICES} slices: mod hash camps on one slice, xor spreads"
+        ));
+        t.render()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +593,36 @@ mod tests {
         for r in &rows {
             assert!(r.speedup() >= 1.0, "{}: Duplo must not slow down", r.item);
         }
+    }
+
+    #[test]
+    fn slice_camping_costs_cycles_and_spreading_recovers_them() {
+        let rows = slice_camp::run(&quick());
+        assert_eq!(rows.len(), 2);
+        let (camp, spread) = (&rows[0], &rows[1]);
+        assert_eq!(
+            camp.hot_share, 1.0,
+            "mod hash with a stride-of-slices footprint must camp on one slice"
+        );
+        assert!(
+            spread.slice_accesses.iter().filter(|&&a| a > 0).count() > 1,
+            "xor hash must spread the same footprint across slices"
+        );
+        assert_eq!(
+            camp.slice_accesses.iter().sum::<u64>(),
+            spread.slice_accesses.iter().sum::<u64>(),
+            "both hashes see the same access stream"
+        );
+        assert!(
+            camp.cycles > spread.cycles,
+            "camping ({}) must cost cycles over spreading ({})",
+            camp.cycles,
+            spread.cycles
+        );
+        assert!(
+            camp.hot_queue_delay > spread.hot_queue_delay,
+            "the camped slice's queues must dominate any spread slice's"
+        );
     }
 
     #[test]

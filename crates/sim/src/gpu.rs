@@ -33,13 +33,32 @@ pub struct GpuConfig {
 
 impl GpuConfig {
     /// The Table III NVIDIA Titan V-like baseline GPU.
+    ///
+    /// Two environment knobs select the sliced memory side for every run
+    /// built from this baseline: `DUPLO_L2_SLICES=<n>` partitions the L2
+    /// into `n` slices behind the crossbar (`1` is the degenerate
+    /// flat-equivalent configuration, gated byte-identical in CI), and
+    /// `DUPLO_L2_HASH=mod|xor` picks the line→slice interleaving hash
+    /// (default `xor`).
     pub fn titan_v() -> GpuConfig {
         let total_sms = 80;
+        let mut sm = SmConfig::titan_v(total_sms);
+        if let Some(slices) = std::env::var("DUPLO_L2_SLICES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            let hash = std::env::var("DUPLO_L2_HASH")
+                .ok()
+                .and_then(|v| duplo_mem::HashKind::parse(&v))
+                .unwrap_or(duplo_mem::HashKind::XorFold);
+            sm.hierarchy = sm.hierarchy.sliced(slices, hash);
+        }
         GpuConfig {
             total_sms,
             sms_simulated: 1,
             clock_mhz: 1200,
-            sm: SmConfig::titan_v(total_sms),
+            sm,
             sample_ctas: None,
         }
     }
@@ -265,6 +284,13 @@ impl GpuSim {
 /// Folds per-SM `(share_len, take, stats)` outcomes — in `sm_id` order —
 /// into a whole-GPU result. Shared by the traced and untraced paths so
 /// tracing cannot perturb results.
+///
+/// With the sliced memory side enabled, the fold is also where cross-SM
+/// slice contention is combined: each SM prices its own `1/total_sms`
+/// share of every slice's port and DRAM bandwidth during simulation, and
+/// the per-slice counters are folded element-wise here in fixed `sm_id`
+/// order (the deterministic SM→slice arbitration order). The result is
+/// order-stable at any `DUPLO_THREADS`, gpucachesim-style.
 fn fold_per_sm(per_sm: Vec<Option<(usize, usize, SmStats)>>) -> GpuRunResult {
     let mut worst_cycles = 0.0f64;
     let mut agg = SmStats::default();
@@ -342,6 +368,24 @@ fn accumulate(agg: &mut SmStats, s: &SmStats) {
         .dram_peak_queue_delay
         .max(s.mem.dram_peak_queue_delay);
     agg.rename_pairs.extend_from_slice(&s.rename_pairs);
+    // Per-slice counters fold element-wise (sums for totals, max for
+    // peaks) in the fixed sm_id order the caller iterates in.
+    if agg.slices.len() < s.slices.len() {
+        agg.slices.resize(s.slices.len(), Default::default());
+    }
+    for (a, b) in agg.slices.iter_mut().zip(&s.slices) {
+        a.accesses += b.accesses;
+        a.l2_hits += b.l2_hits;
+        a.dram_accesses += b.dram_accesses;
+        a.stores += b.stores;
+        a.port_requests += b.port_requests;
+        a.port_queue_delay += b.port_queue_delay;
+        a.port_peak_queue_delay = a.port_peak_queue_delay.max(b.port_peak_queue_delay);
+        a.dram_queue_delay += b.dram_queue_delay;
+        a.noc_req_delay += b.noc_req_delay;
+        a.noc_resp_delay += b.noc_resp_delay;
+        a.mshr_peak = a.mshr_peak.max(b.mshr_peak);
+    }
     agg.ctas_run += s.ctas_run;
 }
 

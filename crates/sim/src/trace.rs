@@ -46,7 +46,9 @@ pub use duplo_sm::{CtaSpan, SmSample, SmTraceData, TraceSpec};
 use crate::json::Json;
 
 /// Version of the exported trace document layout.
-pub const TRACE_FORMAT_VERSION: u64 = 1;
+/// v2: per-sample `slices` counter track (slice backlog max/sum + hottest
+/// slice index) for Perfetto slice-camping visibility.
+pub const TRACE_FORMAT_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // Options
@@ -378,6 +380,12 @@ fn add_sample(agg: &mut SmSample, s: &SmSample) {
     agg.mshr_peak = agg.mshr_peak.max(s.mshr_peak);
     agg.l2_backlog += s.l2_backlog;
     agg.dram_backlog += s.dram_backlog;
+    agg.slice_backlog_sum += s.slice_backlog_sum;
+    // The chip-wide hot slice is the one behind the worst per-SM backlog.
+    if s.slice_backlog_max > agg.slice_backlog_max {
+        agg.slice_backlog_max = s.slice_backlog_max;
+        agg.hot_slice = s.hot_slice;
+    }
 }
 
 /// Folds per-SM timelines (in `sm_id` order) into one aggregate timeline.
@@ -619,6 +627,16 @@ impl TraceData {
                     Json::obj()
                         .field("l2_backlog", s.l2_backlog)
                         .field("dram_backlog", s.dram_backlog)
+                        .build(),
+                ));
+                events.push(counter_event(
+                    "slices",
+                    pid,
+                    s.cycle,
+                    Json::obj()
+                        .field("backlog_max", s.slice_backlog_max)
+                        .field("backlog_sum", s.slice_backlog_sum)
+                        .field("hot_slice", s.hot_slice)
                         .build(),
                 ));
                 prev = *s;

@@ -30,6 +30,7 @@ pub mod trace;
 pub mod warp;
 
 pub use config::{SchedulerPolicy, SmConfig};
+pub use duplo_mem::SliceStat;
 pub use sm::{
     Sm, force_tick_reference, run_kernel, run_kernel_reference, run_kernel_traced,
     run_kernel_traced_reference, simulated_cycles,

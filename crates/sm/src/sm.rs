@@ -492,6 +492,8 @@ impl Sm {
     /// Snapshots the SM's cumulative counters and live memory gauges.
     fn sample_now(&mut self) -> SmSample {
         let mem = self.hierarchy.stats();
+        let (slice_backlog_max, slice_backlog_sum, hot_slice) =
+            self.hierarchy.slice_backlogs(self.cycle);
         let (lhb_hits, lhb_misses) = match &self.detect {
             Some(du) => {
                 let l = du.lhb_stats();
@@ -525,6 +527,9 @@ impl Sm {
             mshr_peak: mem.mshr_peak_occupancy,
             l2_backlog: self.hierarchy.l2_port_backlog(self.cycle),
             dram_backlog: self.hierarchy.dram_backlog(self.cycle),
+            slice_backlog_max,
+            slice_backlog_sum,
+            hot_slice: hot_slice as u64,
         }
     }
 
@@ -1136,6 +1141,7 @@ impl Sm {
             self.stats.lhb = du.lhb_stats();
         }
         self.stats.mem = self.hierarchy.stats();
+        self.stats.slices = self.hierarchy.slice_stats();
         // Drain the retire queue (counters were snapshotted above, so the
         // late retirements don't perturb reported LHB stats). Afterwards no
         // LHB entry pins a row and every warp has released its bindings, so

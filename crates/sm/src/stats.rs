@@ -1,7 +1,7 @@
 //! Run statistics reported by the SM model.
 
 use duplo_core::{DetectStats, LhbStats};
-use duplo_mem::{MemStats, ServiceLevel};
+use duplo_mem::{MemStats, ServiceLevel, SliceStat};
 
 /// Where load row-segments were served from (the Fig. 11 breakdown).
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -10,7 +10,8 @@ pub struct ServiceCounts {
     pub lhb: u64,
     /// L1 hits.
     pub l1: u64,
-    /// L2 hits (including MSHR merges that completed at L2 time).
+    /// L2 hits (including MSHR merges riding an L2-backed fill; merges on
+    /// DRAM-backed fills count under `dram`).
     pub l2: u64,
     /// DRAM fills.
     pub dram: u64,
@@ -115,6 +116,8 @@ pub struct SmStats {
     pub lhb: LhbStats,
     /// Memory hierarchy counters.
     pub mem: MemStats,
+    /// Per-L2-slice counters (empty when the flat memory side is in use).
+    pub slices: Vec<SliceStat>,
     /// Sampled (filled_addr, renamed_addr) pairs for functional
     /// value-equality validation.
     pub rename_pairs: Vec<(u64, u64)>,

@@ -90,10 +90,21 @@ pub struct SmSample {
     pub mshr_occupancy: u64,
     /// MSHR occupancy high-water mark so far.
     pub mshr_peak: u64,
-    /// L2-port backlog at the sample point, in cycles (gauge).
+    /// L2-port backlog at the sample point, in cycles (gauge; summed over
+    /// slices when the sliced memory side is in use).
     pub l2_backlog: f64,
-    /// DRAM-server backlog at the sample point, in cycles (gauge).
+    /// DRAM-server backlog at the sample point, in cycles (gauge; summed
+    /// over slices when the sliced memory side is in use).
     pub dram_backlog: f64,
+    /// Worst single-L2-slice backlog at the sample point, in cycles
+    /// (gauge; zero on the flat memory side).
+    pub slice_backlog_max: f64,
+    /// Backlog summed over all L2 slices at the sample point, in cycles
+    /// (gauge; zero on the flat memory side).
+    pub slice_backlog_sum: f64,
+    /// Index of the hottest L2 slice at the sample point (gauge; zero on
+    /// the flat memory side). Makes slice camping visible on timelines.
+    pub hot_slice: u64,
 }
 
 /// One CTA's residency on the SM.

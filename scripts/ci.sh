@@ -14,6 +14,9 @@
 #   DUPLO_LOG=<level>       stderr verbosity: off|info|debug|trace
 #   DUPLO_TRACE=<path>      Chrome trace-event export (the trace gate
 #                           below exercises the --trace flag directly)
+#   DUPLO_L2_SLICES=<n>     sliced-L2 memory side (the sliced gates below
+#                           pin slices=1 flat identity and n=4 behavior)
+#   DUPLO_L2_HASH=mod|xor   L2 slice partition hash
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,7 +46,7 @@ JSON_DIR=$(mktemp -d)
 trap 'rm -rf "$JSON_DIR"' EXIT
 DUPLO_JSON_STABLE=1 DUPLO_THREADS=1 \
     cargo run -q --release --offline -p duplo-bench --bin smem_policy -- \
-    --sample 2 --json "$JSON_DIR/smem_t1.json" > /dev/null
+    --sample 2 --json "$JSON_DIR/smem_t1.json" > "$JSON_DIR/stdout_flat.txt"
 DUPLO_JSON_STABLE=1 DUPLO_THREADS=4 \
     cargo run -q --release --offline -p duplo-bench --bin smem_policy -- \
     --sample 2 --json "$JSON_DIR/smem_t4.json" > /dev/null
@@ -209,6 +212,55 @@ cmp "$JSON_DIR/smem_t1.json" "$JSON_DIR/smem_ref.json" || {
     exit 1
 }
 
+# Sliced-L2 gate (1/4): one slice must BE the flat model. With
+# DUPLO_L2_SLICES=1 the sliced backend (slice tag array, bookkeeping MSHR,
+# passthrough crossbar) must produce stdout and stable JSON byte-identical
+# to the default flat hierarchy, under either partition hash.
+echo "== sliced L2: slices=1 reproduces the flat model byte-for-byte ==" >&2
+for hash in mod xor; do
+    DUPLO_JSON_STABLE=1 DUPLO_THREADS=1 DUPLO_L2_SLICES=1 DUPLO_L2_HASH=$hash \
+        cargo run -q --release --offline -p duplo-bench --bin smem_policy -- \
+        --sample 2 --json "$JSON_DIR/smem_s1_$hash.json" \
+        > "$JSON_DIR/stdout_s1_$hash.txt"
+    cmp "$JSON_DIR/smem_t1.json" "$JSON_DIR/smem_s1_$hash.json" || {
+        echo "slices=1 ($hash hash) stable JSON differs from the flat model" >&2
+        exit 1
+    }
+    cmp "$JSON_DIR/stdout_flat.txt" "$JSON_DIR/stdout_s1_$hash.txt" || {
+        echo "slices=1 ($hash hash) stdout differs from the flat model" >&2
+        exit 1
+    }
+done
+
+# Sliced-L2 gate (2/4): the deterministic cross-SM contention model. The
+# determinism suite must pass with a 4-slice L2 at both pinned thread
+# counts, and a sliced run's stable JSON must be thread-count invariant.
+echo "== sliced L2: determinism at DUPLO_L2_SLICES=4 ==" >&2
+DUPLO_L2_SLICES=4 DUPLO_THREADS=1 \
+    cargo test -q --release --offline -p duplo-sim --test determinism
+DUPLO_L2_SLICES=4 DUPLO_THREADS=4 \
+    cargo test -q --release --offline -p duplo-sim --test determinism
+DUPLO_JSON_STABLE=1 DUPLO_THREADS=1 \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run wl_slice_camp --sample 2 --no-cache \
+    --json "$JSON_DIR/camp_t1.json" > /dev/null
+DUPLO_JSON_STABLE=1 DUPLO_THREADS=4 \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run wl_slice_camp --sample 2 --no-cache \
+    --json "$JSON_DIR/camp_t4.json" > /dev/null
+cargo run -q --release --offline -p duplo-bench --bin json_check -- \
+    "$JSON_DIR/camp_t1.json" "$JSON_DIR/camp_t4.json"
+cmp "$JSON_DIR/camp_t1.json" "$JSON_DIR/camp_t4.json" || {
+    echo "wl_slice_camp JSON differs between DUPLO_THREADS=1 and 4" >&2
+    exit 1
+}
+
+# Sliced-L2 gate (3/4): the wakeup wheel must stay equivalent to the
+# tick-by-tick reference with per-slice MSHR fill horizons in play.
+echo "== sliced L2: event-skip equivalence at DUPLO_L2_SLICES=4 ==" >&2
+DUPLO_L2_SLICES=4 \
+    cargo test -q --release --offline -p duplo-sim --test event_skip_quick
+
 # Event-loop gate (3/3): the committed perf trajectory. `duplo bench` runs
 # the registry in both modes (asserting per-experiment output and cycle
 # equality — the stall-attribution identity is enforced inside the SM), and
@@ -218,5 +270,15 @@ cargo run -q --release --offline -p duplo-bench --bin duplo -- \
     bench --out "$JSON_DIR/BENCH_fresh.json"
 cargo run -q --release --offline -p duplo-bench --bin json_check -- \
     "$JSON_DIR/BENCH_fresh.json"
+
+# Sliced-L2 gate (4/4): the bench trajectory (registry in both loop modes,
+# asserting per-experiment equality) must also hold with the sliced memory
+# side enabled, and its report must pass the shared JSON validator.
+echo "== sliced L2: bench trajectory at DUPLO_L2_SLICES=4 ==" >&2
+DUPLO_L2_SLICES=4 DUPLO_L2_HASH=xor \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    bench --out "$JSON_DIR/BENCH_sliced.json"
+cargo run -q --release --offline -p duplo-bench --bin json_check -- \
+    "$JSON_DIR/BENCH_sliced.json"
 
 echo "tier-1 gate: OK" >&2
