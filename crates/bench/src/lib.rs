@@ -45,9 +45,10 @@
 
 use std::path::PathBuf;
 
+use duplo_sim::RunOptions;
 use duplo_sim::cache;
 use duplo_sim::experiments::{
-    ExpOpts, ExperimentOutput, ExperimentSpec, find_experiment, registry,
+    ExperimentOutput, ExperimentSpec, find_experiment, registry, suggest_experiment,
 };
 use duplo_sim::json::Json;
 use duplo_sim::log;
@@ -58,125 +59,28 @@ use duplo_sim::wtrace;
 /// Usage summary printed (with a nonzero exit) on bad arguments.
 pub const USAGE: &str = "options:\n  --sample <N>      simulate at most N CTAs per representative SM (N >= 1)\n  --full            simulate every CTA of each SM's share\n  --json <path>     write the structured result to <path>\n  --json-dir <dir>  write per-experiment JSON files under <dir>\n  --cache-dir <dir> persist the run cache under <dir> (overrides DUPLO_CACHE_DIR)\n  --no-cache        disable the run cache\n  --trace <path>    write a Chrome trace-event timeline to <path> (DUPLO_TRACE)\n  --trace-interval <N>  cycles between trace samples (default 1024; DUPLO_TRACE_INTERVAL)\n  --trace-full      also record volatile host-side spans (DUPLO_TRACE_FULL)\n  --trace-in <file> replay a recorded wtrace file instead of the generators\n                    (record one with `duplo trace record`)\n\nenvironment:\n  DUPLO_LOG=off|info|debug|trace   stderr verbosity (default info)";
 
-/// Parsed command line shared by the experiment binaries.
-#[derive(Clone, Debug, Default)]
-pub struct CliArgs {
-    /// Sampling options forwarded to the experiment driver.
-    pub opts: ExpOpts,
-    /// `--json <path>`: write the structured result here.
-    pub json: Option<PathBuf>,
-    /// `--json-dir <dir>` (or `DUPLO_JSON_DIR`): per-experiment files.
-    pub json_dir: Option<PathBuf>,
-    /// `--cache-dir <dir>`: run-cache directory override.
-    pub cache_dir: Option<PathBuf>,
-    /// `--no-cache`: disable the run cache.
-    pub no_cache: bool,
-    /// `--trace <path>` (or `DUPLO_TRACE`): write a Chrome trace-event
-    /// timeline of every simulated run to this file.
-    pub trace: Option<PathBuf>,
-    /// `--trace-interval <N>` (or `DUPLO_TRACE_INTERVAL`): cycles between
-    /// trace samples.
-    pub trace_interval: Option<u64>,
-    /// `--trace-full` (or `DUPLO_TRACE_FULL`): also record volatile
-    /// host-side spans (runner workers) — the export is then no longer
-    /// byte-reproducible.
-    pub trace_full: bool,
-    /// `--trace-in <file>`: replay this recorded wtrace file — every
-    /// generated kernel is swapped for its recorded instruction stream
-    /// before simulation (see `duplo_sim::wtrace`).
-    pub trace_in: Option<PathBuf>,
-}
-
-/// Validates a trace-interval setting coming from `source` (a flag or an
-/// environment variable name). Pure and shared by the `--trace-interval`
-/// flag and the `DUPLO_TRACE_INTERVAL` environment path, so both reject
-/// bad values with the same message — the env path used to silently fall
-/// back to the default on `0` or garbage while the flag errored.
-fn parse_trace_interval(source: &str, v: &str) -> Result<u64, String> {
-    match v.parse::<u64>() {
-        Ok(n) if n >= 1 => Ok(n),
-        _ => Err(format!(
-            "{source} requires a positive cycle count, got {v:?}"
-        )),
-    }
-}
-
 /// Parses the shared experiment command line. Pure — no process exit, no
 /// global state — so argument handling is unit-testable; `default_sample`
 /// is used when neither `--sample` nor `--full` is given.
 ///
 /// `args` excludes the binary name (`std::env::args().skip(1)`).
-pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<CliArgs, String> {
-    let mut sample = default_sample;
-    let mut json = None;
-    let mut json_dir = std::env::var_os("DUPLO_JSON_DIR").map(PathBuf::from);
-    let mut cache_dir = None;
-    let mut no_cache = false;
-    let mut trace = std::env::var_os("DUPLO_TRACE").map(PathBuf::from);
-    let mut trace_interval = match std::env::var("DUPLO_TRACE_INTERVAL") {
-        Ok(v) => Some(parse_trace_interval("DUPLO_TRACE_INTERVAL", v.trim())?),
-        Err(_) => None,
-    };
-    let mut trace_full = std::env::var_os("DUPLO_TRACE_FULL").is_some();
-    let mut trace_in = None;
-    let mut i = 0;
-    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
-        *i += 1;
-        args.get(*i)
-            .cloned()
-            .ok_or_else(|| format!("{flag} requires a value"))
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--full" => sample = None,
-            "--sample" => {
-                let v = value(args, &mut i, "--sample")?;
-                match v.parse::<usize>() {
-                    Ok(n) if n >= 1 => sample = Some(n),
-                    Ok(_) => {
-                        return Err(
-                            "--sample requires a positive integer (0 would simulate no CTAs); \
-                             use --full to simulate every CTA"
-                                .to_string(),
-                        );
-                    }
-                    Err(_) => {
-                        return Err(format!("--sample requires a positive integer, got {v:?}"));
-                    }
-                }
-            }
-            "--json" => json = Some(PathBuf::from(value(args, &mut i, "--json")?)),
-            "--json-dir" => json_dir = Some(PathBuf::from(value(args, &mut i, "--json-dir")?)),
-            "--cache-dir" => cache_dir = Some(PathBuf::from(value(args, &mut i, "--cache-dir")?)),
-            "--no-cache" => no_cache = true,
-            "--trace" => trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
-            "--trace-interval" => {
-                let v = value(args, &mut i, "--trace-interval")?;
-                trace_interval = Some(parse_trace_interval("--trace-interval", &v)?);
-            }
-            "--trace-full" => trace_full = true,
-            "--trace-in" => trace_in = Some(PathBuf::from(value(args, &mut i, "--trace-in")?)),
-            other => return Err(format!("unknown argument: {other}")),
-        }
-        i += 1;
-    }
-    Ok(CliArgs {
-        opts: ExpOpts {
-            sample_ctas: sample,
-        },
-        json,
-        json_dir,
-        cache_dir,
-        no_cache,
-        trace,
-        trace_interval,
-        trace_full,
-        trace_in,
-    })
+///
+/// This is [`RunOptions::from_cli`]: the historical `CliArgs`/`ExpOpts`
+/// pair merged into the one typed options struct every run entry point
+/// takes. Environment knobs (`DUPLO_JSON_DIR`, `DUPLO_TRACE*`, ...) are
+/// snapshotted first, then flags override them.
+pub fn parse_cli(args: &[String], default_sample: Option<usize>) -> Result<RunOptions, String> {
+    RunOptions::from_cli(args, default_sample)
 }
 
 /// Applies the cache-control flags to the process-global run cache.
-pub fn apply_cache_flags(cli: &CliArgs) {
+///
+/// Deprecated: the cache controls now travel inside [`RunOptions`] and are
+/// honored per run by `GpuSim` (see `duplo_sim::cache::CacheCtl`), so
+/// nothing in this crate mutates global cache state anymore. Kept only for
+/// out-of-tree callers; prefer passing the options to the run entry point.
+#[deprecated(note = "cache flags are carried by RunOptions; pass them to the run entry point")]
+pub fn apply_cache_flags(cli: &RunOptions) {
     if let Some(dir) = &cli.cache_dir {
         cache::set_dir(Some(dir.clone()));
     }
@@ -186,7 +90,7 @@ pub fn apply_cache_flags(cli: &CliArgs) {
 }
 
 /// The trace destination and options `cli` asks for, if any.
-fn trace_options(cli: &CliArgs) -> Option<(PathBuf, trace::TraceOptions)> {
+fn trace_options(cli: &RunOptions) -> Option<(PathBuf, trace::TraceOptions)> {
     let path = cli.trace.clone()?;
     let mut opts = trace::TraceOptions::default();
     if let Some(n) = cli.trace_interval {
@@ -200,7 +104,7 @@ fn trace_options(cli: &CliArgs) -> Option<(PathBuf, trace::TraceOptions)> {
 /// Chrome trace-event document afterwards. Without `--trace`/`DUPLO_TRACE`
 /// this is exactly `f()` — the simulator takes its untraced path and no
 /// file is touched.
-pub fn with_trace<T>(cli: &CliArgs, f: impl FnOnce() -> T) -> T {
+pub fn with_trace<T>(cli: &RunOptions, f: impl FnOnce() -> T) -> T {
     let Some((path, opts)) = trace_options(cli) else {
         return f();
     };
@@ -236,7 +140,7 @@ pub fn with_trace<T>(cli: &CliArgs, f: impl FnOnce() -> T) -> T {
 /// reporting how many kernel runs were substituted afterwards. Without the
 /// flag this is exactly `f()`. A file that fails to read or decode prints
 /// the decoder's positional error and exits with code 2.
-pub fn with_replay<T>(cli: &CliArgs, f: impl FnOnce() -> T) -> T {
+pub fn with_replay<T>(cli: &RunOptions, f: impl FnOnce() -> T) -> T {
     let Some(path) = &cli.trace_in else {
         return f();
     };
@@ -279,20 +183,19 @@ pub fn record_to_file<T>(path: &std::path::Path, f: impl FnOnce() -> T) -> T {
 /// Parses experiment options from `std::env::args`.
 ///
 /// `default_sample` is used when neither `--sample` nor `--full` is given.
-pub fn opts_from_args(default_sample: Option<usize>) -> ExpOpts {
-    cli_from_args(default_sample).opts
+pub fn opts_from_args(default_sample: Option<usize>) -> RunOptions {
+    cli_from_args(default_sample)
 }
 
-/// Parses the full shared command line (sampling + JSON + cache flags),
-/// applying the cache flags. On a bad argument it prints the error and
-/// usage to stderr and exits with code 2 — no panic, no backtrace.
-pub fn cli_from_args(default_sample: Option<usize>) -> CliArgs {
+/// Parses the full shared command line (sampling + JSON + cache + trace
+/// flags). On a bad argument it prints the error and usage to stderr and
+/// exits with code 2 — no panic, no backtrace. Cache flags are **not**
+/// applied globally: they ride in the returned options and take effect per
+/// run.
+pub fn cli_from_args(default_sample: Option<usize>) -> RunOptions {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_cli(&args, default_sample) {
-        Ok(cli) => {
-            apply_cache_flags(&cli);
-            cli
-        }
+        Ok(cli) => cli,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
@@ -305,7 +208,7 @@ pub fn cli_from_args(default_sample: Option<usize>) -> CliArgs {
 /// goes to **stderr**: stdout must stay byte-identical across
 /// `DUPLO_THREADS` settings (the determinism guarantee the golden tables
 /// and `scripts/ci.sh` rely on).
-pub fn banner(name: &str, opts: &ExpOpts) {
+pub fn banner(name: &str, opts: &RunOptions) {
     match opts.sample_ctas {
         Some(n) => println!("[{name}] CTA sampling: at most {n} CTAs per representative SM"),
         None => println!("[{name}] full CTA shares simulated"),
@@ -314,7 +217,7 @@ pub fn banner(name: &str, opts: &ExpOpts) {
         name,
         format_args!(
             "worker threads: {} (override with DUPLO_THREADS)",
-            duplo_sim::runner::max_threads()
+            duplo_sim::runner::resolve_threads(opts.threads)
         ),
     );
 }
@@ -360,7 +263,7 @@ pub fn write_result(path: &std::path::Path, mut result: ExperimentResult, wall_c
 /// Executes one registered experiment: timed run (when `spec.timed`), the
 /// run-cache counter delta reported on stderr and stamped into the result
 /// (unless `DUPLO_JSON_STABLE`). Returns the output and elapsed seconds.
-fn execute(spec: &ExperimentSpec, opts: &ExpOpts) -> (ExperimentOutput, f64) {
+fn execute(spec: &ExperimentSpec, opts: &RunOptions) -> (ExperimentOutput, f64) {
     let before = cache::stats();
     let (mut out, secs) = if spec.timed {
         timed_secs(spec.tag, || (spec.run)(opts))
@@ -387,11 +290,11 @@ fn execute(spec: &ExperimentSpec, opts: &ExpOpts) -> (ExperimentOutput, f64) {
 /// optional sampling banner, timed run, rendered table on stdout, and
 /// `--json` output. Stdout is byte-identical to the original per-figure
 /// binaries (banners and tables only; timing and cache stats are stderr).
-pub fn run_spec(spec: &ExperimentSpec, cli: &CliArgs) -> ExperimentResult {
+pub fn run_spec(spec: &ExperimentSpec, cli: &RunOptions) -> ExperimentResult {
     if spec.banner {
-        banner(spec.tag, &cli.opts);
+        banner(spec.tag, cli);
     }
-    let (out, secs) = execute(spec, &cli.opts);
+    let (out, secs) = execute(spec, cli);
     print!("{}", out.rendered);
     if let Some(path) = &cli.json {
         write_result(path, out.result.clone(), secs);
@@ -400,14 +303,25 @@ pub fn run_spec(spec: &ExperimentSpec, cli: &CliArgs) -> ExperimentResult {
 }
 
 /// Runs the registered experiment `name` under the standalone-binary
-/// protocol ([`run_spec`]). Unknown names print the registry hint and exit
-/// with code 2.
-pub fn run_named(name: &str, cli: &CliArgs) -> ExperimentResult {
+/// protocol ([`run_spec`]). Unknown names print the registry hint — with a
+/// nearest-name suggestion when one is close — and exit with code 2.
+pub fn run_named(name: &str, cli: &RunOptions) -> ExperimentResult {
     let Some(spec) = find_experiment(name) else {
-        eprintln!("error: unknown experiment {name:?} (see `duplo list`)");
-        std::process::exit(2);
+        exit_unknown_experiment(name);
     };
     run_spec(spec, cli)
+}
+
+/// Prints the unknown-experiment error (with a "did you mean" suggestion
+/// when a registry name is within edit distance) and exits with code 2.
+pub fn exit_unknown_experiment(name: &str) -> ! {
+    match suggest_experiment(name) {
+        Some(hint) => eprintln!(
+            "error: unknown experiment {name:?} (did you mean {hint:?}? see `duplo list`)"
+        ),
+        None => eprintln!("error: unknown experiment {name:?} (see `duplo list`)"),
+    }
+    std::process::exit(2);
 }
 
 /// Entry point for the thin per-figure wrapper binaries: resolve `name`
@@ -427,8 +341,8 @@ pub fn standalone(name: &str) {
 /// `full_registry` selects every registered experiment (`duplo run all`);
 /// otherwise only the `in_all` subset runs (the `all_experiments` binary,
 /// whose stdout is pinned by CI).
-pub fn run_all(cli: &CliArgs, full_registry: bool) {
-    banner("all", &cli.opts);
+pub fn run_all(cli: &RunOptions, full_registry: bool) {
+    banner("all", cli);
     let total = std::time::Instant::now();
     let run_start = cache::stats();
     let specs: Vec<&ExperimentSpec> = registry()
@@ -443,7 +357,7 @@ pub fn run_all(cli: &CliArgs, full_registry: bool) {
     // (structured result, wall-clock seconds) per experiment, in run order.
     let mut results: Vec<(ExperimentResult, f64)> = Vec::new();
     for spec in specs {
-        let (out, secs) = execute(spec, &cli.opts);
+        let (out, secs) = execute(spec, cli);
         print!("{}", out.rendered);
         results.push((out.result, secs));
         let done = results.len();
@@ -505,14 +419,16 @@ pub fn run_all(cli: &CliArgs, full_registry: bool) {
 /// Runs `spec` once with the run cache bypassed, in event-driven or
 /// tick-by-tick reference mode, returning the rendered table, the
 /// simulated-cycle delta, and the wall-clock seconds.
-fn measure_spec(spec: &ExperimentSpec, opts: &ExpOpts, reference: bool) -> (String, u64, f64) {
-    duplo_sm::force_tick_reference(reference);
+fn measure_spec(spec: &ExperimentSpec, opts: &RunOptions, reference: bool) -> (String, u64, f64) {
+    // Mode selection travels by value: the clone reaches every driver's
+    // `GpuSim`, which picks the SM loop per run — no process-global flip.
+    let mut opts = opts.clone();
+    opts.tick_reference = reference;
     let cycles_before = duplo_sm::simulated_cycles();
     let t0 = std::time::Instant::now();
-    let out = (spec.run)(opts);
+    let out = (spec.run)(&opts);
     let wall_s = t0.elapsed().as_secs_f64();
     let cycles = duplo_sm::simulated_cycles() - cycles_before;
-    duplo_sm::force_tick_reference(false);
     (out.rendered, cycles, wall_s)
 }
 
@@ -530,12 +446,12 @@ fn measure_spec(spec: &ExperimentSpec, opts: &ExpOpts, reference: bool) -> (Stri
 ///
 /// Panics when an experiment's event-driven output diverges from the
 /// reference loop, or when the report cannot be written.
-pub fn run_bench(out: &std::path::Path, cli: &CliArgs) {
+pub fn run_bench(out: &std::path::Path, cli: &RunOptions) {
     use duplo_testkit::bench::{BenchEntry, BenchReport, MetricValue};
     // Bypass the run cache process-wide: cached results would turn the
     // measurement (and the mode comparison) into a no-op.
     let _nocache = cache::bypass();
-    let opts = &cli.opts;
+    let opts = cli;
     let mut report = BenchReport {
         schema: duplo_sim::results::SCHEMA_VERSION,
         meta: vec![
@@ -655,17 +571,17 @@ mod tests {
     #[test]
     fn default_sample_passes_through() {
         let cli = parse_cli(&[], Some(4)).unwrap();
-        assert_eq!(cli.opts.sample_ctas, Some(4));
-        let quick = ExpOpts::quick();
+        assert_eq!(cli.sample_ctas, Some(4));
+        let quick = RunOptions::quick();
         assert_eq!(quick.sample_ctas, Some(2));
     }
 
     #[test]
     fn sample_and_full_override_the_default() {
         let cli = parse_cli(&argv(&["--sample", "16"]), Some(4)).unwrap();
-        assert_eq!(cli.opts.sample_ctas, Some(16));
+        assert_eq!(cli.sample_ctas, Some(16));
         let cli = parse_cli(&argv(&["--full"]), Some(4)).unwrap();
-        assert_eq!(cli.opts.sample_ctas, None);
+        assert_eq!(cli.sample_ctas, None);
     }
 
     #[test]
@@ -726,6 +642,7 @@ mod tests {
     /// race the other tests, which call `parse_cli` concurrently.
     #[test]
     fn trace_interval_env_values_fail_like_the_flag() {
+        use duplo_sim::options::parse_trace_interval;
         assert_eq!(parse_trace_interval("DUPLO_TRACE_INTERVAL", "256"), Ok(256));
         for bad in ["0", "abc", "-1", ""] {
             let err = parse_trace_interval("DUPLO_TRACE_INTERVAL", bad).unwrap_err();

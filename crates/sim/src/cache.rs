@@ -131,6 +131,36 @@ fn active() -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Per-run cache control
+// ---------------------------------------------------------------------------
+
+/// By-value cache controls for one run (see [`crate::RunOptions`]).
+///
+/// The default value defers entirely to the process-global state
+/// ([`set_disabled`], [`set_dir`], the `DUPLO_CACHE_DIR` environment
+/// variable), so code that does not thread options behaves exactly as
+/// before. The process-global kill switches ([`set_disabled`],
+/// [`bypass`]) still apply on top of any per-run setting — a test that
+/// bypasses the cache wins over a request that asks for it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CacheCtl {
+    /// Neither look up nor store entries for this run (`--no-cache`).
+    pub disabled: bool,
+    /// Disk-tier directory for this run; `None` defers to [`resolve_dir`].
+    pub dir: Option<PathBuf>,
+}
+
+impl CacheCtl {
+    fn active(&self) -> bool {
+        !self.disabled && active()
+    }
+
+    fn dir(&self) -> Option<PathBuf> {
+        self.dir.clone().or_else(resolve_dir)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Disk-tier directory resolution
 // ---------------------------------------------------------------------------
 
@@ -281,14 +311,29 @@ impl Drop for AbandonOnPanic {
 // ---------------------------------------------------------------------------
 
 /// Serves a simulation run from the cache, computing it via `compute` on a
-/// miss. This is the sole entry point [`crate::GpuSim::run`] goes through,
-/// so every experiment driver and sweep inherits memoization.
+/// miss, under the default (process-global) cache controls.
 pub fn run_cached(
     cfg: &GpuConfig,
     kernel: &dyn Kernel,
     compute: impl FnOnce() -> GpuRunResult,
 ) -> GpuRunResult {
-    if !active() {
+    run_cached_ctl(&CacheCtl::default(), cfg, kernel, compute)
+}
+
+/// Serves a simulation run from the cache, computing it via `compute` on a
+/// miss. This is the sole entry point [`crate::GpuSim::run`] goes through,
+/// so every experiment driver and sweep inherits memoization. `ctl`
+/// carries the per-run controls ([`crate::RunOptions`]); the memory tier
+/// and its single-flight protocol are process-wide regardless, so
+/// concurrent runs with different disk settings still collapse identical
+/// keys to one simulation.
+pub fn run_cached_ctl(
+    ctl: &CacheCtl,
+    cfg: &GpuConfig,
+    kernel: &dyn Kernel,
+    compute: impl FnOnce() -> GpuRunResult,
+) -> GpuRunResult {
+    if !ctl.active() {
         return compute();
     }
     let key = run_key(cfg, kernel);
@@ -331,7 +376,7 @@ pub fn run_cached(
                     key,
                     slot: Arc::clone(&slot),
                 };
-                let result = match disk_load(key) {
+                let result = match disk_load(ctl, key) {
                     Some(r) => {
                         HITS.fetch_add(1, Ordering::Relaxed);
                         r
@@ -339,7 +384,7 @@ pub fn run_cached(
                     None => {
                         let r = (compute.take().expect("leader computes once"))();
                         MISSES.fetch_add(1, Ordering::Relaxed);
-                        disk_store(key, &r);
+                        disk_store(ctl, key, &r);
                         r
                     }
                 };
@@ -355,13 +400,22 @@ pub fn run_cached(
     }
 }
 
+/// [`lookup_ready_ctl`] under the default (process-global) controls.
+pub fn lookup_ready(cfg: &GpuConfig, kernel: &dyn Kernel) -> Option<GpuRunResult> {
+    lookup_ready_ctl(&CacheCtl::default(), cfg, kernel)
+}
+
 /// Non-blocking cache lookup used by the traced simulation path
 /// ([`crate::trace`]): returns the published result for `(cfg, kernel)`
 /// from the memory or disk tier, without entering the single-flight
 /// protocol (an in-flight leader is treated as a miss rather than waited
 /// on). Counts a hit exactly like [`run_cached`] would.
-pub fn lookup_ready(cfg: &GpuConfig, kernel: &dyn Kernel) -> Option<GpuRunResult> {
-    if !active() {
+pub fn lookup_ready_ctl(
+    ctl: &CacheCtl,
+    cfg: &GpuConfig,
+    kernel: &dyn Kernel,
+) -> Option<GpuRunResult> {
+    if !ctl.active() {
         return None;
     }
     let key = run_key(cfg, kernel);
@@ -376,23 +430,28 @@ pub fn lookup_ready(cfg: &GpuConfig, kernel: &dyn Kernel) -> Option<GpuRunResult
             return None; // in-flight or abandoned: let the caller simulate
         }
     }
-    let r = disk_load(key)?;
+    let r = disk_load(ctl, key)?;
     HITS.fetch_add(1, Ordering::Relaxed);
     publish_memory(key, &r);
     Some(r)
 }
 
+/// [`publish_ctl`] under the default (process-global) controls.
+pub fn publish(cfg: &GpuConfig, kernel: &dyn Kernel, r: &GpuRunResult) {
+    publish_ctl(&CacheCtl::default(), cfg, kernel, r);
+}
+
 /// Publishes a result computed outside [`run_cached`] (the traced path)
 /// into both tiers and counts the miss. An existing in-flight slot is left
 /// alone — its leader will publish its own identical result.
-pub fn publish(cfg: &GpuConfig, kernel: &dyn Kernel, r: &GpuRunResult) {
-    if !active() {
+pub fn publish_ctl(ctl: &CacheCtl, cfg: &GpuConfig, kernel: &dyn Kernel, r: &GpuRunResult) {
+    if !ctl.active() {
         return;
     }
     let key = run_key(cfg, kernel);
     MISSES.fetch_add(1, Ordering::Relaxed);
     publish_memory(key, r);
-    disk_store(key, r);
+    disk_store(ctl, key, r);
 }
 
 /// Inserts a ready entry into the memory tier unless the key is occupied.
@@ -568,8 +627,8 @@ fn entry_path(dir: &Path, key: u128) -> PathBuf {
     dir.join(format!("{}.json", digest::hex(key)))
 }
 
-fn disk_load(key: u128) -> Option<GpuRunResult> {
-    let dir = resolve_dir()?;
+fn disk_load(ctl: &CacheCtl, key: u128) -> Option<GpuRunResult> {
+    let dir = ctl.dir()?;
     let text = std::fs::read_to_string(entry_path(&dir, key)).ok()?;
     let doc = parse(&text).ok()?;
     let result = result_from_json(&doc)?;
@@ -577,8 +636,8 @@ fn disk_load(key: u128) -> Option<GpuRunResult> {
     Some(result)
 }
 
-fn disk_store(key: u128, r: &GpuRunResult) {
-    let Some(dir) = resolve_dir() else { return };
+fn disk_store(ctl: &CacheCtl, key: u128, r: &GpuRunResult) {
+    let Some(dir) = ctl.dir() else { return };
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }

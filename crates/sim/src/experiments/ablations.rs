@@ -7,9 +7,9 @@
 //! * warp scheduler policy (GTO vs LRR),
 //! * octet double-loading on/off (§II-B's duplicated octet requests).
 
-use super::ExpOpts;
+use super::RunOptions;
 use crate::report::{Table, fmt_pct};
-use crate::{GpuConfig, layer_run};
+use crate::{GpuConfig, layer_run_opts};
 use duplo_core::LhbConfig;
 use duplo_sm::SchedulerPolicy;
 
@@ -33,13 +33,13 @@ fn probe_layers() -> Vec<duplo_conv::layers::LayerSpec> {
     ]
 }
 
-fn measure(mut mutate: impl FnMut(&mut GpuConfig), opts: &ExpOpts, variant: &str) -> Row {
+fn measure(mut mutate: impl FnMut(&mut GpuConfig), opts: &RunOptions, variant: &str) -> Row {
     let mut cfg = opts.apply(GpuConfig::titan_v());
     mutate(&mut cfg);
-    let per_layer = crate::runner::par_map(&probe_layers(), |l| {
+    let per_layer = crate::runner::par_map_opt(opts.threads, &probe_layers(), |l| {
         let p = l.lowered();
-        let base = layer_run(&p, None, &cfg);
-        let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &cfg);
+        let base = layer_run_opts(&p, None, &cfg, opts);
+        let duplo = layer_run_opts(&p, Some(LhbConfig::paper_default()), &cfg, opts);
         (base.cycles / duplo.cycles, duplo.stats.lhb.hit_rate())
     });
     let ratios: Vec<f64> = per_layer.iter().map(|&(r, _)| r).collect();
@@ -52,7 +52,7 @@ fn measure(mut mutate: impl FnMut(&mut GpuConfig), opts: &ExpOpts, variant: &str
 }
 
 /// Runs all ablations.
-pub fn run(opts: &ExpOpts) -> Vec<Row> {
+pub fn run(opts: &RunOptions) -> Vec<Row> {
     vec![
         measure(
             |_| {},
@@ -152,7 +152,7 @@ pub fn hash_study() -> Vec<HashRow> {
 }
 
 /// Structured result: ablation variants plus the index-function study.
-pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(rows: &[Row], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let json_rows: Vec<Json> = rows
@@ -225,8 +225,9 @@ mod tests {
 
     #[test]
     fn three_cycle_detection_changes_little() {
-        let opts = ExpOpts {
+        let opts = RunOptions {
             sample_ctas: Some(2),
+            ..RunOptions::default()
         };
         let base = measure(|_| {}, &opts, "d2");
         let slow = measure(|c| c.sm.detect_latency = 3, &opts, "d3");
@@ -254,8 +255,9 @@ mod tests {
 
     #[test]
     fn longer_commit_window_does_not_reduce_hit_rate() {
-        let opts = ExpOpts {
+        let opts = RunOptions {
             sample_ctas: Some(2),
+            ..RunOptions::default()
         };
         let short = measure(|c| c.sm.commit_delay = 256, &opts, "short");
         let long = measure(|c| c.sm.commit_delay = 16384, &opts, "long");

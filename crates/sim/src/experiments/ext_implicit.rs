@@ -7,7 +7,7 @@
 //! detection unit on them: hits complete in the 2-cycle detection latency
 //! instead of the shared-memory pipeline latency.
 
-use super::ExpOpts;
+use super::RunOptions;
 use crate::report::{Table, fmt_pct, fmt_pct_plain};
 use crate::{GpuConfig, GpuSim};
 use duplo_conv::layers::LayerSpec;
@@ -29,7 +29,7 @@ pub struct Row {
 
 /// Runs the study on a subset of unit-stride layers (implicit GEMM is the
 /// cuDNN path for those).
-pub fn run(opts: &ExpOpts) -> Vec<Row> {
+pub fn run(opts: &RunOptions) -> Vec<Row> {
     let layers: Vec<LayerSpec> = {
         use crate::networks;
         vec![
@@ -46,8 +46,8 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
             let base_cfg = opts.apply(GpuConfig::titan_v());
             let mut duplo_cfg = base_cfg.clone().with_duplo(LhbConfig::paper_default());
             duplo_cfg.sm.lhb_on_shared = true;
-            let base = GpuSim::new(base_cfg).run(&kern);
-            let duplo = GpuSim::new(duplo_cfg).run(&kern);
+            let base = GpuSim::with_options(base_cfg, opts.clone()).run(&kern);
+            let duplo = GpuSim::with_options(duplo_cfg, opts.clone()).run(&kern);
             Row {
                 layer: l.qualified_name(),
                 baseline: base.cycles,
@@ -59,7 +59,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
 }
 
 /// Structured result: per-layer implicit-GEMM comparison.
-pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(rows: &[Row], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::report::gmean;
     use crate::results::{ExperimentResult, opts_json};
@@ -119,8 +119,9 @@ mod tests {
 
     #[test]
     fn shared_renaming_eliminates_loads_and_does_not_slow_down() {
-        let opts = ExpOpts {
+        let opts = RunOptions {
             sample_ctas: Some(2),
+            ..RunOptions::default()
         };
         let rows = run(&opts);
         assert_eq!(rows.len(), 4);

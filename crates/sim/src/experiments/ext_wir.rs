@@ -6,9 +6,9 @@
 //! the comparison quantitative: the same buffer, keyed by address (WIR)
 //! versus keyed by workspace identity (Duplo).
 
-use super::{ExpOpts, table1_layers};
+use super::{RunOptions, table1_layers};
 use crate::report::{Table, fmt_pct, fmt_pct_opt, fmt_pct_plain, gmean};
-use crate::{GpuConfig, layer_run};
+use crate::{GpuConfig, layer_run_opts};
 use duplo_core::LhbConfig;
 
 /// One layer's Duplo-vs-WIR comparison.
@@ -27,15 +27,15 @@ pub struct Row {
 }
 
 /// Runs the comparison (1024 entries each).
-pub fn run(opts: &ExpOpts) -> Vec<Row> {
+pub fn run(opts: &RunOptions) -> Vec<Row> {
     let gpu = opts.apply(GpuConfig::titan_v());
     table1_layers()
         .iter()
         .map(|l| {
             let p = l.lowered();
-            let base = layer_run(&p, None, &gpu);
-            let wir = layer_run(&p, Some(LhbConfig::wir(1024)), &gpu);
-            let duplo = layer_run(&p, Some(LhbConfig::direct_mapped(1024)), &gpu);
+            let base = layer_run_opts(&p, None, &gpu, opts);
+            let wir = layer_run_opts(&p, Some(LhbConfig::wir(1024)), &gpu, opts);
+            let duplo = layer_run_opts(&p, Some(LhbConfig::direct_mapped(1024)), &gpu, opts);
             Row {
                 layer: l.qualified_name(),
                 wir_improvement: base.cycles / wir.cycles - 1.0,
@@ -48,7 +48,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
 }
 
 /// Structured result: per-layer WIR-vs-Duplo comparison.
-pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(rows: &[Row], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let json_rows: Vec<Json> = rows
@@ -109,12 +109,14 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer_run;
     use crate::networks;
 
     #[test]
     fn duplo_eliminates_more_than_wir() {
-        let opts = ExpOpts {
+        let opts = RunOptions {
             sample_ctas: Some(3),
+            ..RunOptions::default()
         };
         let gpu = opts.apply(GpuConfig::titan_v());
         let p = networks::resnet()[1].lowered();

@@ -1,18 +1,18 @@
 //! Fig. 9: performance improvement of Duplo with variable-sized LHBs.
 
-use super::{ExpOpts, LayerSweep, size_configs, sweep_layers, table1_layers};
+use super::{LayerSweep, RunOptions, size_configs, sweep_layers, table1_layers};
 use crate::report::{Table, fmt_pct, fmt_pct_opt, gmean};
 
 /// Runs the Fig. 9 sweep: every Table I layer against
 /// {256, 512, 1024, 2048, oracle} LHBs.
-pub fn run(opts: &ExpOpts) -> Vec<LayerSweep> {
+pub fn run(opts: &RunOptions) -> Vec<LayerSweep> {
     sweep_layers(&table1_layers(), &size_configs(), opts)
 }
 
 /// Structured result: per-layer improvements plus the full per-run
 /// stall-attribution block ([`crate::results::run_metrics`]) for the
 /// baseline and every LHB configuration.
-pub fn result(sweeps: &[LayerSweep], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(sweeps: &[LayerSweep], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json, run_metrics};
     let rows: Vec<Json> = sweeps
@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn size_ordering_on_fast_layers() {
         let layers = vec![networks::resnet()[1].clone(), networks::yolo()[4].clone()];
-        let sweeps = sweep_layers(&layers, &size_configs(), &ExpOpts::quick());
+        let sweeps = sweep_layers(&layers, &size_configs(), &RunOptions::quick());
         for s in &sweeps {
             let imps: Vec<f64> = (0..s.runs.len()).map(|i| s.improvement(i)).collect();
             let oracle = imps[4];

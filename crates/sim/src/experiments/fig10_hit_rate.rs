@@ -1,15 +1,15 @@
 //! Fig. 10: LHB hit rate versus buffer size.
 
-use super::{ExpOpts, LayerSweep, size_configs, sweep_layers, table1_layers};
+use super::{LayerSweep, RunOptions, size_configs, sweep_layers, table1_layers};
 use crate::report::{Table, fmt_pct_plain};
 
 /// Runs the Fig. 10 sweep (same runs as Fig. 9).
-pub fn run(opts: &ExpOpts) -> Vec<LayerSweep> {
+pub fn run(opts: &RunOptions) -> Vec<LayerSweep> {
     sweep_layers(&table1_layers(), &size_configs(), opts)
 }
 
 /// Structured result: per-layer hit rates per configuration.
-pub fn result(sweeps: &[LayerSweep], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(sweeps: &[LayerSweep], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let rows: Vec<Json> = sweeps
@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn hit_rate_grows_with_size_and_respects_census_ceiling() {
         let layer = networks::yolo()[4].clone(); // C5: 14x14x256, unit stride
-        let sweeps = sweep_layers(&[layer.clone()], &size_configs(), &ExpOpts::quick());
+        let sweeps = sweep_layers(&[layer.clone()], &size_configs(), &RunOptions::quick());
         let s = &sweeps[0];
         let small = s.hit_rate(0);
         let oracle = s.hit_rate(4);

@@ -1,9 +1,9 @@
 //! Fig. 11: breakdown of data services along the memory hierarchy,
 //! baseline (B) versus Duplo (D) with a 1024-entry LHB.
 
-use super::{ExpOpts, table1_layers};
+use super::{RunOptions, table1_layers};
 use crate::report::{Table, fmt_pct_plain};
-use crate::{GpuConfig, GpuRunResult, layer_run};
+use crate::{GpuConfig, GpuRunResult, layer_run_opts};
 use duplo_core::LhbConfig;
 
 /// Service-share breakdown of one run.
@@ -51,12 +51,12 @@ pub struct Row {
 
 /// Runs the Fig. 11 reproduction over all Table I layers (one parallel
 /// job per layer; each job runs its baseline and Duplo pair).
-pub fn run(opts: &ExpOpts) -> Vec<Row> {
+pub fn run(opts: &RunOptions) -> Vec<Row> {
     let gpu = opts.apply(GpuConfig::titan_v());
-    crate::runner::par_map(&table1_layers(), |l| {
+    crate::runner::par_map_opt(opts.threads, &table1_layers(), |l| {
         let p = l.lowered();
-        let base = layer_run(&p, None, &gpu);
-        let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
+        let base = layer_run_opts(&p, None, &gpu, opts);
+        let duplo = layer_run_opts(&p, Some(LhbConfig::paper_default()), &gpu, opts);
         let dram_delta =
             duplo.stats.mem.dram_bytes as f64 / base.stats.mem.dram_bytes.max(1) as f64 - 1.0;
         Row {
@@ -72,7 +72,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
 
 /// Structured result: service shares, DRAM delta, and the full metrics
 /// blocks of both runs.
-pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(rows: &[Row], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let shares_json = |s: &Shares| {
@@ -147,15 +147,17 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::ExpOpts;
+    use crate::experiments::RunOptions;
+    use crate::layer_run;
     use crate::networks;
 
     #[test]
     fn duplo_shifts_service_share_into_lhb() {
         // ResNet C2 has channel count 64 => short duplicate-reuse distance,
         // so even a 3-CTA sample shows the service-share shift clearly.
-        let opts = ExpOpts {
+        let opts = RunOptions {
             sample_ctas: Some(3),
+            ..RunOptions::default()
         };
         let gpu = opts.apply(GpuConfig::titan_v());
         let p = networks::resnet()[1].lowered();

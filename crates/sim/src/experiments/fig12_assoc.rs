@@ -1,6 +1,6 @@
 //! Fig. 12: set-associative LHBs (capacity fixed at 1024 entries).
 
-use super::{ExpOpts, LayerSweep, sweep_layers, table1_layers};
+use super::{LayerSweep, RunOptions, sweep_layers, table1_layers};
 use crate::report::{Table, fmt_pct, fmt_pct_opt, gmean};
 use duplo_core::LhbConfig;
 
@@ -15,12 +15,12 @@ pub fn assoc_configs() -> Vec<LhbConfig> {
 }
 
 /// Runs the associativity sweep.
-pub fn run(opts: &ExpOpts) -> Vec<LayerSweep> {
+pub fn run(opts: &RunOptions) -> Vec<LayerSweep> {
     sweep_layers(&table1_layers(), &assoc_configs(), opts)
 }
 
 /// Structured result: per-layer improvement per associativity.
-pub fn result(sweeps: &[LayerSweep], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(sweeps: &[LayerSweep], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let rows: Vec<Json> = sweeps
@@ -96,7 +96,7 @@ mod tests {
         // Sequentially-aligned tensor-core loads spread across sets, so
         // higher associativity buys little (the paper's conclusion).
         let layers = vec![networks::resnet()[1].clone()];
-        let sweeps = sweep_layers(&layers, &assoc_configs(), &ExpOpts::quick());
+        let sweeps = sweep_layers(&layers, &assoc_configs(), &RunOptions::quick());
         let s = &sweeps[0];
         let direct = s.improvement(0);
         let eight = s.improvement(3);

@@ -1,8 +1,8 @@
 //! Fig. 13: performance implications of variable-sized batches.
 
-use super::{ExpOpts, table1_layers};
+use super::{RunOptions, table1_layers};
 use crate::report::{Table, fmt_pct, fmt_pct_opt, gmean};
-use crate::{GpuConfig, layer_run};
+use crate::{GpuConfig, layer_run_opts};
 use duplo_core::LhbConfig;
 
 /// One layer's Duplo improvement at each batch size.
@@ -20,16 +20,16 @@ pub const BATCHES: [usize; 3] = [8, 16, 32];
 /// Runs the batch sweep with the default 1024-entry LHB. The full
 /// (layer, batch) grid fans out in parallel; each job runs its
 /// baseline/Duplo pair and results regroup in input order.
-pub fn run(opts: &ExpOpts) -> Vec<Row> {
+pub fn run(opts: &RunOptions) -> Vec<Row> {
     let gpu = opts.apply(GpuConfig::titan_v());
     let layers = table1_layers();
     let jobs: Vec<(usize, usize)> = (0..layers.len())
         .flat_map(|li| BATCHES.iter().map(move |&b| (li, b)))
         .collect();
-    let results = crate::runner::par_map(&jobs, |&(li, b)| {
+    let results = crate::runner::par_map_opt(opts.threads, &jobs, |&(li, b)| {
         let p = layers[li].with_batch(b).lowered();
-        let base = layer_run(&p, None, &gpu);
-        let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
+        let base = layer_run_opts(&p, None, &gpu, opts);
+        let duplo = layer_run_opts(&p, Some(LhbConfig::paper_default()), &gpu, opts);
         base.cycles / duplo.cycles - 1.0
     });
 
@@ -47,7 +47,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
 }
 
 /// Structured result: per-layer improvement per batch size.
-pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(rows: &[Row], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let json_rows: Vec<Json> = rows

@@ -1,9 +1,9 @@
 //! Fig. 14: network-level execution time for inference and training.
 
-use super::ExpOpts;
+use super::RunOptions;
 use crate::networks::{self, LayerKind, LayerSpec, Network};
 use crate::report::{Table, fmt_pct_plain};
-use crate::{GpuConfig, GpuSim, layer_run};
+use crate::{GpuConfig, GpuSim, layer_run_opts};
 use duplo_conv::ConvParams;
 use duplo_conv::transposed::TransposedConvParams;
 use duplo_core::LhbConfig;
@@ -68,22 +68,22 @@ struct LayerCycles {
     dw: f64,
 }
 
-fn run_network(net: Network, opts: &ExpOpts) -> Row {
+fn run_network(net: Network, opts: &RunOptions) -> Row {
     let gpu = opts.apply(GpuConfig::titan_v());
     let lhb = LhbConfig::paper_default();
     let layers = networks::layers_of(net);
     let jobs: Vec<(usize, &LayerSpec)> = layers.iter().enumerate().collect();
-    let per_layer = crate::runner::par_map(&jobs, |&(i, layer)| {
+    let per_layer = crate::runner::par_map_opt(opts.threads, &jobs, |&(i, layer)| {
         let p = layer.lowered();
         let fwd = (
-            layer_run(&p, None, &gpu).cycles,
-            layer_run(&p, Some(lhb), &gpu).cycles,
+            layer_run_opts(&p, None, &gpu, opts).cycles,
+            layer_run_opts(&p, Some(lhb), &gpu, opts).cycles,
         );
         // dX (skipped for the first layer, which needs no input gradient).
         let dx = match if i > 0 { dx_conv(layer) } else { None } {
             Some(dx) => (
-                layer_run(&dx, None, &gpu).cycles,
-                layer_run(&dx, Some(lhb), &gpu).cycles,
+                layer_run_opts(&dx, None, &gpu, opts).cycles,
+                layer_run_opts(&dx, Some(lhb), &gpu, opts).cycles,
             ),
             None => (0.0, 0.0),
         };
@@ -91,7 +91,9 @@ fn run_network(net: Network, opts: &ExpOpts) -> Row {
         // simulated once and charged to both.
         let (m, n, k) = dw_dims(layer);
         let kern = GemmTcKernel::new(m, n, k, SmemPolicy::COnly);
-        let dw = GpuSim::new(gpu.clone()).run(&kern).cycles;
+        let dw = GpuSim::with_options(gpu.clone(), opts.clone())
+            .run(&kern)
+            .cycles;
         LayerCycles { fwd, dx, dw }
     });
 
@@ -117,12 +119,12 @@ fn run_network(net: Network, opts: &ExpOpts) -> Row {
 }
 
 /// Runs the network-level experiment for all three DNNs.
-pub fn run(opts: &ExpOpts) -> Vec<Row> {
+pub fn run(opts: &RunOptions) -> Vec<Row> {
     Network::ALL.iter().map(|n| run_network(*n, opts)).collect()
 }
 
 /// Structured result: network-level cycle totals and reductions.
-pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(rows: &[Row], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let json_rows: Vec<Json> = rows
@@ -207,7 +209,7 @@ mod tests {
     #[test]
     fn training_gains_below_inference_gains() {
         // One cheap network-level check with heavy sampling: YOLO.
-        let row = run_network(Network::Yolo, &ExpOpts::quick());
+        let row = run_network(Network::Yolo, &RunOptions::quick());
         assert!(row.infer_reduction() > 0.0, "inference must improve");
         assert!(
             row.train_reduction() <= row.infer_reduction() + 1e-9,

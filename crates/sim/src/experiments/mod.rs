@@ -21,32 +21,11 @@ pub mod table02_workflow;
 pub mod table03_config;
 pub mod workloads;
 
-use crate::GpuConfig;
+pub use crate::options::RunOptions;
 
-/// Shared experiment options.
-#[derive(Copy, Clone, Debug, Default)]
-pub struct ExpOpts {
-    /// Simulate at most this many CTAs per representative SM (None = all).
-    pub sample_ctas: Option<usize>,
-}
-
-impl ExpOpts {
-    /// Fast settings for CI/tests: aggressive CTA sampling.
-    pub fn quick() -> ExpOpts {
-        ExpOpts {
-            sample_ctas: Some(2),
-        }
-    }
-
-    /// Applies the options to a GPU configuration.
-    pub fn apply(&self, mut cfg: GpuConfig) -> GpuConfig {
-        cfg.sample_ctas = self.sample_ctas;
-        cfg
-    }
-}
-
+use crate::GpuRunResult;
+use crate::gpu::layer_run_opts;
 use crate::networks::{self, LayerSpec};
-use crate::{GpuRunResult, layer_run};
 use duplo_core::LhbConfig;
 
 /// The LHB configurations of the paper's size sweeps (Fig. 9/10).
@@ -93,7 +72,7 @@ impl LayerSweep {
 pub fn sweep_layers(
     layers: &[LayerSpec],
     configs: &[LhbConfig],
-    opts: &ExpOpts,
+    opts: &RunOptions,
 ) -> Vec<LayerSweep> {
     let gpu = opts.apply(crate::GpuConfig::titan_v());
     let params: Vec<_> = layers.iter().map(|l| l.lowered()).collect();
@@ -102,7 +81,9 @@ pub fn sweep_layers(
             std::iter::once((li, None)).chain(configs.iter().map(move |c| (li, Some(*c))))
         })
         .collect();
-    let results = crate::runner::par_map(&jobs, |&(li, lhb)| layer_run(&params[li], lhb, &gpu));
+    let results = crate::runner::par_map_opt(opts.threads, &jobs, |&(li, lhb)| {
+        layer_run_opts(&params[li], lhb, &gpu, opts)
+    });
 
     let mut it = results.into_iter();
     layers
@@ -167,7 +148,7 @@ pub struct ExperimentSpec {
     /// EXPERIMENTS.md set; extensions and ablations are standalone-only).
     pub in_all: bool,
     /// Runs the experiment.
-    pub run: fn(&ExpOpts) -> ExperimentOutput,
+    pub run: fn(&RunOptions) -> ExperimentOutput,
 }
 
 /// All registered experiments, in `all_experiments` output order (the
@@ -181,7 +162,37 @@ pub fn find_experiment(name: &str) -> Option<&'static ExperimentSpec> {
     REGISTRY.iter().find(|s| s.name == name)
 }
 
-fn run_table03(_opts: &ExpOpts) -> ExperimentOutput {
+/// Nearest registry name to a misspelled `name` by edit distance, for
+/// "did you mean" diagnostics. Only suggests when the distance is small
+/// relative to the query (at most half its length), so garbage input gets
+/// no suggestion rather than an arbitrary one.
+pub fn suggest_experiment(name: &str) -> Option<&'static str> {
+    let limit = name.chars().count().div_ceil(2).max(2);
+    REGISTRY
+        .iter()
+        .map(|s| (edit_distance(name, s.name), s.name))
+        .min()
+        .filter(|&(d, _)| d <= limit)
+        .map(|(_, n)| n)
+}
+
+/// Levenshtein distance (two-row dynamic program over chars).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.chars().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+fn run_table03(_opts: &RunOptions) -> ExperimentOutput {
     let cfg = crate::GpuConfig::titan_v();
     ExperimentOutput {
         rendered: table03_config::render(&cfg),
@@ -189,7 +200,7 @@ fn run_table03(_opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_fig02(_opts: &ExpOpts) -> ExperimentOutput {
+fn run_fig02(_opts: &RunOptions) -> ExperimentOutput {
     let fig = fig02_speedup::run();
     ExperimentOutput {
         rendered: fig02_speedup::render(&fig),
@@ -197,7 +208,7 @@ fn run_fig02(_opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_fig03(_opts: &ExpOpts) -> ExperimentOutput {
+fn run_fig03(_opts: &RunOptions) -> ExperimentOutput {
     let fig = fig03_memusage::run();
     ExperimentOutput {
         rendered: fig03_memusage::render(&fig),
@@ -205,7 +216,7 @@ fn run_fig03(_opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_table02(_opts: &ExpOpts) -> ExperimentOutput {
+fn run_table02(_opts: &RunOptions) -> ExperimentOutput {
     let steps = table02_workflow::run();
     ExperimentOutput {
         rendered: table02_workflow::render(&steps),
@@ -213,7 +224,7 @@ fn run_table02(_opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_fig09(opts: &ExpOpts) -> ExperimentOutput {
+fn run_fig09(opts: &RunOptions) -> ExperimentOutput {
     let sweeps = fig09_lhb_size::run(opts);
     ExperimentOutput {
         rendered: fig09_lhb_size::render(&sweeps),
@@ -221,7 +232,7 @@ fn run_fig09(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_fig10(opts: &ExpOpts) -> ExperimentOutput {
+fn run_fig10(opts: &RunOptions) -> ExperimentOutput {
     let sweeps = fig10_hit_rate::run(opts);
     ExperimentOutput {
         rendered: fig10_hit_rate::render(&sweeps),
@@ -229,7 +240,7 @@ fn run_fig10(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_fig11(opts: &ExpOpts) -> ExperimentOutput {
+fn run_fig11(opts: &RunOptions) -> ExperimentOutput {
     let rows = fig11_mem_breakdown::run(opts);
     ExperimentOutput {
         rendered: fig11_mem_breakdown::render(&rows),
@@ -237,7 +248,7 @@ fn run_fig11(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_fig12(opts: &ExpOpts) -> ExperimentOutput {
+fn run_fig12(opts: &RunOptions) -> ExperimentOutput {
     let sweeps = fig12_assoc::run(opts);
     ExperimentOutput {
         rendered: fig12_assoc::render(&sweeps),
@@ -245,7 +256,7 @@ fn run_fig12(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_fig13(opts: &ExpOpts) -> ExperimentOutput {
+fn run_fig13(opts: &RunOptions) -> ExperimentOutput {
     let rows = fig13_batch::run(opts);
     ExperimentOutput {
         rendered: fig13_batch::render(&rows),
@@ -253,7 +264,7 @@ fn run_fig13(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_fig14(opts: &ExpOpts) -> ExperimentOutput {
+fn run_fig14(opts: &RunOptions) -> ExperimentOutput {
     let rows = fig14_network::run(opts);
     ExperimentOutput {
         rendered: fig14_network::render(&rows),
@@ -261,7 +272,7 @@ fn run_fig14(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_sec5h(opts: &ExpOpts) -> ExperimentOutput {
+fn run_sec5h(opts: &RunOptions) -> ExperimentOutput {
     let e = sec5h_energy::run(opts);
     ExperimentOutput {
         rendered: sec5h_energy::render(&e),
@@ -269,7 +280,7 @@ fn run_sec5h(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_sec2c(opts: &ExpOpts) -> ExperimentOutput {
+fn run_sec2c(opts: &RunOptions) -> ExperimentOutput {
     let rows = sec2c_smem::run(opts);
     ExperimentOutput {
         rendered: sec2c_smem::render(&rows),
@@ -277,7 +288,7 @@ fn run_sec2c(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_ablations(opts: &ExpOpts) -> ExperimentOutput {
+fn run_ablations(opts: &RunOptions) -> ExperimentOutput {
     let rows = ablations::run(opts);
     ExperimentOutput {
         rendered: ablations::render(&rows),
@@ -285,7 +296,7 @@ fn run_ablations(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_ext_wir(opts: &ExpOpts) -> ExperimentOutput {
+fn run_ext_wir(opts: &RunOptions) -> ExperimentOutput {
     let rows = ext_wir::run(opts);
     ExperimentOutput {
         rendered: ext_wir::render(&rows),
@@ -293,7 +304,7 @@ fn run_ext_wir(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_ext_implicit(opts: &ExpOpts) -> ExperimentOutput {
+fn run_ext_implicit(opts: &RunOptions) -> ExperimentOutput {
     let rows = ext_implicit::run(opts);
     ExperimentOutput {
         rendered: ext_implicit::render(&rows),
@@ -301,7 +312,7 @@ fn run_ext_implicit(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_wl_attention(opts: &ExpOpts) -> ExperimentOutput {
+fn run_wl_attention(opts: &RunOptions) -> ExperimentOutput {
     let rows = workloads::attention::run(opts);
     ExperimentOutput {
         rendered: workloads::attention::render(&rows),
@@ -309,7 +320,7 @@ fn run_wl_attention(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_wl_batched(opts: &ExpOpts) -> ExperimentOutput {
+fn run_wl_batched(opts: &RunOptions) -> ExperimentOutput {
     let rows = workloads::batched::run(opts);
     ExperimentOutput {
         rendered: workloads::batched::render(&rows),
@@ -317,7 +328,7 @@ fn run_wl_batched(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_wl_grouped(opts: &ExpOpts) -> ExperimentOutput {
+fn run_wl_grouped(opts: &RunOptions) -> ExperimentOutput {
     let rows = workloads::grouped::run(opts);
     ExperimentOutput {
         rendered: workloads::grouped::render(&rows),
@@ -325,7 +336,7 @@ fn run_wl_grouped(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_wl_kn2row(opts: &ExpOpts) -> ExperimentOutput {
+fn run_wl_kn2row(opts: &RunOptions) -> ExperimentOutput {
     let rows = workloads::kn2row::run(opts);
     ExperimentOutput {
         rendered: workloads::kn2row::render(&rows),
@@ -333,7 +344,7 @@ fn run_wl_kn2row(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_wl_membound(opts: &ExpOpts) -> ExperimentOutput {
+fn run_wl_membound(opts: &RunOptions) -> ExperimentOutput {
     let rows = workloads::membound::run(opts);
     ExperimentOutput {
         rendered: workloads::membound::render(&rows),
@@ -341,7 +352,7 @@ fn run_wl_membound(opts: &ExpOpts) -> ExperimentOutput {
     }
 }
 
-fn run_wl_slice_camp(opts: &ExpOpts) -> ExperimentOutput {
+fn run_wl_slice_camp(opts: &RunOptions) -> ExperimentOutput {
     let rows = workloads::slice_camp::run(opts);
     ExperimentOutput {
         rendered: workloads::slice_camp::render(&rows),
@@ -601,6 +612,17 @@ mod registry_tests {
     }
 
     #[test]
+    fn suggest_recovers_near_misses_but_not_garbage() {
+        assert_eq!(suggest_experiment("fig9_lhb_size"), Some("fig09_lhb_size"));
+        assert_eq!(suggest_experiment("smem_polcy"), Some("smem_policy"));
+        assert_eq!(suggest_experiment("wl_atention"), Some("wl_attention"));
+        assert_eq!(suggest_experiment("zzzzzzzzzzzzzzzzzzzzzz"), None);
+        // Exact names suggest themselves (distance 0) — callers only ask
+        // after find_experiment fails, so this is never user-visible.
+        assert_eq!(suggest_experiment("ablations"), Some("ablations"));
+    }
+
+    #[test]
     fn registry_covers_all_experiments_plus_extensions() {
         assert_eq!(registry().len(), 21);
         assert_eq!(registry().iter().filter(|s| s.in_all).count(), 12);
@@ -614,7 +636,7 @@ mod registry_tests {
     fn registry_results_carry_the_registered_name_and_title() {
         // Cheap structural check on an analytic (no-simulation) entry.
         let spec = find_experiment("fig02_speedup").unwrap();
-        let out = (spec.run)(&ExpOpts::quick());
+        let out = (spec.run)(&RunOptions::quick());
         assert_eq!(out.result.name, spec.name);
         assert_eq!(out.result.title, spec.title);
         assert!(!out.rendered.is_empty());

@@ -5,7 +5,7 @@
 //! 29.7% thanks to the extra thread-level parallelism, becoming the
 //! baseline kernel.
 
-use super::ExpOpts;
+use super::RunOptions;
 use crate::report::{Table, fmt_pct};
 use crate::{GpuConfig, GpuSim};
 use duplo_isa::Kernel as _;
@@ -25,14 +25,14 @@ pub struct Row {
 }
 
 /// Runs the study on a representative GEMM (ResNet C4-sized).
-pub fn run(opts: &ExpOpts) -> Vec<Row> {
+pub fn run(opts: &RunOptions) -> Vec<Row> {
     let gpu = opts.apply(GpuConfig::titan_v());
     [SmemPolicy::AllAbc, SmemPolicy::AAndC, SmemPolicy::COnly]
         .iter()
         .map(|&policy| {
             let kern = GemmTcKernel::new(8 * 28 * 28, 128, 1152, policy);
             let per_cta = kern.shared_mem_per_cta();
-            let r = GpuSim::new(gpu.clone()).run(&kern);
+            let r = GpuSim::with_options(gpu.clone(), opts.clone()).run(&kern);
             Row {
                 policy: policy.label(),
                 resident_ctas: 96 * 1024 / per_cta,
@@ -44,7 +44,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Row> {
 }
 
 /// Structured result: per-policy cycles, residency, and metrics.
-pub fn result(rows: &[Row], opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(rows: &[Row], opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let all = rows[0].cycles;
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn c_only_is_fastest_policy() {
-        let rows = run(&ExpOpts::quick());
+        let rows = run(&RunOptions::quick());
         assert_eq!(rows.len(), 3);
         let c_only = rows[2].cycles;
         assert!(

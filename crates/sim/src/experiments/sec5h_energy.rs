@@ -1,8 +1,8 @@
 //! §V-H: energy reduction and area overhead.
 
-use super::{ExpOpts, table1_layers};
+use super::{RunOptions, table1_layers};
 use crate::report::{Table, fmt_pct_plain};
-use crate::{GpuConfig, layer_run};
+use crate::{GpuConfig, layer_run_opts};
 use duplo_core::LhbConfig;
 use duplo_energy::{AreaModel, EnergyReport};
 
@@ -32,12 +32,12 @@ pub struct Energy {
 
 /// Runs the energy/area assessment with the default 1024-entry LHB (one
 /// parallel job per layer; rows stay in catalog order).
-pub fn run(opts: &ExpOpts) -> Energy {
+pub fn run(opts: &RunOptions) -> Energy {
     let gpu = opts.apply(GpuConfig::titan_v());
-    let rows: Vec<Row> = crate::runner::par_map(&table1_layers(), |l| {
+    let rows: Vec<Row> = crate::runner::par_map_opt(opts.threads, &table1_layers(), |l| {
         let p = l.lowered();
-        let base = layer_run(&p, None, &gpu);
-        let duplo = layer_run(&p, Some(LhbConfig::paper_default()), &gpu);
+        let base = layer_run_opts(&p, None, &gpu, opts);
+        let duplo = layer_run_opts(&p, Some(LhbConfig::paper_default()), &gpu, opts);
         let be = base.energy();
         let de = duplo.energy();
         Row {
@@ -63,7 +63,7 @@ pub fn run(opts: &ExpOpts) -> Energy {
 }
 
 /// Structured result: per-layer energy plus the area sweep.
-pub fn result(e: &Energy, opts: &ExpOpts) -> crate::results::ExperimentResult {
+pub fn result(e: &Energy, opts: &RunOptions) -> crate::results::ExperimentResult {
     use crate::json::Json;
     use crate::results::{ExperimentResult, opts_json};
     let rows: Vec<Json> = e
@@ -134,13 +134,15 @@ pub fn render(e: &Energy) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer_run;
     use crate::networks;
     use duplo_core::LhbConfig as Lc;
 
     #[test]
     fn duplo_saves_energy_on_duplication_heavy_layer() {
-        let opts = ExpOpts {
+        let opts = RunOptions {
             sample_ctas: Some(3),
+            ..RunOptions::default()
         };
         let gpu = opts.apply(GpuConfig::titan_v());
         let p = networks::resnet()[1].lowered();

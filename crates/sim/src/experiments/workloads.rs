@@ -12,7 +12,7 @@
 //! with no lowered-convolution workspace (attention, streaming) leave the
 //! detection unit power-gated, so their Duplo speedup is exactly 1.0.
 
-use super::ExpOpts;
+use super::RunOptions;
 use crate::json::Json;
 use crate::report::{Table, fmt_pct_plain, gmean};
 use crate::results::{ExperimentResult, opts_json};
@@ -54,16 +54,22 @@ impl WlRow {
 /// Simulates every kernel twice — baseline (LHB off) and Duplo (paper
 /// default LHB) — fanning the whole grid out over the runner pool, then
 /// folds each `(item, launches)` descriptor with its pair into a row.
-fn run_rows(items: &[(String, usize)], kernels: &[Box<dyn Kernel>], gpu: &GpuConfig) -> Vec<WlRow> {
+fn run_rows(
+    items: &[(String, usize)],
+    kernels: &[Box<dyn Kernel>],
+    gpu: &GpuConfig,
+    opts: &RunOptions,
+) -> Vec<WlRow> {
     assert_eq!(items.len(), kernels.len());
     let jobs: Vec<(usize, bool)> = (0..kernels.len())
         .flat_map(|i| [(i, false), (i, true)])
         .collect();
-    let results: Vec<GpuRunResult> = crate::runner::par_map(&jobs, |&(i, duplo)| {
-        let mut cfg = gpu.clone();
-        cfg.sm.lhb = duplo.then(LhbConfig::paper_default);
-        GpuSim::new(cfg).run(kernels[i].as_ref())
-    });
+    let results: Vec<GpuRunResult> =
+        crate::runner::par_map_opt(opts.threads, &jobs, |&(i, duplo)| {
+            let mut cfg = gpu.clone();
+            cfg.sm.lhb = duplo.then(LhbConfig::paper_default);
+            GpuSim::with_options(cfg, opts.clone()).run(kernels[i].as_ref())
+        });
     let mut it = results.into_iter();
     items
         .iter()
@@ -89,7 +95,7 @@ fn result_rows(
     name: &'static str,
     title: &'static str,
     rows: &[WlRow],
-    opts: &ExpOpts,
+    opts: &RunOptions,
 ) -> ExperimentResult {
     let json_rows: Vec<Json> = rows
         .iter()
@@ -166,7 +172,7 @@ pub mod attention {
     const HEADS: usize = 8;
 
     /// Runs the workload.
-    pub fn run(opts: &ExpOpts) -> Vec<WlRow> {
+    pub fn run(opts: &RunOptions) -> Vec<WlRow> {
         let gpu = opts.apply(GpuConfig::titan_v());
         // seq=128, d_head=64: scores = Q(128x64)·Kᵀ(64x128), out = P(128x128)·V(128x64).
         let kernels: Vec<Box<dyn Kernel>> = vec![
@@ -177,11 +183,11 @@ pub mod attention {
             ("Q.K^T per head".to_string(), HEADS),
             ("P.V per head".to_string(), HEADS),
         ];
-        run_rows(&items, &kernels, &gpu)
+        run_rows(&items, &kernels, &gpu, opts)
     }
 
     /// Structured result.
-    pub fn result(rows: &[WlRow], opts: &ExpOpts) -> ExperimentResult {
+    pub fn result(rows: &[WlRow], opts: &RunOptions) -> ExperimentResult {
         result_rows(NAME, TITLE, rows, opts)
     }
 
@@ -207,7 +213,7 @@ pub mod batched {
     pub const TITLE: &str = "WL — batched small convolution GEMMs";
 
     /// Runs the workload.
-    pub fn run(opts: &ExpOpts) -> Vec<WlRow> {
+    pub fn run(opts: &RunOptions) -> Vec<WlRow> {
         let gpu = opts.apply(GpuConfig::titan_v());
         let layers = [
             (Nhwc::new(8, 14, 14, 32), 64usize),
@@ -228,11 +234,11 @@ pub mod batched {
             ));
             kernels.push(Box::new(GemmTcKernel::from_conv(&p, SmemPolicy::COnly)));
         }
-        run_rows(&items, &kernels, &gpu)
+        run_rows(&items, &kernels, &gpu, opts)
     }
 
     /// Structured result.
-    pub fn result(rows: &[WlRow], opts: &ExpOpts) -> ExperimentResult {
+    pub fn result(rows: &[WlRow], opts: &RunOptions) -> ExperimentResult {
         result_rows(NAME, TITLE, rows, opts)
     }
 
@@ -258,7 +264,7 @@ pub mod grouped {
     pub const TITLE: &str = "WL — grouped/depthwise convolution (G = 1..64)";
 
     /// Runs the workload.
-    pub fn run(opts: &ExpOpts) -> Vec<WlRow> {
+    pub fn run(opts: &RunOptions) -> Vec<WlRow> {
         let gpu = opts.apply(GpuConfig::titan_v());
         let mut items = Vec::new();
         let mut kernels: Vec<Box<dyn Kernel>> = Vec::new();
@@ -273,11 +279,11 @@ pub mod grouped {
             items.push((label, g));
             kernels.push(Box::new(GemmTcKernel::from_conv(&p, SmemPolicy::COnly)));
         }
-        run_rows(&items, &kernels, &gpu)
+        run_rows(&items, &kernels, &gpu, opts)
     }
 
     /// Structured result.
-    pub fn result(rows: &[WlRow], opts: &ExpOpts) -> ExperimentResult {
+    pub fn result(rows: &[WlRow], opts: &RunOptions) -> ExperimentResult {
         result_rows(NAME, TITLE, rows, opts)
     }
 
@@ -303,7 +309,7 @@ pub mod kn2row {
     pub const TITLE: &str = "WL — kn2row lowering vs im2col";
 
     /// Runs the workload.
-    pub fn run(opts: &ExpOpts) -> Vec<WlRow> {
+    pub fn run(opts: &RunOptions) -> Vec<WlRow> {
         let gpu = opts.apply(GpuConfig::titan_v());
         let input = Nhwc::new(4, 28, 28, 64);
         let im2col =
@@ -320,11 +326,11 @@ pub mod kn2row {
             Box::new(GemmTcKernel::from_conv(&im2col, SmemPolicy::COnly)),
             Box::new(GemmTcKernel::from_conv(&one_by_one, SmemPolicy::COnly)),
         ];
-        run_rows(&items, &kernels, &gpu)
+        run_rows(&items, &kernels, &gpu, opts)
     }
 
     /// Structured result.
-    pub fn result(rows: &[WlRow], opts: &ExpOpts) -> ExperimentResult {
+    pub fn result(rows: &[WlRow], opts: &RunOptions) -> ExperimentResult {
         result_rows(NAME, TITLE, rows, opts)
     }
 
@@ -350,15 +356,15 @@ pub mod membound {
     pub const TITLE: &str = "WL — memory-bound streaming kernel (adversarial)";
 
     /// Runs the workload.
-    pub fn run(opts: &ExpOpts) -> Vec<WlRow> {
+    pub fn run(opts: &RunOptions) -> Vec<WlRow> {
         let gpu = opts.apply(GpuConfig::titan_v());
         let items = vec![("stream 64 CTAs x 8 warps x 128 lines".to_string(), 1)];
         let kernels: Vec<Box<dyn Kernel>> = vec![Box::new(StreamKernel::new(64, 8, 128))];
-        run_rows(&items, &kernels, &gpu)
+        run_rows(&items, &kernels, &gpu, opts)
     }
 
     /// Structured result.
-    pub fn result(rows: &[WlRow], opts: &ExpOpts) -> ExperimentResult {
+    pub fn result(rows: &[WlRow], opts: &RunOptions) -> ExperimentResult {
         result_rows(NAME, TITLE, rows, opts)
     }
 
@@ -440,18 +446,19 @@ pub mod slice_camp {
     }
 
     /// Runs the workload: one strided stream per hash kind.
-    pub fn run(opts: &ExpOpts) -> Vec<CampRow> {
+    pub fn run(opts: &RunOptions) -> Vec<CampRow> {
         let kernel = StreamKernel::strided(16, 4, 32, STRIDE_LINES);
         let hashes = [
             ("mod (camped)", HashKind::Mod),
             ("xor (spread)", HashKind::XorFold),
         ];
-        let results: Vec<GpuRunResult> = crate::runner::par_map(&hashes, |&(_, hash)| {
-            let mut cfg = opts.apply(GpuConfig::titan_v());
-            cfg.sm.lhb = None;
-            cfg.sm.hierarchy = cfg.sm.hierarchy.sliced(SLICES, hash);
-            GpuSim::new(cfg).run(&kernel)
-        });
+        let results: Vec<GpuRunResult> =
+            crate::runner::par_map_opt(opts.threads, &hashes, |&(_, hash)| {
+                let mut cfg = opts.apply(GpuConfig::titan_v());
+                cfg.sm.lhb = None;
+                cfg.sm.hierarchy = cfg.sm.hierarchy.sliced(SLICES, hash);
+                GpuSim::with_options(cfg, opts.clone()).run(&kernel)
+            });
         hashes
             .iter()
             .zip(&results)
@@ -460,7 +467,7 @@ pub mod slice_camp {
     }
 
     /// Structured result.
-    pub fn result(rows: &[CampRow], opts: &ExpOpts) -> ExperimentResult {
+    pub fn result(rows: &[CampRow], opts: &RunOptions) -> ExperimentResult {
         let json_rows: Vec<Json> = rows
             .iter()
             .map(|r| {
@@ -528,9 +535,10 @@ pub mod slice_camp {
 mod tests {
     use super::*;
 
-    fn quick() -> ExpOpts {
-        ExpOpts {
+    fn quick() -> RunOptions {
+        RunOptions {
             sample_ctas: Some(2),
+            ..RunOptions::default()
         }
     }
 

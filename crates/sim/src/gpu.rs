@@ -13,7 +13,9 @@ use duplo_core::LhbConfig;
 use duplo_energy::{EnergyCounts, EnergyModel, EnergyReport};
 use duplo_isa::Kernel;
 use duplo_kernels::{GemmTcKernel, SmemPolicy};
-use duplo_sm::{SmConfig, SmStats, SmTraceData, run_kernel, run_kernel_traced};
+use duplo_sm::{SmConfig, SmStats, SmTraceData, run_kernel_mode, run_kernel_traced_mode};
+
+use crate::options::RunOptions;
 
 /// Whole-GPU configuration.
 #[derive(Clone, Debug)]
@@ -123,17 +125,35 @@ impl GpuRunResult {
 /// The whole-GPU simulator.
 pub struct GpuSim {
     config: GpuConfig,
+    opts: RunOptions,
 }
 
 impl GpuSim {
-    /// Creates a simulator.
+    /// Creates a simulator with default run options (every execution
+    /// knob — threads, cache directory, loop mode — defers to the
+    /// process-global fallbacks, exactly the historical behavior).
     pub fn new(config: GpuConfig) -> GpuSim {
-        GpuSim { config }
+        GpuSim::with_options(config, RunOptions::default())
+    }
+
+    /// Creates a simulator with explicit [`RunOptions`]: the thread cap,
+    /// cache controls, and loop mode travel by value with this instance,
+    /// so concurrent simulators (a `duplo serve` worker pool) can run
+    /// under different settings in one process. Only the execution knobs
+    /// are read here — configuration-shaping options
+    /// ([`RunOptions::apply`]) must already be on `config`.
+    pub fn with_options(config: GpuConfig, opts: RunOptions) -> GpuSim {
+        GpuSim { config, opts }
     }
 
     /// The configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.config
+    }
+
+    /// The run options.
+    pub fn options(&self) -> &RunOptions {
+        &self.opts
     }
 
     /// Runs `kernel` on the simulated GPU.
@@ -168,7 +188,9 @@ impl GpuSim {
         if crate::trace::is_active() {
             return self.run_traced(kernel);
         }
-        crate::cache::run_cached(&self.config, kernel, || self.run_uncached(kernel))
+        crate::cache::run_cached_ctl(&self.opts.cache_ctl(), &self.config, kernel, || {
+            self.run_uncached(kernel)
+        })
     }
 
     /// The simulation itself, with no memoization (see [`crate::cache`]).
@@ -176,14 +198,19 @@ impl GpuSim {
         let cfg = &self.config;
         let n_ctas = kernel.num_ctas();
         let sm_ids: Vec<usize> = (0..cfg.sms_simulated).collect();
-        let per_sm = crate::runner::par_map(&sm_ids, |&sm_id| {
+        let per_sm = crate::runner::par_map_opt(self.opts.threads, &sm_ids, |&sm_id| {
             // Round-robin CTA assignment, matching real rasterization.
             let share: Vec<usize> = (sm_id..n_ctas).step_by(cfg.total_sms).collect();
             if share.is_empty() {
                 return None;
             }
             let take = cfg.sample_ctas.unwrap_or(share.len()).min(share.len());
-            let stats = run_kernel(kernel, &share[..take], cfg.sm.clone());
+            let stats = run_kernel_mode(
+                kernel,
+                &share[..take],
+                cfg.sm.clone(),
+                self.opts.tick_reference,
+            );
             Some((share.len(), take, stats))
         });
         fold_per_sm(per_sm)
@@ -197,9 +224,10 @@ impl GpuSim {
     /// a hit is recorded as a timeline-less `cache_hit` record.
     fn run_traced(&self, kernel: &dyn Kernel) -> GpuRunResult {
         let cfg = &self.config;
+        let ctl = self.opts.cache_ctl();
         let opts = crate::trace::options().unwrap_or_default();
         let key = crate::digest::hex(crate::cache::run_key(cfg, kernel));
-        if let Some(r) = crate::cache::lookup_ready(cfg, kernel) {
+        if let Some(r) = crate::cache::lookup_ready_ctl(&ctl, cfg, kernel) {
             crate::log::debug(
                 "trace",
                 format_args!("{}: cache hit, no timeline recorded", kernel.name()),
@@ -221,13 +249,19 @@ impl GpuSim {
         let spec = opts.spec();
         let n_ctas = kernel.num_ctas();
         let sm_ids: Vec<usize> = (0..cfg.sms_simulated).collect();
-        let per_sm = crate::runner::par_map(&sm_ids, |&sm_id| {
+        let per_sm = crate::runner::par_map_opt(self.opts.threads, &sm_ids, |&sm_id| {
             let share: Vec<usize> = (sm_id..n_ctas).step_by(cfg.total_sms).collect();
             if share.is_empty() {
                 return None;
             }
             let take = cfg.sample_ctas.unwrap_or(share.len()).min(share.len());
-            let (stats, trace) = run_kernel_traced(kernel, &share[..take], cfg.sm.clone(), spec);
+            let (stats, trace) = run_kernel_traced_mode(
+                kernel,
+                &share[..take],
+                cfg.sm.clone(),
+                spec,
+                self.opts.tick_reference,
+            );
             Some((share.len(), take, stats, trace))
         });
         // Split stats from timelines, preserving `sm_id` order so both the
@@ -244,7 +278,7 @@ impl GpuSim {
             }
         }
         let result = fold_per_sm(parts);
-        crate::cache::publish(cfg, kernel, &result);
+        crate::cache::publish_ctl(&ctl, cfg, kernel, &result);
         let refs: Vec<&SmTraceData> = traces.iter().map(|(_, t)| t).collect();
         let (samples, dropped_samples) = crate::trace::aggregate_samples(&refs, spec.interval);
         let mut cta_spans = Vec::new();
@@ -392,10 +426,23 @@ fn accumulate(agg: &mut SmStats, s: &SmStats) {
 /// Simulates the lowered GEMM of one convolutional layer (the paper's §V
 /// per-layer experiments): baseline when `lhb` is `None`, Duplo otherwise.
 pub fn layer_run(params: &ConvParams, lhb: Option<LhbConfig>, config: &GpuConfig) -> GpuRunResult {
+    layer_run_opts(params, lhb, config, &RunOptions::default())
+}
+
+/// [`layer_run`] with explicit [`RunOptions`]: the execution knobs
+/// (threads, cache controls, loop mode) travel by value with the run.
+/// The experiment drivers use this so a whole invocation — CLI or
+/// service submission — is parameterized without process-global state.
+pub fn layer_run_opts(
+    params: &ConvParams,
+    lhb: Option<LhbConfig>,
+    config: &GpuConfig,
+    opts: &RunOptions,
+) -> GpuRunResult {
     let kernel = GemmTcKernel::from_conv(params, SmemPolicy::COnly);
     let mut cfg = config.clone();
     cfg.sm.lhb = lhb;
-    GpuSim::new(cfg).run(&kernel)
+    GpuSim::with_options(cfg, opts.clone()).run(&kernel)
 }
 
 #[cfg(test)]

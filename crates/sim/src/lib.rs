@@ -34,10 +34,13 @@ pub mod gpu;
 pub mod json;
 pub mod log;
 pub mod networks;
+pub mod options;
 pub mod report;
 pub mod results;
 pub mod runner;
+pub mod serve;
 pub mod trace;
 pub mod wtrace;
 
-pub use gpu::{GpuConfig, GpuRunResult, GpuSim, layer_run};
+pub use gpu::{GpuConfig, GpuRunResult, GpuSim, layer_run, layer_run_opts};
+pub use options::RunOptions;

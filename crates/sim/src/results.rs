@@ -9,7 +9,7 @@
 //! count live under an optional `host` block precisely so that JSON files
 //! are byte-identical across `DUPLO_THREADS` settings when it is omitted).
 
-use crate::experiments::ExpOpts;
+use crate::experiments::RunOptions;
 use crate::gpu::GpuRunResult;
 use crate::json::Json;
 
@@ -119,7 +119,7 @@ impl ExperimentResult {
 }
 
 /// Serializes the experiment options every driver records in `config`.
-pub fn opts_json(opts: &ExpOpts) -> Json {
+pub fn opts_json(opts: &RunOptions) -> Json {
     Json::obj().field("sample_ctas", opts.sample_ctas).build()
 }
 

@@ -46,9 +46,22 @@ static OVERRIDE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
 /// zero values are ignored), then [`std::thread::available_parallelism`]
 /// (falling back to 1 if unknown).
 pub fn max_threads() -> usize {
+    resolve_threads(None)
+}
+
+/// Like [`max_threads`], but with an explicit per-run request
+/// ([`crate::RunOptions::threads`]) slotted between the override guard
+/// and the environment: guard, then `explicit`, then `DUPLO_THREADS`,
+/// then [`std::thread::available_parallelism`]. The guard stays on top so
+/// the determinism suite's [`override_threads`] scopes beat options that
+/// merely snapshotted the environment.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::Acquire);
     if forced > 0 {
         return forced;
+    }
+    if let Some(n) = explicit.filter(|&n| n >= 1) {
+        return n;
     }
     if let Ok(v) = std::env::var("DUPLO_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
@@ -111,7 +124,20 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = max_threads().min(items.len());
+    par_map_opt(None, items, f)
+}
+
+/// [`par_map`] with an explicit per-run thread cap
+/// ([`crate::RunOptions::threads`]); `None` defers to the process-global
+/// resolution. This is the entry point the options-threaded simulation
+/// paths use, so two concurrent runs can fan out at different widths.
+pub fn par_map_opt<T, R, F>(threads: Option<usize>, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -234,5 +260,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_override_rejected() {
         let _ = override_threads(0);
+    }
+
+    #[test]
+    fn explicit_threads_lose_to_the_override_guard() {
+        {
+            let _g = override_threads(3);
+            assert_eq!(resolve_threads(Some(7)), 3, "guard beats explicit");
+        }
+        assert_eq!(resolve_threads(Some(7)), 7, "explicit beats env/default");
+        // Zero is treated as "no request", like an invalid DUPLO_THREADS.
+        assert!(resolve_threads(Some(0)) >= 1);
     }
 }

@@ -1,0 +1,864 @@
+//! `duplo serve` — a single-flight simulation service over HTTP/1.1 + JSON.
+//!
+//! A zero-dependency daemon (std [`TcpListener`] + the in-tree
+//! [`crate::json`] codec) that accepts experiment submissions and serves
+//! results and Perfetto traces by content digest:
+//!
+//! * `GET /v1/health` — liveness probe with worker/experiment counts,
+//! * `GET /v1/experiments` — the registry (name, paper anchor, title),
+//! * `POST /v1/submit` — run a registry experiment (by name) or an inline
+//!   wtrace document, with a strict per-request [`RunOptions`] overlay,
+//! * `GET /v1/results/<digest>` — re-fetch a previously computed result
+//!   body by its content digest,
+//! * `GET /v1/artifacts/<digest>` — fetch a Chrome trace-event document
+//!   captured by a `"trace": true` submission,
+//! * `POST /v1/shutdown` — drain the worker pool and exit cleanly.
+//!
+//! Submissions are executed through [`crate::GpuSim::with_options`], so
+//! every run-affecting knob travels by value: two in-flight requests can
+//! sample differently, pick different memory sides, or run the
+//! tick-by-tick reference loop, without touching process globals. All
+//! requests share the process run cache — its single-flight in-memory
+//! tier plus the disk tier — so N concurrent identical submissions cost
+//! one simulation, and a warm daemon answers from the cache entirely.
+//!
+//! Every error is a structured JSON body with the matching 4xx/5xx
+//! status, `{"error": {"status": .., "kind": "..", "message": ".."}}` —
+//! the daemon never panics a connection away and never drops one without
+//! a response. Handler panics are caught and surface as 500s.
+//!
+//! Response bodies are the *stable* result form ([`crate::results`]
+//! without the volatile `host` block), byte-identical to
+//! `duplo run <name> --json` under `DUPLO_JSON_STABLE` — the CI serve
+//! gate diffs the two.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use crate::json::{Json, parse};
+use crate::options::RunOptions;
+use crate::{cache, digest, experiments, log, trace, wtrace};
+
+/// Maximum accepted request-head size (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Baseline run options for submissions; each request overlays its
+    /// `options` object on a clone of these
+    /// ([`RunOptions::merge_wire`]).
+    pub defaults: RunOptions,
+    /// Whether `defaults` carries an explicit sampling choice. When
+    /// `false`, a submission that doesn't set `sample_ctas`/`full` falls
+    /// back to the experiment's registry default — the same rule
+    /// `duplo run <name>` applies.
+    pub explicit_sample: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body_bytes: 8 * 1024 * 1024,
+            defaults: RunOptions::default(),
+            explicit_sample: false,
+        }
+    }
+}
+
+/// Shared daemon state.
+struct ServerState {
+    opts: ServeOptions,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    /// Pending accepted connections, drained by the worker pool.
+    queue: Mutex<Vec<TcpStream>>,
+    queue_cv: Condvar,
+    /// Digest-addressed result bodies (`/v1/results/<digest>`).
+    results: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    /// Digest-addressed trace documents (`/v1/artifacts/<digest>`).
+    artifacts: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    /// Trace sessions are process-global, so a traced submission must run
+    /// exclusively: it takes the write side, plain submissions the read
+    /// side (and proceed concurrently among themselves).
+    trace_gate: RwLock<()>,
+}
+
+/// A running daemon; [`Server::join`] blocks until shutdown completes.
+pub struct Server {
+    state: Arc<ServerState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon: one listener thread plus
+    /// `opts.workers` connection workers.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = opts.workers.max(1);
+        let state = Arc::new(ServerState {
+            opts,
+            addr,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(Vec::new()),
+            queue_cv: Condvar::new(),
+            results: Mutex::new(HashMap::new()),
+            artifacts: Mutex::new(HashMap::new()),
+            trace_gate: RwLock::new(()),
+        });
+        let mut threads = Vec::new();
+        {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || listen_loop(&state, &listener)));
+        }
+        for _ in 0..workers {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || worker_loop(&state)));
+        }
+        log::info(
+            "serve",
+            format_args!("listening on {addr} ({workers} workers)"),
+        );
+        Ok(Server { state, threads })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Requests shutdown (idempotent): stop accepting, drain the queue.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.state);
+    }
+
+    /// Waits for the listener and every worker to exit. Call
+    /// [`Server::shutdown`] first (or POST `/v1/shutdown`) or this blocks
+    /// forever.
+    pub fn join(self) {
+        for t in self.threads {
+            t.join().expect("server thread panicked");
+        }
+    }
+}
+
+fn request_shutdown(state: &ServerState) {
+    if state.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // The listener blocks in accept(); poke it awake so it observes the
+    // flag. The connection itself is discarded by the accept loop.
+    drop(TcpStream::connect(state.addr));
+    state.queue_cv.notify_all();
+}
+
+fn listen_loop(state: &ServerState, listener: &TcpListener) {
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let mut q = state.queue.lock().unwrap_or_else(|e| e.into_inner());
+                q.push(stream);
+                drop(q);
+                state.queue_cv.notify_one();
+            }
+            Err(e) => log::info("serve", format_args!("accept error: {e}")),
+        }
+    }
+    // No more connections will be queued; release any idle workers.
+    state.queue_cv.notify_all();
+}
+
+fn worker_loop(state: &ServerState) {
+    loop {
+        let stream = {
+            let mut q = state.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = q.pop() {
+                    break Some(s);
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = state.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(stream) = stream else { return };
+        handle_connection(state, stream);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------------
+
+/// A parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// An outgoing response; `extra` carries endpoint-specific headers.
+struct Response {
+    status: u16,
+    body: Vec<u8>,
+    extra: Vec<(String, String)>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body: body.into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        _ => "Unknown",
+    }
+}
+
+fn error_kind(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        413 => "payload_too_large",
+        500 => "internal",
+        501 => "not_implemented",
+        _ => "error",
+    }
+}
+
+/// The structured error body every failure path produces.
+fn error_response(status: u16, message: &str) -> Response {
+    let body = Json::obj()
+        .field(
+            "error",
+            Json::obj()
+                .field("status", u64::from(status))
+                .field("kind", error_kind(status))
+                .field("message", message)
+                .build(),
+        )
+        .build()
+        .to_pretty();
+    Response::json(status, body)
+}
+
+/// Reads one request from the stream. Errors come back as ready-made
+/// responses so malformed input never tears the connection down silently.
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, Response> {
+    // Head: request line + headers, up to the CRLFCRLF separator.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let body_start;
+    loop {
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(error_response(400, "request head exceeds 16 KiB"));
+        }
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| error_response(400, &format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(error_response(400, "connection closed mid-request"));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_crlfcrlf(&head) {
+            body_start = pos + 4;
+            break;
+        }
+    }
+    let head_text = String::from_utf8_lossy(&head[..body_start]);
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m.to_string(), p.to_string()),
+        _ => {
+            return Err(error_response(
+                400,
+                &format!("malformed request line: {request_line:?}"),
+            ));
+        }
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "transfer-encoding" {
+            return Err(error_response(
+                501,
+                "chunked transfer encoding is not supported; send Content-Length",
+            ));
+        }
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| error_response(400, &format!("invalid Content-Length: {value:?}")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(error_response(
+            413,
+            &format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = head[body_start..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| error_response(400, &format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(error_response(400, "connection closed mid-body"));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // A peer that hung up early is its own problem; nothing to salvage.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(&resp.body);
+    let _ = stream.flush();
+}
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let resp = match read_request(&mut stream, state.opts.max_body_bytes) {
+        Ok(req) => {
+            // A handler panic must answer the request, not kill the
+            // worker: surface it as a structured 500.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(state, &req))) {
+                Ok(resp) => resp,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    error_response(500, &format!("internal error: {msg}"))
+                }
+            }
+        }
+        Err(resp) => resp,
+    };
+    write_response(&mut stream, &resp);
+}
+
+// ---------------------------------------------------------------------------
+// Routing and handlers
+// ---------------------------------------------------------------------------
+
+fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/health") => handle_health(state),
+        ("GET", "/v1/experiments") => handle_experiments(),
+        ("POST", "/v1/submit") => handle_submit(state, &req.body),
+        ("POST", "/v1/shutdown") => {
+            request_shutdown(state);
+            Response::json(
+                200,
+                Json::obj()
+                    .field("status", "shutting down")
+                    .build()
+                    .to_pretty(),
+            )
+        }
+        ("GET", path) if path.starts_with("/v1/results/") => serve_blob(
+            &state.results,
+            path.trim_start_matches("/v1/results/"),
+            "result",
+        ),
+        ("GET", path) if path.starts_with("/v1/artifacts/") => serve_blob(
+            &state.artifacts,
+            path.trim_start_matches("/v1/artifacts/"),
+            "artifact",
+        ),
+        (_, "/v1/health" | "/v1/experiments") => error_response(405, "use GET"),
+        (_, "/v1/submit" | "/v1/shutdown") => error_response(405, "use POST"),
+        (_, path) if path.starts_with("/v1/results/") || path.starts_with("/v1/artifacts/") => {
+            error_response(405, "use GET")
+        }
+        (_, path) => error_response(404, &format!("no such endpoint: {path}")),
+    }
+}
+
+fn handle_health(state: &ServerState) -> Response {
+    let body = Json::obj()
+        .field("status", "ok")
+        .field("experiments", experiments::registry().len() as u64)
+        .field("workers", state.opts.workers.max(1) as u64)
+        .build()
+        .to_pretty();
+    Response::json(200, body)
+}
+
+fn handle_experiments() -> Response {
+    let rows: Vec<Json> = experiments::registry()
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .field("name", s.name)
+                .field("title", s.title)
+                .field("paper_ref", s.paper_ref)
+                .field_opt("default_sample", s.default_sample.map(|n| n as u64))
+                .field("in_all", s.in_all)
+                .build()
+        })
+        .collect();
+    let body = Json::obj()
+        .field("experiments", Json::Arr(rows))
+        .build()
+        .to_pretty();
+    Response::json(200, body)
+}
+
+fn serve_blob(store: &Mutex<HashMap<String, Arc<Vec<u8>>>>, key: &str, what: &str) -> Response {
+    let blob = store
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(key)
+        .cloned();
+    match blob {
+        Some(b) => Response {
+            status: 200,
+            body: b.as_ref().clone(),
+            extra: vec![("X-Duplo-Digest".to_string(), key.to_string())],
+        },
+        None => error_response(404, &format!("no {what} with digest {key:?}")),
+    }
+}
+
+/// Stores `body` by content digest and returns the digest hex.
+fn store_blob(store: &Mutex<HashMap<String, Arc<Vec<u8>>>>, body: &[u8]) -> String {
+    let key = digest::hex(digest::digest_bytes(body));
+    store
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .entry(key.clone())
+        .or_insert_with(|| Arc::new(body.to_vec()));
+    key
+}
+
+fn handle_submit(state: &ServerState, body: &[u8]) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(e) => return error_response(400, &format!("body is not UTF-8: {e}")),
+    };
+    // Strict decode: the parser's positional error goes out verbatim.
+    let doc = match parse(text) {
+        Ok(d) => d,
+        Err(e) => return error_response(400, &format!("body is not valid JSON: {e}")),
+    };
+    let Json::Obj(fields) = &doc else {
+        return error_response(400, "submission must be a JSON object");
+    };
+    let mut experiment = None;
+    let mut wtrace_doc = None;
+    let mut options = None;
+    let mut want_trace = false;
+    for (key, val) in fields {
+        match key.as_str() {
+            "experiment" => match val.as_str() {
+                Some(s) => experiment = Some(s.to_string()),
+                None => return error_response(400, "experiment must be a string"),
+            },
+            "wtrace" => wtrace_doc = Some(val.clone()),
+            "options" => options = Some(val.clone()),
+            "trace" => match val {
+                Json::Bool(b) => want_trace = *b,
+                _ => return error_response(400, "trace must be a boolean"),
+            },
+            other => return error_response(400, &format!("{other}: unknown field")),
+        }
+    }
+    match (experiment, wtrace_doc) {
+        (Some(_), Some(_)) => error_response(400, "experiment and wtrace are mutually exclusive"),
+        (None, None) => error_response(400, "submission needs an experiment name or a wtrace"),
+        (Some(name), None) => submit_experiment(state, &name, options.as_ref(), want_trace),
+        (None, Some(doc)) => {
+            if want_trace {
+                return error_response(
+                    400,
+                    "trace capture is not supported for wtrace submissions",
+                );
+            }
+            submit_wtrace(state, &doc, options.as_ref())
+        }
+    }
+}
+
+/// Resolves the per-submission options: server defaults, the experiment's
+/// registry sampling default (unless the server pinned one), then the
+/// request overlay.
+fn submission_options(
+    state: &ServerState,
+    default_sample: Option<usize>,
+    wire: Option<&Json>,
+) -> Result<RunOptions, String> {
+    let mut base = state.opts.defaults.clone();
+    if !state.opts.explicit_sample {
+        base.sample_ctas = default_sample;
+    }
+    match wire {
+        Some(v) => base.merge_wire(v),
+        None => Ok(base),
+    }
+}
+
+fn submit_experiment(
+    state: &ServerState,
+    name: &str,
+    wire: Option<&Json>,
+    want_trace: bool,
+) -> Response {
+    let Some(spec) = experiments::find_experiment(name) else {
+        let msg = match experiments::suggest_experiment(name) {
+            Some(hint) => format!("unknown experiment {name:?} (did you mean {hint:?}?)"),
+            None => format!("unknown experiment {name:?}"),
+        };
+        return error_response(404, &msg);
+    };
+    let opts = match submission_options(state, spec.default_sample, wire) {
+        Ok(o) => o,
+        Err(msg) => return error_response(400, &msg),
+    };
+    let before = cache::stats();
+    let (out, artifact) = if want_trace {
+        // Trace sessions are process-global: run exclusively.
+        let _g = state.trace_gate.write().unwrap_or_else(|e| e.into_inner());
+        let mut topts = trace::TraceOptions::default();
+        if let Some(n) = opts.trace_interval {
+            topts.interval = n;
+        }
+        let session = trace::capture(topts);
+        let out = (spec.run)(&opts);
+        let data = session.finish();
+        let chrome = data.to_chrome_json().to_pretty();
+        let key = store_blob(&state.artifacts, chrome.as_bytes());
+        log::info(
+            "serve",
+            format_args!(
+                "traced {} ({} runs) -> artifact {key}",
+                spec.name,
+                data.runs.len()
+            ),
+        );
+        (out, Some(key))
+    } else {
+        let _g = state.trace_gate.read().unwrap_or_else(|e| e.into_inner());
+        ((spec.run)(&opts), None)
+    };
+    let delta = cache::stats().since(&before);
+    // The stable result form: no host block, ever — responses must be
+    // byte-identical across cache states and thread counts.
+    let body = out.result.to_pretty();
+    let key = store_blob(&state.results, body.as_bytes());
+    log::info(
+        "serve",
+        format_args!(
+            "ran {} (cache hits={} misses={}) -> {key}",
+            spec.name, delta.hits, delta.misses
+        ),
+    );
+    let mut extra = vec![
+        ("X-Duplo-Digest".to_string(), key),
+        ("X-Duplo-Cache-Hits".to_string(), delta.hits.to_string()),
+        ("X-Duplo-Cache-Misses".to_string(), delta.misses.to_string()),
+    ];
+    if let Some(a) = artifact {
+        extra.push(("X-Duplo-Artifact".to_string(), a));
+    }
+    Response {
+        status: 200,
+        body: body.into_bytes(),
+        extra,
+    }
+}
+
+fn submit_wtrace(state: &ServerState, doc: &Json, wire: Option<&Json>) -> Response {
+    let records = match wtrace::decode(doc) {
+        Ok(r) => r,
+        Err(e) => return error_response(400, &format!("wtrace: {e}")),
+    };
+    let opts = match submission_options(state, None, wire) {
+        Ok(o) => o,
+        Err(msg) => return error_response(400, &msg),
+    };
+    let before = cache::stats();
+    let _g = state.trace_gate.read().unwrap_or_else(|e| e.into_inner());
+    let cfg = opts.apply(crate::GpuConfig::titan_v());
+    let mut rows = Vec::new();
+    for record in records {
+        let num_ctas = record.num_ctas;
+        let kernel = wtrace::TraceKernel::new(record);
+        let r = crate::GpuSim::with_options(cfg.clone(), opts.clone()).run(&kernel);
+        rows.push(
+            Json::obj()
+                .field("name", duplo_isa::Kernel::name(&kernel))
+                .field("num_ctas", num_ctas as u64)
+                .field("result", cache::result_to_json(&r))
+                .build(),
+        );
+    }
+    let delta = cache::stats().since(&before);
+    let body = Json::obj()
+        .field("schema", u64::from(crate::results::SCHEMA_VERSION))
+        .field("kernels", Json::Arr(rows))
+        .build()
+        .to_pretty();
+    let key = store_blob(&state.results, body.as_bytes());
+    Response {
+        status: 200,
+        body: body.into_bytes(),
+        extra: vec![
+            ("X-Duplo-Digest".to_string(), key),
+            ("X-Duplo-Cache-Hits".to_string(), delta.hits.to_string()),
+            ("X-Duplo-Cache-Misses".to_string(), delta.misses.to_string()),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP client (for `duplo submit`, CI, and the soak test)
+// ---------------------------------------------------------------------------
+
+/// A client-side view of one HTTP exchange.
+#[derive(Clone, Debug)]
+pub struct HttpReply {
+    /// Response status code.
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one `Connection: close` HTTP/1.1 exchange against `addr`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<HttpReply, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let sep = find_crlfcrlf(&raw).ok_or("malformed response: no header terminator")?;
+    let head_text = String::from_utf8_lossy(&raw[..sep]).to_string();
+    let mut lines = head_text.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let headers = lines
+        .filter_map(|l| {
+            l.split_once(':')
+                .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpReply {
+        status,
+        headers,
+        body: raw[sep + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_quiet() -> Server {
+        Server::start(ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        })
+        .expect("bind ephemeral port")
+    }
+
+    fn addr_of(server: &Server) -> String {
+        server.local_addr().to_string()
+    }
+
+    fn parse_error(reply: &HttpReply) -> (u64, String, String) {
+        let doc = parse(std::str::from_utf8(&reply.body).unwrap()).expect("error body parses");
+        let err = doc.get("error").expect("error object");
+        (
+            err.get("status").and_then(Json::as_u64).unwrap(),
+            err.get("kind").and_then(Json::as_str).unwrap().to_string(),
+            err.get("message")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        )
+    }
+
+    #[test]
+    fn health_and_experiments_respond() {
+        let server = start_quiet();
+        let addr = addr_of(&server);
+        let reply = http_request(&addr, "GET", "/v1/health", None).unwrap();
+        assert_eq!(reply.status, 200);
+        let doc = parse(std::str::from_utf8(&reply.body).unwrap()).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        let reply = http_request(&addr, "GET", "/v1/experiments", None).unwrap();
+        assert_eq!(reply.status, 200);
+        let doc = parse(std::str::from_utf8(&reply.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("experiments")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(experiments::registry().len())
+        );
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn malformed_submissions_get_structured_errors_never_dropped_connections() {
+        let server = start_quiet();
+        let addr = addr_of(&server);
+        // Invalid JSON: parse error verbatim, 400.
+        let reply = http_request(&addr, "POST", "/v1/submit", Some(b"{nope")).unwrap();
+        let (status, kind, msg) = parse_error(&reply);
+        assert_eq!((reply.status, status), (400, 400));
+        assert_eq!(kind, "bad_request");
+        assert!(msg.contains("not valid JSON"), "{msg}");
+        // Wrong shape.
+        let reply = http_request(&addr, "POST", "/v1/submit", Some(b"[1,2]")).unwrap();
+        assert_eq!(reply.status, 400);
+        // Unknown experiment: 404 with a suggestion.
+        let reply = http_request(
+            &addr,
+            "POST",
+            "/v1/submit",
+            Some(br#"{"experiment": "smem_polcy"}"#),
+        )
+        .unwrap();
+        let (_, kind, msg) = parse_error(&reply);
+        assert_eq!((reply.status, kind.as_str()), (404, "not_found"));
+        assert!(msg.contains("smem_policy"), "suggestion expected: {msg}");
+        // Strict options overlay.
+        let reply = http_request(
+            &addr,
+            "POST",
+            "/v1/submit",
+            Some(br#"{"experiment": "smem_policy", "options": {"smaple_ctas": 1}}"#),
+        )
+        .unwrap();
+        let (_, _, msg) = parse_error(&reply);
+        assert_eq!(reply.status, 400);
+        assert!(msg.contains("unknown field"), "{msg}");
+        // Unknown endpoint and wrong method.
+        let reply = http_request(&addr, "GET", "/v1/nope", None).unwrap();
+        assert_eq!(reply.status, 404);
+        let reply = http_request(&addr, "GET", "/v1/submit", None).unwrap();
+        assert_eq!(reply.status, 405);
+        // Oversized declared body.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"POST /v1/submit HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 413"), "{text}");
+        // Chunked transfer encoding is refused, not mis-parsed.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"POST /v1/submit HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 501"), "{text}");
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn garbage_bytes_get_a_400_not_a_hang() {
+        let server = start_quiet();
+        let addr = addr_of(&server);
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"\x00\x01\x02 garbage\r\n\r\n").unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        server.shutdown();
+        server.join();
+    }
+}

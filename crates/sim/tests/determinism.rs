@@ -5,7 +5,9 @@
 //! and `DUPLO_THREADS=4`, so both the env-variable path and the in-process
 //! override path of `duplo_sim::runner` are exercised.
 
-use duplo_sim::experiments::{ExpOpts, fig09_lhb_size, fig10_hit_rate, size_configs, sweep_layers};
+use duplo_sim::experiments::{
+    RunOptions, fig09_lhb_size, fig10_hit_rate, size_configs, sweep_layers,
+};
 use duplo_sim::networks::all_layers;
 use duplo_sim::runner;
 
@@ -22,7 +24,7 @@ fn probe_layers() -> Vec<duplo_sim::networks::LayerSpec> {
 }
 
 fn render_once() -> String {
-    let sweeps = sweep_layers(&probe_layers(), &size_configs(), &ExpOpts::quick());
+    let sweeps = sweep_layers(&probe_layers(), &size_configs(), &RunOptions::quick());
     format!(
         "{}{}",
         fig09_lhb_size::render(&sweeps),
@@ -56,7 +58,7 @@ fn experiment_tables_identical_at_one_and_many_threads() {
 fn json_results_identical_at_one_and_many_threads() {
     let _nocache = duplo_sim::cache::bypass();
     let json_once = || {
-        let opts = ExpOpts::quick();
+        let opts = RunOptions::quick();
         let sweeps = sweep_layers(&probe_layers(), &size_configs(), &opts);
         fig09_lhb_size::result(&sweeps, &opts).to_pretty()
     };

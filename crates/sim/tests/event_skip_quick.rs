@@ -10,7 +10,7 @@
 //! race other tests running concurrently in the same binary.
 
 use duplo_sim::cache;
-use duplo_sim::experiments::{ExpOpts, find_experiment};
+use duplo_sim::experiments::{RunOptions, find_experiment};
 use duplo_sm::force_tick_reference;
 
 #[test]
@@ -18,7 +18,7 @@ use duplo_sm::force_tick_reference;
 fn quick_registry_experiments_match_reference_loop() {
     // Cached results would short-circuit the simulation entirely.
     let _nocache = cache::bypass();
-    let opts = ExpOpts::quick();
+    let opts = RunOptions::quick();
     // A cheap cross-section: the shared-memory policy comparison (the
     // barrier/TLP-heavy shape the wakeup wheel accelerates most), the
     // Fig. 10 LHB hit-rate sweep, and the implicit-GEMM shared-path

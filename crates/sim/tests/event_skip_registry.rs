@@ -7,14 +7,14 @@
 //! `force_tick_reference` toggle and must own its process.
 
 use duplo_sim::cache;
-use duplo_sim::experiments::{ExpOpts, registry};
+use duplo_sim::experiments::{RunOptions, registry};
 use duplo_sm::force_tick_reference;
 
 #[test]
 #[ignore = "full registry x2 — run in release via scripts/ci.sh"]
 fn full_registry_matches_reference_loop() {
     let _nocache = cache::bypass();
-    let opts = ExpOpts::quick();
+    let opts = RunOptions::quick();
     for spec in registry() {
         force_tick_reference(false);
         let event = (spec.run)(&opts);

@@ -10,7 +10,9 @@
 //! ```
 
 use duplo_sim::experiments::workloads;
-use duplo_sim::experiments::{ExpOpts, fig02_speedup, fig10_hit_rate, size_configs, sweep_layers};
+use duplo_sim::experiments::{
+    RunOptions, fig02_speedup, fig10_hit_rate, size_configs, sweep_layers,
+};
 use duplo_sim::networks::all_layers;
 use duplo_sim::report::{Table, fmt_pct, fmt_x, gmean};
 use std::path::PathBuf;
@@ -94,7 +96,7 @@ fn fig02_speedup_golden() {
 }
 
 /// Pin the Fig. 10 hit-rate table on a small fixed subset of Table I
-/// layers under `ExpOpts::quick()`. The subset keeps debug-mode test time
+/// layers under `RunOptions::quick()`. The subset keeps debug-mode test time
 /// bounded (the full 22-layer sweep belongs to the experiment binaries);
 /// the three smallest-GEMM layers are picked deterministically from the
 /// catalog so the choice tracks any catalog change.
@@ -106,17 +108,17 @@ fn fig10_hit_rate_golden() {
         (m * n * k, l.qualified_name())
     });
     layers.truncate(3);
-    let sweeps = sweep_layers(&layers, &size_configs(), &ExpOpts::quick());
+    let sweeps = sweep_layers(&layers, &size_configs(), &RunOptions::quick());
     assert_golden("fig10_hit_rate_quick.txt", &fig10_hit_rate::render(&sweeps));
 }
 
-/// Pin the four workload-library summary tables under `ExpOpts::quick()`.
+/// Pin the four workload-library summary tables under `RunOptions::quick()`.
 /// These are the trace-frontend workloads (attention chain, batched small
 /// GEMMs, grouped/depthwise conv, kn2row): the snapshots make any drift in
 /// the workload definitions or the shared `WlRow` renderer reviewable.
 #[test]
 fn workload_attention_golden() {
-    let rows = workloads::attention::run(&ExpOpts::quick());
+    let rows = workloads::attention::run(&RunOptions::quick());
     assert_golden(
         "wl_attention_quick.txt",
         &workloads::attention::render(&rows),
@@ -125,19 +127,19 @@ fn workload_attention_golden() {
 
 #[test]
 fn workload_batched_gemm_golden() {
-    let rows = workloads::batched::run(&ExpOpts::quick());
+    let rows = workloads::batched::run(&RunOptions::quick());
     assert_golden("wl_batched_quick.txt", &workloads::batched::render(&rows));
 }
 
 #[test]
 fn workload_grouped_conv_golden() {
-    let rows = workloads::grouped::run(&ExpOpts::quick());
+    let rows = workloads::grouped::run(&RunOptions::quick());
     assert_golden("wl_grouped_quick.txt", &workloads::grouped::render(&rows));
 }
 
 #[test]
 fn workload_kn2row_golden() {
-    let rows = workloads::kn2row::run(&ExpOpts::quick());
+    let rows = workloads::kn2row::run(&RunOptions::quick());
     assert_golden("wl_kn2row_quick.txt", &workloads::kn2row::render(&rows));
 }
 
@@ -148,7 +150,7 @@ fn workload_kn2row_golden() {
 /// table format changes.
 #[test]
 fn workload_membound_golden_and_unity_speedup() {
-    let rows = workloads::membound::run(&ExpOpts::quick());
+    let rows = workloads::membound::run(&RunOptions::quick());
     for row in &rows {
         let speedup = row.speedup();
         assert!(

@@ -10,7 +10,9 @@
 //! DUPLO_BLESS=1 cargo test -p duplo-sim --test json_golden
 //! ```
 
-use duplo_sim::experiments::{ExpOpts, fig02_speedup, fig09_lhb_size, size_configs, sweep_layers};
+use duplo_sim::experiments::{
+    RunOptions, fig02_speedup, fig09_lhb_size, size_configs, sweep_layers,
+};
 use duplo_sim::json::{Json, parse};
 use duplo_sim::networks::all_layers;
 use std::path::PathBuf;
@@ -117,10 +119,10 @@ fn fig02_result_golden() {
 
 /// Pin the full simulation-result schema — per-run metrics with the stall
 /// attribution block (issued/stalls/mshr/queues/lhb/cache/dram) — via the
-/// Fig. 9 result on the three probe layers under `ExpOpts::quick()`.
+/// Fig. 9 result on the three probe layers under `RunOptions::quick()`.
 #[test]
 fn fig09_result_golden() {
-    let opts = ExpOpts::quick();
+    let opts = RunOptions::quick();
     let sweeps = sweep_layers(&probe_layers(), &size_configs(), &opts);
     let text = fig09_lhb_size::result(&sweeps, &opts).to_pretty();
     // The serializer must be a fixpoint of its own parser: parse then

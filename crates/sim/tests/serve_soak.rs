@@ -1,0 +1,133 @@
+//! Soak test for `duplo_sim::serve`: dozens of concurrent clients over
+//! real sockets, asserting byte-identical bodies, single-flight cache
+//! behaviour, and a clean drain — at 1 and 4 simulation threads.
+//!
+//! The single-flight proof needs no knowledge of how many kernels an
+//! experiment runs: for N identical cold submissions every kernel is
+//! simulated exactly once (the misses) and every other lookup joins the
+//! in-flight leader or the warm tiers (the hits), so the global counter
+//! deltas must satisfy `hits == (N - 1) * misses` exactly.
+
+use duplo_sim::experiments::find_experiment;
+use duplo_sim::serve::{ServeOptions, Server, http_request};
+use duplo_sim::{RunOptions, cache, runner};
+
+/// Concurrent clients per phase. Two phases per test -> "dozens" total.
+const CLIENTS: usize = 24;
+
+fn submission_body(name: &str, sample: usize) -> String {
+    format!("{{\"experiment\": \"{name}\", \"options\": {{\"sample_ctas\": {sample}}}}}")
+}
+
+/// Fires `CLIENTS` concurrent submissions and returns (bodies, stats delta).
+fn storm(addr: &str, body: &str) -> (Vec<Vec<u8>>, cache::CacheStats) {
+    let before = cache::stats();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.to_string();
+            let body = body.to_string();
+            std::thread::spawn(move || {
+                let reply = http_request(&addr, "POST", "/v1/submit", Some(body.as_bytes()))
+                    .expect("submission must not be dropped");
+                assert_eq!(
+                    reply.status,
+                    200,
+                    "submission failed: {}",
+                    String::from_utf8_lossy(&reply.body)
+                );
+                reply.body
+            })
+        })
+        .collect();
+    let bodies: Vec<Vec<u8>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread must not panic"))
+        .collect();
+    (bodies, cache::stats().since(&before))
+}
+
+/// The full soak: cold storm, warm storm, byte-identity vs a direct run,
+/// clean shutdown. `sample` doubles as the cache-key discriminator so the
+/// two thread-count variants cannot warm each other through the
+/// process-global memory tier.
+fn soak(threads: usize, sample: usize) {
+    let _guard = runner::override_threads(threads);
+    let cache_dir = std::env::temp_dir().join(format!(
+        "duplo-soak-{}-t{threads}-s{sample}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let defaults = RunOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..RunOptions::default()
+    };
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        defaults: defaults.clone(),
+        ..ServeOptions::default()
+    })
+    .expect("server must bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    let health = http_request(&addr, "GET", "/v1/health", None).expect("health");
+    assert_eq!(health.status, 200);
+
+    let name = "smem_policy";
+    let body = submission_body(name, sample);
+
+    // Phase 1: cold storm. One simulation per kernel, everyone else rides.
+    let (cold_bodies, cold) = storm(&addr, &body);
+    assert!(cold.misses > 0, "a cold storm must simulate something");
+    assert_eq!(
+        cold.hits,
+        (CLIENTS as u64 - 1) * cold.misses,
+        "single-flight: N identical cold submissions must cost one simulation \
+         per kernel (hits={} misses={})",
+        cold.hits,
+        cold.misses
+    );
+
+    // Phase 2: warm storm. Nothing simulates; every lookup hits.
+    let (warm_bodies, warm) = storm(&addr, &body);
+    assert_eq!(warm.misses, 0, "a warm storm must not simulate");
+    assert_eq!(warm.hits, CLIENTS as u64 * cold.misses);
+
+    // Every body, cold or warm, is byte-identical to a direct run with the
+    // same options the daemon resolved.
+    let spec = find_experiment(name).expect("registry experiment");
+    let mut opts = defaults;
+    opts.sample_ctas = Some(sample);
+    let expected = (spec.run)(&opts).result.to_pretty();
+    for (i, got) in cold_bodies.iter().chain(warm_bodies.iter()).enumerate() {
+        assert_eq!(
+            got.as_slice(),
+            expected.as_bytes(),
+            "body {i} diverged from the direct run"
+        );
+    }
+
+    // Results stay fetchable by digest after the storm.
+    let digest = duplo_sim::digest::hex(duplo_sim::digest::digest_bytes(expected.as_bytes()));
+    let fetched =
+        http_request(&addr, "GET", &format!("/v1/results/{digest}"), None).expect("digest fetch");
+    assert_eq!(fetched.status, 200);
+    assert_eq!(fetched.body, expected.as_bytes());
+
+    // Clean drain: shutdown endpoint, then join without hanging.
+    let bye = http_request(&addr, "POST", "/v1/shutdown", Some(b"{}")).expect("shutdown");
+    assert_eq!(bye.status, 200);
+    server.join();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn soak_single_threaded_sim() {
+    soak(1, 2);
+}
+
+#[test]
+fn soak_four_threaded_sim() {
+    soak(4, 3);
+}

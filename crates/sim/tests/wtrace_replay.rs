@@ -14,7 +14,7 @@
 //! from the decoded traces instead of being served the generator path's
 //! cached results.
 
-use duplo_sim::experiments::{ExpOpts, ExperimentSpec, registry};
+use duplo_sim::experiments::{ExperimentSpec, RunOptions, registry};
 use duplo_sim::json::parse;
 use duplo_sim::wtrace::{self, TraceKernel};
 use duplo_testkit::diff;
@@ -23,7 +23,7 @@ use duplo_testkit::diff;
 /// pass over the codec-round-tripped records — and asserts the replayed
 /// `ExperimentResult` JSON and rendered table are byte-identical to the
 /// reference.
-fn assert_replay_matches(spec: &ExperimentSpec, opts: &ExpOpts) {
+fn assert_replay_matches(spec: &ExperimentSpec, opts: &RunOptions) {
     // Generator path: the reference output.
     let direct = (spec.run)(opts);
 
@@ -82,8 +82,9 @@ fn assert_replay_matches(spec: &ExperimentSpec, opts: &ExpOpts) {
 /// adversarial workloads. The full-registry sweep below is release-only.
 #[test]
 fn record_then_replay_reproduces_representative_experiments() {
-    let opts = ExpOpts {
+    let opts = RunOptions {
         sample_ctas: Some(1),
+        ..RunOptions::default()
     };
     for name in [
         "fig02_speedup",
@@ -108,8 +109,9 @@ fn record_then_replay_reproduces_representative_experiments() {
 #[test]
 #[ignore = "full-registry sweep; run in release via scripts/ci.sh"]
 fn record_then_replay_reproduces_every_registry_experiment() {
-    let opts = ExpOpts {
+    let opts = RunOptions {
         sample_ctas: Some(1),
+        ..RunOptions::default()
     };
     for spec in registry() {
         assert_replay_matches(spec, &opts);
@@ -121,8 +123,9 @@ fn simulating_experiments_record_at_least_one_kernel() {
     // Guard against the harness silently testing nothing: the flagship
     // simulated experiments must produce records (analytic ones — Fig. 2,
     // Fig. 3, tables — legitimately record zero).
-    let opts = ExpOpts {
+    let opts = RunOptions {
         sample_ctas: Some(1),
+        ..RunOptions::default()
     };
     for name in ["smem_policy", "wl_attention", "wl_membound"] {
         let spec = duplo_sim::experiments::find_experiment(name).unwrap();

@@ -1201,9 +1201,7 @@ fn drive(sm: &mut Sm, kernel: &dyn Kernel, cta_ids: &[usize]) {
 ///
 /// Panics if the simulation exceeds two billion cycles (deadlock guard).
 pub fn run_kernel(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> SmStats {
-    let mut sm = Sm::new(config, kernel);
-    drive(&mut sm, kernel, cta_ids);
-    sm.into_stats()
+    run_kernel_mode(kernel, cta_ids, config, false)
 }
 
 /// Like [`run_kernel`], but forces the tick-by-tick reference loop for
@@ -1211,8 +1209,25 @@ pub fn run_kernel(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> S
 /// byte-identical to [`run_kernel`]'s — the equivalence suite asserts
 /// exactly that — only wall-clock time differs.
 pub fn run_kernel_reference(kernel: &dyn Kernel, cta_ids: &[usize], config: SmConfig) -> SmStats {
+    run_kernel_mode(kernel, cta_ids, config, true)
+}
+
+/// [`run_kernel`] with the loop mode selected by value: `reference: true`
+/// forces the tick-by-tick reference loop for this run only, without
+/// touching the process-wide [`force_tick_reference`] flag, so concurrent
+/// runs can mix modes. `false` still defers to the process-wide settings
+/// (`DUPLO_TICK_REFERENCE`, the forced flag), preserving the historical
+/// behavior of [`run_kernel`].
+pub fn run_kernel_mode(
+    kernel: &dyn Kernel,
+    cta_ids: &[usize],
+    config: SmConfig,
+    reference: bool,
+) -> SmStats {
     let mut sm = Sm::new(config, kernel);
-    sm.set_event_skip(false);
+    if reference {
+        sm.set_event_skip(false);
+    }
     drive(&mut sm, kernel, cta_ids);
     sm.into_stats()
 }
@@ -1228,11 +1243,7 @@ pub fn run_kernel_traced(
     config: SmConfig,
     spec: TraceSpec,
 ) -> (SmStats, SmTraceData) {
-    let mut sm = Sm::new(config, kernel);
-    sm.attach_tracer(spec);
-    drive(&mut sm, kernel, cta_ids);
-    let (stats, trace) = sm.into_stats_and_trace();
-    (stats, trace.expect("tracer attached above"))
+    run_kernel_traced_mode(kernel, cta_ids, config, spec, false)
 }
 
 /// Like [`run_kernel_traced`], but on the tick-by-tick reference loop (the
@@ -1243,8 +1254,22 @@ pub fn run_kernel_traced_reference(
     config: SmConfig,
     spec: TraceSpec,
 ) -> (SmStats, SmTraceData) {
+    run_kernel_traced_mode(kernel, cta_ids, config, spec, true)
+}
+
+/// [`run_kernel_traced`] with the loop mode selected by value (the traced
+/// counterpart of [`run_kernel_mode`]).
+pub fn run_kernel_traced_mode(
+    kernel: &dyn Kernel,
+    cta_ids: &[usize],
+    config: SmConfig,
+    spec: TraceSpec,
+    reference: bool,
+) -> (SmStats, SmTraceData) {
     let mut sm = Sm::new(config, kernel);
-    sm.set_event_skip(false);
+    if reference {
+        sm.set_event_skip(false);
+    }
     sm.attach_tracer(spec);
     drive(&mut sm, kernel, cta_ids);
     let (stats, trace) = sm.into_stats_and_trace();

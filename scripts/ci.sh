@@ -281,4 +281,54 @@ DUPLO_L2_SLICES=4 DUPLO_L2_HASH=xor \
 cargo run -q --release --offline -p duplo-bench --bin json_check -- \
     "$JSON_DIR/BENCH_sliced.json"
 
+# Serve gate: the HTTP daemon must serve a registry submission
+# byte-identical to the direct CLI run, share its disk cache across the
+# process boundary (a warm submit reports hits>0 misses=0), reject unknown
+# experiments without dying, and drain cleanly on /v1/shutdown.
+echo "== serve: daemon round trip + warm disk cache + clean shutdown ==" >&2
+SERVE_CACHE="$JSON_DIR/serve_cache"
+DUPLO_JSON_STABLE=1 DUPLO_CACHE_DIR="$SERVE_CACHE" \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run smem_policy --sample 2 --json "$JSON_DIR/serve_direct.json" > /dev/null 2>&1
+DUPLO_JSON_STABLE=1 DUPLO_CACHE_DIR="$SERVE_CACHE" \
+    target/release/duplo serve --addr 127.0.0.1:0 \
+    --port-file "$JSON_DIR/serve.port" 2> "$JSON_DIR/serve_daemon.txt" &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -s "$JSON_DIR/serve.port" ] && break; sleep 0.1; done
+test -s "$JSON_DIR/serve.port" || {
+    echo "daemon never wrote its port file:" >&2
+    cat "$JSON_DIR/serve_daemon.txt" >&2
+    exit 1
+}
+SERVE_ADDR=$(cat "$JSON_DIR/serve.port")
+target/release/duplo submit --addr "$SERVE_ADDR" smem_policy --sample 2 \
+    > "$JSON_DIR/serve_body.json" 2> "$JSON_DIR/serve_submit.txt"
+cmp "$JSON_DIR/serve_direct.json" "$JSON_DIR/serve_body.json" || {
+    echo "daemon response differs from the direct run" >&2
+    exit 1
+}
+# The direct run populated the shared disk cache, so the submission above
+# is the cross-process warm re-run: everything hits, nothing simulates.
+grep -Eq 'cache: hits=[1-9][0-9]* misses=0' "$JSON_DIR/serve_submit.txt" || {
+    echo "daemon submission was not served from the shared disk cache:" >&2
+    cat "$JSON_DIR/serve_submit.txt" >&2
+    exit 1
+}
+if target/release/duplo submit --addr "$SERVE_ADDR" no_such_experiment \
+    > /dev/null 2> "$JSON_DIR/serve_404.txt"; then
+    echo "daemon accepted an unknown experiment" >&2
+    exit 1
+fi
+grep -q 'unknown experiment' "$JSON_DIR/serve_404.txt" || {
+    echo "unknown-experiment submission lacked a structured error:" >&2
+    cat "$JSON_DIR/serve_404.txt" >&2
+    exit 1
+}
+target/release/duplo submit --addr "$SERVE_ADDR" --shutdown > /dev/null
+wait "$SERVE_PID" || {
+    echo "daemon exited non-zero:" >&2
+    cat "$JSON_DIR/serve_daemon.txt" >&2
+    exit 1
+}
+
 echo "tier-1 gate: OK" >&2

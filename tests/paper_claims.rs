@@ -4,12 +4,13 @@
 
 use duplo_conv::{ids, layers};
 use duplo_core::LhbConfig;
-use duplo_sim::experiments::{ExpOpts, size_configs, sweep_layers};
+use duplo_sim::experiments::{RunOptions, size_configs, sweep_layers};
 use duplo_sim::{GpuConfig, layer_run};
 
-fn opts() -> ExpOpts {
-    ExpOpts {
+fn opts() -> RunOptions {
+    RunOptions {
         sample_ctas: Some(3),
+        ..RunOptions::default()
     }
 }
 
