@@ -19,7 +19,10 @@
 //!   per-submission defaults,
 //! * `duplo submit --addr <host:port> <name|--shutdown> [options]` —
 //!   submit an experiment to a running daemon and print the response
-//!   body, or shut the daemon down.
+//!   body, or shut the daemon down,
+//! * `duplo metrics --addr <host:port> [--json]` — scrape a running
+//!   daemon's `/v1/metrics` registry (Prometheus text, or the JSON
+//!   snapshot with `--json`).
 //!
 //! `duplo run <name>` produces stdout byte-identical to the corresponding
 //! per-figure binary: both resolve the same registry entry and run through
@@ -32,7 +35,7 @@ use duplo_sim::experiments::{find_experiment, registry};
 use duplo_sim::json::Json;
 use duplo_sim::serve;
 
-const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)\n  bench [--out <path>] [options]  run the registry in event-driven and\n                             tick-by-tick reference mode, asserting equal\n                             results, and write the BENCH_duplo.json perf\n                             trajectory (default out: ./BENCH_duplo.json)\n  trace summarize <path>     print a phase table of a --trace file\n  trace record <name> <out> [options]  run an experiment, dumping its\n                             kernels to a wtrace file for --trace-in\n  serve [--addr <host:port>] [--workers N] [--port-file <path>] [options]\n                             start the HTTP simulation service; shared\n                             options become per-submission defaults\n  submit --addr <host:port> <name> [--sample N|--full] [--no-cache]\n         [--tick-reference] [--l2-slices N] [--l2-hash mod|xor] [--trace]\n                             run an experiment on a daemon and print the\n                             response body (--shutdown stops the daemon)";
+const COMMANDS: &str = "usage: duplo <command> [args]\n\ncommands:\n  list                       list registered experiments\n  describe <name>            show one experiment's metadata\n  run <name|all> [options]   run an experiment (or every registered one)\n  bench [--out <path>] [options]  run the registry in event-driven and\n                             tick-by-tick reference mode, asserting equal\n                             results, and write the BENCH_duplo.json perf\n                             trajectory (default out: ./BENCH_duplo.json)\n  trace summarize <path>     print a phase table of a --trace file\n  trace record <name> <out> [options]  run an experiment, dumping its\n                             kernels to a wtrace file for --trace-in\n  serve [--addr <host:port>] [--workers N] [--port-file <path>] [options]\n                             start the HTTP simulation service; shared\n                             options become per-submission defaults\n  submit --addr <host:port> <name> [--sample N|--full] [--no-cache]\n         [--tick-reference] [--l2-slices N] [--l2-hash mod|xor] [--trace]\n                             run an experiment on a daemon and print the\n                             response body (--shutdown stops the daemon)\n  metrics --addr <host:port> [--json]\n                             scrape a running daemon's /v1/metrics and\n                             print it (Prometheus text, or the JSON\n                             snapshot with --json)";
 
 fn usage_exit(code: i32) -> ! {
     eprintln!("{COMMANDS}\n\n{USAGE}");
@@ -268,6 +271,55 @@ fn cmd_submit(args: &[String]) {
     }
 }
 
+/// `duplo metrics`: scrape a running daemon's registry and print it.
+fn cmd_metrics(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("error: --addr requires a value");
+                    usage_exit(2);
+                };
+                addr = Some(v.clone());
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown argument: {other}");
+                usage_exit(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: metrics requires --addr <host:port>");
+        usage_exit(2);
+    };
+    let path = if json {
+        "/v1/metrics?format=json"
+    } else {
+        "/v1/metrics"
+    };
+    match serve::http_request(&addr, "GET", path, None) {
+        Ok(reply) if reply.status == 200 => {
+            print!("{}", String::from_utf8_lossy(&reply.body));
+        }
+        Ok(reply) => {
+            eprint!("{}", String::from_utf8_lossy(&reply.body));
+            std::process::exit(1);
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -420,6 +472,7 @@ fn main() {
         },
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             println!("{COMMANDS}\n\n{USAGE}");
         }

@@ -2,14 +2,29 @@
 //!
 //! Usage: `json_check <file.json>...` — exits non-zero (with a message on
 //! stderr) on the first file that does not parse or lacks the
-//! `schema_version` marker. Used by `scripts/ci.sh` to gate the JSON
-//! output path without any external tooling.
+//! `schema_version` marker. Metrics snapshots (`/v1/metrics?format=json`,
+//! marked `"kind": "duplo_metrics"`) are validated against their own
+//! schema instead. Used by `scripts/ci.sh` to gate the JSON output path
+//! without any external tooling.
 use duplo_sim::json::{Json, parse};
 use duplo_sim::results::SCHEMA_VERSION;
 
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if doc.get("kind").and_then(Json::as_str) == Some("duplo_metrics") {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("metrics snapshot missing schema".to_string())?;
+        if schema != 1 {
+            return Err(format!("metrics schema {schema} != expected 1"));
+        }
+        doc.get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("metrics snapshot missing metrics array".to_string())?;
+        return Ok(());
+    }
     let version = doc
         .get("schema_version")
         .and_then(Json::as_u64)

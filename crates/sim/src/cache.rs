@@ -29,13 +29,18 @@
 //! floats in shortest round-trip form), so cached and fresh results are
 //! byte-identical through the serializer and render identical tables.
 //!
-//! Hit/miss/byte counters are process-global ([`stats`]); the experiment
-//! harness surfaces per-run deltas in the `ExperimentResult` host block
-//! (and therefore outside the `DUPLO_JSON_STABLE` byte-stable payload).
+//! Hit/miss/byte counters live in the [`crate::metrics`] registry, one
+//! counter per tier (`duplo_cache_hits_total{tier="memory"|"disk"|
+//! "flight"}`, `duplo_cache_misses_total`, `duplo_cache_disk_bytes_total
+//! {dir="read"|"write"}`); [`stats`] sums them back into the historical
+//! [`CacheStats`] shape. The experiment harness surfaces per-run deltas
+//! in the `ExperimentResult` host block (and therefore outside the
+//! `DUPLO_JSON_STABLE` byte-stable payload). The counters are exempt from
+//! the `DUPLO_METRICS=off` kill switch — they feed non-telemetry APIs.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 use duplo_isa::Kernel;
@@ -44,6 +49,7 @@ use duplo_sm::{SchedulerPolicy, SmStats};
 use crate::digest;
 use crate::gpu::{GpuConfig, GpuRunResult};
 use crate::json::{Json, parse};
+use crate::metrics;
 
 /// Version of the on-disk entry layout; bump when the codec changes shape.
 /// v2: `mem` gained `mshr_peak_occupancy`, `l2_peak_queue_delay`, and
@@ -61,9 +67,50 @@ pub const CACHE_MODEL_SALT: u64 = 2;
 // Counters and controls
 // ---------------------------------------------------------------------------
 
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static BYTES: AtomicU64 = AtomicU64::new(0);
+/// The cache's registry metrics, one counter per tier so an operator can
+/// tell memory hits from disk hits from single-flight rides. Registered
+/// *exempt* from the `DUPLO_METRICS=off` kill switch: these counters
+/// feed [`stats`] (and through it the `cache:` stderr lines and the
+/// daemon's `X-Duplo-Cache-*` headers), so disabling telemetry must not
+/// change what they report.
+struct CacheMetrics {
+    mem_hits: metrics::Counter,
+    disk_hits: metrics::Counter,
+    flight_hits: metrics::Counter,
+    misses: metrics::Counter,
+    disk_read_bytes: metrics::Counter,
+    disk_write_bytes: metrics::Counter,
+}
+
+fn cm() -> &'static CacheMetrics {
+    static CM: OnceLock<CacheMetrics> = OnceLock::new();
+    CM.get_or_init(|| CacheMetrics {
+        mem_hits: metrics::exempt_counter(
+            &metrics::labeled("duplo_cache_hits_total", &[("tier", "memory")]),
+            "Run-cache lookups served without simulating, by tier",
+        ),
+        disk_hits: metrics::exempt_counter(
+            &metrics::labeled("duplo_cache_hits_total", &[("tier", "disk")]),
+            "Run-cache lookups served without simulating, by tier",
+        ),
+        flight_hits: metrics::exempt_counter(
+            &metrics::labeled("duplo_cache_hits_total", &[("tier", "flight")]),
+            "Run-cache lookups served without simulating, by tier",
+        ),
+        misses: metrics::exempt_counter(
+            "duplo_cache_misses_total",
+            "Run-cache lookups that ran the simulation",
+        ),
+        disk_read_bytes: metrics::exempt_counter(
+            &metrics::labeled("duplo_cache_disk_bytes_total", &[("dir", "read")]),
+            "Bytes moved through the disk tier, by direction",
+        ),
+        disk_write_bytes: metrics::exempt_counter(
+            &metrics::labeled("duplo_cache_disk_bytes_total", &[("dir", "write")]),
+            "Bytes moved through the disk tier, by direction",
+        ),
+    })
+}
 
 /// `--no-cache`: every lookup computes, nothing is stored.
 static DISABLED: AtomicBool = AtomicBool::new(false);
@@ -94,12 +141,14 @@ impl CacheStats {
     }
 }
 
-/// Current process-global cache counters.
+/// Current process-global cache counters (sums of the per-tier registry
+/// metrics, so [`CacheStats`] keeps its historical shape).
 pub fn stats() -> CacheStats {
+    let m = cm();
     CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        bytes: BYTES.load(Ordering::Relaxed),
+        hits: m.mem_hits.get() + m.disk_hits.get() + m.flight_hits.get(),
+        misses: m.misses.get(),
+        bytes: m.disk_read_bytes.get() + m.disk_write_bytes.get(),
     }
 }
 
@@ -354,16 +403,24 @@ pub fn run_cached_ctl(
         };
         match leader {
             Err(slot) => {
-                // Follower: wait for the leader to publish or abandon.
+                // Follower: wait for the leader to publish or abandon. A
+                // result that was Ready on arrival is a memory-tier hit;
+                // one we had to wait for is a single-flight ride.
+                let mut waited = false;
                 let mut st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     match &*st {
                         SlotState::Ready(r) => {
-                            HITS.fetch_add(1, Ordering::Relaxed);
+                            if waited {
+                                cm().flight_hits.inc();
+                            } else {
+                                cm().mem_hits.inc();
+                            }
                             return r.clone();
                         }
                         SlotState::Abandoned => break,
                         SlotState::InFlight => {
+                            waited = true;
                             st = slot.cv.wait(st).unwrap_or_else(|e| e.into_inner());
                         }
                     }
@@ -378,12 +435,12 @@ pub fn run_cached_ctl(
                 };
                 let result = match disk_load(ctl, key) {
                     Some(r) => {
-                        HITS.fetch_add(1, Ordering::Relaxed);
+                        cm().disk_hits.inc();
                         r
                     }
                     None => {
                         let r = (compute.take().expect("leader computes once"))();
-                        MISSES.fetch_add(1, Ordering::Relaxed);
+                        cm().misses.inc();
                         disk_store(ctl, key, &r);
                         r
                     }
@@ -424,14 +481,14 @@ pub fn lookup_ready_ctl(
         if let Some(slot) = map.get(&key) {
             let st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
             if let SlotState::Ready(r) = &*st {
-                HITS.fetch_add(1, Ordering::Relaxed);
+                cm().mem_hits.inc();
                 return Some(r.clone());
             }
             return None; // in-flight or abandoned: let the caller simulate
         }
     }
     let r = disk_load(ctl, key)?;
-    HITS.fetch_add(1, Ordering::Relaxed);
+    cm().disk_hits.inc();
     publish_memory(key, &r);
     Some(r)
 }
@@ -449,7 +506,7 @@ pub fn publish_ctl(ctl: &CacheCtl, cfg: &GpuConfig, kernel: &dyn Kernel, r: &Gpu
         return;
     }
     let key = run_key(cfg, kernel);
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    cm().misses.inc();
     publish_memory(key, r);
     disk_store(ctl, key, r);
 }
@@ -632,7 +689,7 @@ fn disk_load(ctl: &CacheCtl, key: u128) -> Option<GpuRunResult> {
     let text = std::fs::read_to_string(entry_path(&dir, key)).ok()?;
     let doc = parse(&text).ok()?;
     let result = result_from_json(&doc)?;
-    BYTES.fetch_add(text.len() as u64, Ordering::Relaxed);
+    cm().disk_read_bytes.add(text.len() as u64);
     Some(result)
 }
 
@@ -646,7 +703,7 @@ fn disk_store(ctl: &CacheCtl, key: u128, r: &GpuRunResult) {
     // entry, so concurrent processes never observe a torn write.
     let tmp = dir.join(format!(".{}.tmp.{}", digest::hex(key), std::process::id()));
     if std::fs::write(&tmp, &text).is_ok() && std::fs::rename(&tmp, entry_path(&dir, key)).is_ok() {
-        BYTES.fetch_add(text.len() as u64, Ordering::Relaxed);
+        cm().disk_write_bytes.add(text.len() as u64);
     } else {
         let _ = std::fs::remove_file(&tmp);
     }

@@ -15,7 +15,80 @@ use duplo_isa::Kernel;
 use duplo_kernels::{GemmTcKernel, SmemPolicy};
 use duplo_sm::{SmConfig, SmStats, SmTraceData, run_kernel_mode, run_kernel_traced_mode};
 
+use crate::metrics;
 use crate::options::RunOptions;
+
+/// Registry metrics for the whole-GPU layer. Run and cycle counts are
+/// pure functions of the requested work (stable); the phase wall-time
+/// histograms measure the host and are volatile. The `duplo_sm_*` gauges
+/// mirror [`duplo_sm::loop_profile`] — refreshed once per run, never per
+/// tick, so profiling the SM loop costs nothing on the hot path.
+struct GpuMetrics {
+    runs: metrics::Counter,
+    kernel_cycles: metrics::Counter,
+    simulate_us: metrics::Histogram,
+    fold_us: metrics::Histogram,
+    sm_cycles: metrics::Gauge,
+    sm_skips: metrics::Gauge,
+    sm_skipped_cycles: metrics::Gauge,
+    sm_ticks_walked: metrics::Gauge,
+    sm_runs: metrics::Gauge,
+}
+
+/// Wall-time bucket bounds in microseconds: 100µs .. 10s.
+const PHASE_US_BOUNDS: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+fn gm() -> &'static GpuMetrics {
+    static GM: std::sync::OnceLock<GpuMetrics> = std::sync::OnceLock::new();
+    GM.get_or_init(|| GpuMetrics {
+        runs: metrics::counter(
+            "duplo_gpu_runs_total",
+            "Whole-GPU kernel runs (cache hits included)",
+        ),
+        kernel_cycles: metrics::counter(
+            "duplo_gpu_kernel_cycles_total",
+            "Estimated kernel cycles summed over all runs",
+        ),
+        simulate_us: metrics::histogram(
+            &metrics::labeled("duplo_gpu_phase_us", &[("phase", "simulate")]),
+            "Wall-clock per whole-GPU phase, microseconds",
+            &PHASE_US_BOUNDS,
+        ),
+        fold_us: metrics::histogram(
+            &metrics::labeled("duplo_gpu_phase_us", &[("phase", "fold")]),
+            "Wall-clock per whole-GPU phase, microseconds",
+            &PHASE_US_BOUNDS,
+        ),
+        sm_cycles: metrics::gauge(
+            "duplo_sm_cycles",
+            "Simulated SM cycles, process total (duplo_sm::loop_profile)",
+        ),
+        sm_skips: metrics::gauge(
+            "duplo_sm_event_skips",
+            "Event-wheel fast-forwards taken, process total",
+        ),
+        sm_skipped_cycles: metrics::gauge(
+            "duplo_sm_skipped_cycles",
+            "Cycles covered by event-wheel fast-forwards, process total",
+        ),
+        sm_ticks_walked: metrics::gauge(
+            "duplo_sm_ticks_walked",
+            "Cycles walked tick by tick, process total",
+        ),
+        sm_runs: metrics::gauge("duplo_sm_runs", "run_kernel invocations, process total"),
+    })
+}
+
+/// Refreshes the `duplo_sm_*` gauges from the SM crate's loop profile
+/// (coarse sampling: once per whole-GPU run).
+fn refresh_sm_gauges(m: &GpuMetrics) {
+    let p = duplo_sm::loop_profile();
+    m.sm_cycles.set(p.cycles as i64);
+    m.sm_skips.set(p.skips_taken as i64);
+    m.sm_skipped_cycles.set(p.cycles_skipped as i64);
+    m.sm_ticks_walked.set(p.ticks_walked as i64);
+    m.sm_runs.set(p.runs as i64);
+}
 
 /// Whole-GPU configuration.
 #[derive(Clone, Debug)]
@@ -176,11 +249,20 @@ impl GpuSim {
     /// session, the kernel is captured first — ahead of the cache lookup,
     /// so recording works even when every run is a cache hit.
     pub fn run(&self, kernel: &dyn Kernel) -> GpuRunResult {
-        if let Some(replayed) = crate::wtrace::substitute(&self.config, kernel) {
-            return self.run_resolved(replayed.as_ref());
+        let result = if let Some(replayed) = crate::wtrace::substitute(&self.config, kernel) {
+            self.run_resolved(replayed.as_ref())
+        } else {
+            crate::wtrace::observe(&self.config, kernel);
+            self.run_resolved(kernel)
+        };
+        let m = gm();
+        m.runs.inc();
+        m.kernel_cycles.add(result.cycles as u64);
+        refresh_sm_gauges(m);
+        if let Some(p) = &self.opts.progress {
+            p.add_cycles(result.cycles as u64);
         }
-        crate::wtrace::observe(&self.config, kernel);
-        self.run_resolved(kernel)
+        result
     }
 
     /// Dispatch after wtrace record/replay resolution.
@@ -198,6 +280,7 @@ impl GpuSim {
         let cfg = &self.config;
         let n_ctas = kernel.num_ctas();
         let sm_ids: Vec<usize> = (0..cfg.sms_simulated).collect();
+        let simulate_start = std::time::Instant::now();
         let per_sm = crate::runner::par_map_opt(self.opts.threads, &sm_ids, |&sm_id| {
             // Round-robin CTA assignment, matching real rasterization.
             let share: Vec<usize> = (sm_id..n_ctas).step_by(cfg.total_sms).collect();
@@ -213,7 +296,13 @@ impl GpuSim {
             );
             Some((share.len(), take, stats))
         });
-        fold_per_sm(per_sm)
+        gm().simulate_us
+            .observe(simulate_start.elapsed().as_micros() as u64);
+        let fold_start = std::time::Instant::now();
+        let result = fold_per_sm(per_sm);
+        gm().fold_us
+            .observe(fold_start.elapsed().as_micros() as u64);
+        result
     }
 
     /// [`GpuSim::run`] under an active [`crate::trace`] session: same

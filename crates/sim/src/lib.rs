@@ -21,7 +21,12 @@
 //! * [`wtrace`] — the versioned warp-instruction trace format with
 //!   record/replay sessions (trace-driven workload frontend),
 //! * [`log`] — the `DUPLO_LOG`-leveled logger every stderr line in the
-//!   stack goes through.
+//!   stack goes through,
+//! * [`metrics`] — the process-wide telemetry registry (counters,
+//!   gauges, histograms; Prometheus text + deterministic JSON
+//!   snapshots; `DUPLO_METRICS=off` kill switch),
+//! * [`progress`] — per-job lifecycle handles behind the daemon's
+//!   `GET /v1/progress/<digest>` streaming endpoint.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,8 +38,10 @@ pub mod experiments;
 pub mod gpu;
 pub mod json;
 pub mod log;
+pub mod metrics;
 pub mod networks;
 pub mod options;
+pub mod progress;
 pub mod report;
 pub mod results;
 pub mod runner;

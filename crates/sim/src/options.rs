@@ -23,6 +23,7 @@ use duplo_mem::{HashKind, NocConfig};
 use crate::GpuConfig;
 use crate::cache::CacheCtl;
 use crate::json::Json;
+use crate::progress::ProgressHandle;
 
 /// Options for one simulation run (or one experiment invocation).
 ///
@@ -71,6 +72,12 @@ pub struct RunOptions {
     /// generated kernel is swapped for its recorded instruction stream
     /// before simulation (see [`crate::wtrace`]).
     pub trace_in: Option<PathBuf>,
+    /// Live progress cell for this run (see [`crate::progress`]):
+    /// [`crate::GpuSim::run`] adds each kernel's simulated cycles as it
+    /// completes. `duplo serve` threads one per submission; `None` (the
+    /// default everywhere else) reports nothing. Never part of the cache
+    /// key — progress observation cannot perturb results.
+    pub progress: Option<ProgressHandle>,
 }
 
 /// Validates a trace-interval setting coming from `source` (a flag or an

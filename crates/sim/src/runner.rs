@@ -32,6 +32,40 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
+use crate::metrics;
+
+/// Registry metrics for the pool. Task counts are a pure function of the
+/// work (stable at any thread count); pool/worker/imbalance figures
+/// describe the host-side fan-out and are volatile.
+struct RunnerMetrics {
+    tasks: metrics::Counter,
+    pools: metrics::Counter,
+    workers: metrics::Counter,
+    imbalance: metrics::Gauge,
+}
+
+fn rm() -> &'static RunnerMetrics {
+    static RM: OnceLock<RunnerMetrics> = OnceLock::new();
+    RM.get_or_init(|| RunnerMetrics {
+        tasks: metrics::counter(
+            "duplo_runner_tasks_total",
+            "Items executed by the parallel runner (serial fallback included)",
+        ),
+        pools: metrics::volatile_counter(
+            "duplo_runner_pools_total",
+            "Scoped worker pools actually spawned",
+        ),
+        workers: metrics::volatile_counter(
+            "duplo_runner_workers_total",
+            "Worker threads spawned across all pools",
+        ),
+        imbalance: metrics::volatile_gauge(
+            "duplo_runner_imbalance_last",
+            "Items-per-worker spread (max - min) of the most recent pool",
+        ),
+    })
+}
+
 /// Test-only scoped override; `0` means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -138,9 +172,12 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let workers = resolve_threads(threads).min(items.len());
+    rm().tasks.add(items.len() as u64);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
+    rm().pools.inc();
+    rm().workers.add(workers as u64);
     crate::log::trace(
         "runner",
         format_args!("pool: {} workers for {} items", workers, items.len()),
@@ -177,15 +214,21 @@ where
             .collect();
         let mut all = Vec::with_capacity(items.len());
         let mut panicked = None;
+        let (mut most, mut least) = (0usize, usize::MAX);
         for h in handles {
             match h.join() {
-                Ok(chunk) => all.extend(chunk),
+                Ok(chunk) => {
+                    most = most.max(chunk.len());
+                    least = least.min(chunk.len());
+                    all.extend(chunk);
+                }
                 Err(payload) => panicked = Some(payload),
             }
         }
         if let Some(payload) = panicked {
             std::panic::resume_unwind(payload);
         }
+        rm().imbalance.set(most.saturating_sub(least) as i64);
         all
     });
     tagged.sort_unstable_by_key(|&(i, _)| i);

@@ -324,6 +324,14 @@ fn deactivate_and_take() -> Option<TraceData> {
     // identical content, so ties are harmless.
     runs.sort_by(|a, b| (&a.kernel, &a.key).cmp(&(&b.kernel, &b.key)));
     let (host_events, dropped_host_events) = c.host.into_parts();
+    // Mirror every dropped counter into the metrics registry so a capped
+    // buffer is visible to a scrape, not only to whoever reads the export.
+    let dropped_samples: u64 = runs.iter().map(|r| r.dropped_samples).sum();
+    let dropped_spans: u64 = runs.iter().map(|r| r.dropped_spans).sum();
+    dropped_gauge("runs").set(dropped_runs as i64);
+    dropped_gauge("samples").set(dropped_samples as i64);
+    dropped_gauge("cta_spans").set(dropped_spans as i64);
+    dropped_gauge("host_events").set(dropped_host_events as i64);
     Some(TraceData {
         options: c.opts,
         runs,
@@ -331,6 +339,15 @@ fn deactivate_and_take() -> Option<TraceData> {
         host_events,
         dropped_host_events,
     })
+}
+
+/// The `duplo_trace_dropped{kind=...}` gauge for one capped buffer kind
+/// (value: drops in the most recently finished trace session).
+fn dropped_gauge(kind: &str) -> crate::metrics::Gauge {
+    crate::metrics::volatile_gauge(
+        &crate::metrics::labeled("duplo_trace_dropped", &[("kind", kind)]),
+        "Trace-buffer entries dropped at a cap in the last session, by kind",
+    )
 }
 
 impl TraceSession {
@@ -812,7 +829,10 @@ pub fn summarize_chrome(doc: &Json, max_phases: usize) -> Result<String, String>
     let total_dropped = dget("runs") + dget("samples") + dget("cta_spans") + dget("host_events");
     if total_dropped > 0 {
         out.push_str(&format!(
-            "dropped: runs={} samples={} cta_spans={} host_events={}\n",
+            "WARNING: {total_dropped} trace event(s) were dropped at a buffer cap — \
+             this summary UNDER-REPORTS the run.\n\
+             WARNING: dropped: runs={} samples={} cta_spans={} host_events={} \
+             (raise the caps or the sample interval and re-trace)\n",
             dget("runs"),
             dget("samples"),
             dget("cta_spans"),
@@ -1014,5 +1034,21 @@ mod tests {
         // Not-a-trace documents are rejected.
         let bogus = Json::obj().field("schema_version", 2u64).build();
         assert!(summarize_chrome(&bogus, 16).is_err());
+    }
+
+    #[test]
+    fn summarize_warns_loudly_about_dropped_events() {
+        let data = TraceData {
+            options: TraceOptions::default(),
+            runs: vec![],
+            dropped_runs: 3,
+            host_events: vec![],
+            dropped_host_events: 1,
+        };
+        let table = summarize_chrome(&data.to_chrome_json(), 16).unwrap();
+        assert!(table.contains("WARNING"), "table:\n{table}");
+        assert!(table.contains("UNDER-REPORTS"), "table:\n{table}");
+        assert!(table.contains("runs=3"), "table:\n{table}");
+        assert!(table.contains("host_events=1"), "table:\n{table}");
     }
 }

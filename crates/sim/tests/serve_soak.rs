@@ -7,10 +7,36 @@
 //! simulated exactly once (the misses) and every other lookup joins the
 //! in-flight leader or the warm tiers (the hits), so the global counter
 //! deltas must satisfy `hits == (N - 1) * misses` exactly.
+//!
+//! A scraper thread hits `/v1/metrics` throughout both storms, proving
+//! the registry is readable under load, that the in-flight gauge never
+//! exceeds the worker count, and (afterwards) that the request counters
+//! account for exactly every client submission.
+
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use duplo_sim::experiments::find_experiment;
+use duplo_sim::json::{Json, parse};
 use duplo_sim::serve::{ServeOptions, Server, http_request};
 use duplo_sim::{RunOptions, cache, runner};
+
+/// One stable-agnostic scrape of `/v1/metrics?format=json`, returning the
+/// named metric's scalar value (0 when it has not been registered yet).
+fn scrape_metric(addr: &str, name: &str) -> i64 {
+    let reply = http_request(addr, "GET", "/v1/metrics?format=json", None).expect("metrics scrape");
+    assert_eq!(reply.status, 200, "metrics endpoint must answer under load");
+    let doc = parse(std::str::from_utf8(&reply.body).unwrap()).expect("metrics body parses");
+    doc.get("metrics")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+        .and_then(|m| m.get("value"))
+        .and_then(Json::as_f64)
+        .map(|v| v as i64)
+        .unwrap_or(0)
+}
 
 /// Concurrent clients per phase. Two phases per test -> "dozens" total.
 const CLIENTS: usize = 24;
@@ -77,6 +103,38 @@ fn soak(threads: usize, sample: usize) {
     let name = "smem_policy";
     let body = submission_body(name, sample);
 
+    // Counters are process-global and cumulative across both soak
+    // variants, so all request-accounting below works on deltas.
+    let submit_ok = "duplo_serve_requests_total{route=\"/v1/submit\",status=\"200\"}";
+    let submits_before = scrape_metric(&addr, submit_ok);
+
+    // Scraper: hammer /v1/metrics for the duration of both storms. The
+    // in-flight gauge counts requests inside handlers (the scrape itself
+    // included), so it must never exceed the 4-worker pool.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let in_flight = scrape_metric(&addr, "duplo_serve_in_flight");
+                assert!(
+                    (0..=4).contains(&in_flight),
+                    "in-flight gauge out of range: {in_flight}"
+                );
+                let busy = scrape_metric(&addr, "duplo_serve_workers_busy");
+                assert!(
+                    (0..=4).contains(&busy),
+                    "workers-busy gauge out of range: {busy}"
+                );
+                scrapes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            scrapes
+        })
+    };
+
     // Phase 1: cold storm. One simulation per kernel, everyone else rides.
     let (cold_bodies, cold) = storm(&addr, &body);
     assert!(cold.misses > 0, "a cold storm must simulate something");
@@ -93,6 +151,19 @@ fn soak(threads: usize, sample: usize) {
     let (warm_bodies, warm) = storm(&addr, &body);
     assert_eq!(warm.misses, 0, "a warm storm must not simulate");
     assert_eq!(warm.hits, CLIENTS as u64 * cold.misses);
+
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread must not panic");
+    assert!(scrapes > 0, "the scraper must have observed the storms");
+
+    // Request accounting: both storms' submissions — and nothing else —
+    // landed on the /v1/submit 200 counter.
+    let submits_after = scrape_metric(&addr, submit_ok);
+    assert_eq!(
+        submits_after - submits_before,
+        2 * CLIENTS as i64,
+        "request counters must match the client count exactly"
+    );
 
     // Every body, cold or warm, is byte-identical to a direct run with the
     // same options the daemon resolved.

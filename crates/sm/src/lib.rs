@@ -32,8 +32,9 @@ pub mod warp;
 pub use config::{SchedulerPolicy, SmConfig};
 pub use duplo_mem::SliceStat;
 pub use sm::{
-    Sm, force_tick_reference, run_kernel, run_kernel_mode, run_kernel_reference, run_kernel_traced,
-    run_kernel_traced_mode, run_kernel_traced_reference, simulated_cycles,
+    LoopProfile, Sm, force_tick_reference, loop_profile, run_kernel, run_kernel_mode,
+    run_kernel_reference, run_kernel_traced, run_kernel_traced_mode, run_kernel_traced_reference,
+    simulated_cycles,
 };
 pub use stats::{ServiceCounts, SmStats, StallBreakdown};
 pub use trace::{CtaSpan, SmSample, SmTraceData, TraceSpec};

@@ -50,6 +50,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// this counter by wall-clock time to report cycles-simulated/sec.
 static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
 
+/// Event-wheel fast-forwards taken across every `run_kernel*` call
+/// (loop-profile counter; never part of [`SmStats`], so the event and
+/// reference loops still produce byte-identical statistics).
+static SIM_SKIPS: AtomicU64 = AtomicU64::new(0);
+
+/// Cycles covered by those fast-forwards (the reference loop would have
+/// walked them tick by tick).
+static SIM_SKIPPED_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// `run_kernel*` invocations (== `drive` calls) so far.
+static SIM_RUNS: AtomicU64 = AtomicU64::new(0);
+
 /// Process-wide override forcing the tick-by-tick reference loop (see
 /// [`force_tick_reference`]).
 static TICK_REFERENCE: AtomicBool = AtomicBool::new(false);
@@ -57,6 +69,38 @@ static TICK_REFERENCE: AtomicBool = AtomicBool::new(false);
 /// Total simulated SM cycles across every `run_kernel*` call so far.
 pub fn simulated_cycles() -> u64 {
     SIM_CYCLES.load(Ordering::Relaxed)
+}
+
+/// Process-wide SM-loop profile: how the event-driven loop earned its
+/// keep. Sampled coarsely — the counters are accumulated once per
+/// `run_kernel*` call, never per tick — so reading them costs nothing on
+/// the hot path. All totals are deterministic at any thread count (sums
+/// over per-SM values in deterministic order).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoopProfile {
+    /// Simulated cycles (same counter as [`simulated_cycles`]).
+    pub cycles: u64,
+    /// Event-wheel fast-forwards taken.
+    pub skips_taken: u64,
+    /// Cycles covered by those fast-forwards.
+    pub cycles_skipped: u64,
+    /// Cycles actually walked tick by tick (`cycles - cycles_skipped`).
+    pub ticks_walked: u64,
+    /// `run_kernel*` invocations.
+    pub runs: u64,
+}
+
+/// Current process-wide SM-loop profile.
+pub fn loop_profile() -> LoopProfile {
+    let cycles = SIM_CYCLES.load(Ordering::Relaxed);
+    let cycles_skipped = SIM_SKIPPED_CYCLES.load(Ordering::Relaxed);
+    LoopProfile {
+        cycles,
+        skips_taken: SIM_SKIPS.load(Ordering::Relaxed),
+        cycles_skipped,
+        ticks_walked: cycles.saturating_sub(cycles_skipped),
+        runs: SIM_RUNS.load(Ordering::Relaxed),
+    }
 }
 
 /// Forces (or releases) the tick-by-tick reference loop process-wide.
@@ -110,6 +154,11 @@ pub struct Sm {
     /// Whether the current tick retired, issued, processed a row, or
     /// released a barrier — cleared at tick start, gates the wakeup wheel.
     progress: bool,
+    /// Event-wheel fast-forwards this SM took (loop profile; kept out of
+    /// [`SmStats`] so event and reference runs stay stat-identical).
+    skips_taken: u64,
+    /// Cycles those fast-forwards covered.
+    cycles_skipped: u64,
     /// Reusable candidate buffer (hoisted out of `tick_scheduler`).
     cand_scratch: Vec<usize>,
     /// Recycled `Inflight::pregs` vectors.
@@ -214,6 +263,8 @@ impl Sm {
             cycle: 0,
             event_skip: !reference_mode(),
             progress: false,
+            skips_taken: 0,
+            cycles_skipped: 0,
             cand_scratch: Vec::with_capacity(config.max_warps),
             preg_pool: Vec::new(),
             token_pool: Vec::new(),
@@ -329,6 +380,8 @@ impl Sm {
                 if skipped > 0 {
                     self.attribute_skipped(skipped);
                     self.cycle += skipped;
+                    self.skips_taken += 1;
+                    self.cycles_skipped += skipped;
                 }
             }
         }
@@ -1192,6 +1245,9 @@ fn drive(sm: &mut Sm, kernel: &dyn Kernel, cta_ids: &[usize]) {
         );
     }
     SIM_CYCLES.fetch_add(sm.cycle(), Ordering::Relaxed);
+    SIM_SKIPS.fetch_add(sm.skips_taken, Ordering::Relaxed);
+    SIM_SKIPPED_CYCLES.fetch_add(sm.cycles_skipped, Ordering::Relaxed);
+    SIM_RUNS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Runs `cta_ids` of `kernel` to completion on one SM and returns the

@@ -17,6 +17,8 @@
 #   DUPLO_L2_SLICES=<n>     sliced-L2 memory side (the sliced gates below
 #                           pin slices=1 flat identity and n=4 behavior)
 #   DUPLO_L2_HASH=mod|xor   L2 slice partition hash
+#   DUPLO_METRICS=off       freeze the telemetry registry (the telemetry
+#                           gate below proves on/off byte identity)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -264,12 +266,25 @@ DUPLO_L2_SLICES=4 \
 # Event-loop gate (3/3): the committed perf trajectory. `duplo bench` runs
 # the registry in both modes (asserting per-experiment output and cycle
 # equality — the stall-attribution identity is enforced inside the SM), and
-# the written report must pass the shared JSON validator.
+# the written report must pass the shared JSON validator. The fresh gmean
+# must also stay within ±3% of the committed trajectory's — the proof that
+# the SM-loop telemetry hooks cost nothing measurable.
 echo "== event loop: bench trajectory regeneration ==" >&2
 cargo run -q --release --offline -p duplo-bench --bin duplo -- \
     bench --out "$JSON_DIR/BENCH_fresh.json"
 cargo run -q --release --offline -p duplo-bench --bin json_check -- \
     "$JSON_DIR/BENCH_fresh.json"
+extract_gmean() {
+    grep -o '"speedup_gmean": *[0-9.]*' "$1" | grep -o '[0-9.]*$'
+}
+FRESH_GMEAN=$(extract_gmean "$JSON_DIR/BENCH_fresh.json")
+BASE_GMEAN=$(extract_gmean "BENCH_duplo.json")
+awk -v fresh="$FRESH_GMEAN" -v base="$BASE_GMEAN" 'BEGIN {
+    d = (fresh - base) / base; if (d < 0) d = -d; exit !(d <= 0.03)
+}' || {
+    echo "bench gmean drifted: fresh=$FRESH_GMEAN committed=$BASE_GMEAN (>3%)" >&2
+    exit 1
+}
 
 # Sliced-L2 gate (4/4): the bench trajectory (registry in both loop modes,
 # asserting per-experiment equality) must also hold with the sliced memory
@@ -280,6 +295,29 @@ DUPLO_L2_SLICES=4 DUPLO_L2_HASH=xor \
     bench --out "$JSON_DIR/BENCH_sliced.json"
 cargo run -q --release --offline -p duplo-bench --bin json_check -- \
     "$JSON_DIR/BENCH_sliced.json"
+
+# Telemetry gate (1/2): instrumentation must never perturb results. Run
+# the full registry with the metrics registry hot and again with
+# DUPLO_METRICS=off; stdout and every stable JSON document must be
+# byte-identical. --no-cache keeps both passes honest (no cross-serving).
+echo "== telemetry: DUPLO_METRICS on/off byte identity across the registry ==" >&2
+mkdir -p "$JSON_DIR/metrics_on" "$JSON_DIR/metrics_off"
+DUPLO_JSON_STABLE=1 \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run all --sample 2 --no-cache --json-dir "$JSON_DIR/metrics_on" \
+    > "$JSON_DIR/stdout_metrics_on.txt" 2> /dev/null
+DUPLO_JSON_STABLE=1 DUPLO_METRICS=off \
+    cargo run -q --release --offline -p duplo-bench --bin duplo -- \
+    run all --sample 2 --no-cache --json-dir "$JSON_DIR/metrics_off" \
+    > "$JSON_DIR/stdout_metrics_off.txt" 2> /dev/null
+cmp "$JSON_DIR/stdout_metrics_on.txt" "$JSON_DIR/stdout_metrics_off.txt" || {
+    echo "stdout differs between DUPLO_METRICS on and off" >&2
+    exit 1
+}
+diff -r "$JSON_DIR/metrics_on" "$JSON_DIR/metrics_off" || {
+    echo "stable JSON differs between DUPLO_METRICS on and off" >&2
+    exit 1
+}
 
 # Serve gate: the HTTP daemon must serve a registry submission
 # byte-identical to the direct CLI run, share its disk cache across the
@@ -322,6 +360,30 @@ fi
 grep -q 'unknown experiment' "$JSON_DIR/serve_404.txt" || {
     echo "unknown-experiment submission lacked a structured error:" >&2
     cat "$JSON_DIR/serve_404.txt" >&2
+    exit 1
+}
+# Telemetry gate (2/2): the live daemon's /v1/metrics, in both formats,
+# via the `duplo metrics` scraper. The daemon runs under DUPLO_JSON_STABLE,
+# so the scrape lists the stable families — the warm submission above must
+# have moved the per-kernel run counter and the disk cache tier.
+echo "== telemetry: /v1/metrics scrape from the live daemon ==" >&2
+target/release/duplo metrics --addr "$SERVE_ADDR" > "$JSON_DIR/metrics.prom"
+grep -q '^# TYPE duplo_gpu_runs_total counter' "$JSON_DIR/metrics.prom" || {
+    echo "Prometheus scrape lacks the duplo_gpu_runs_total family:" >&2
+    cat "$JSON_DIR/metrics.prom" >&2
+    exit 1
+}
+grep -q 'duplo_cache_hits_total{tier="disk"}' "$JSON_DIR/metrics.prom" || {
+    echo "Prometheus scrape lacks the per-tier cache counters:" >&2
+    cat "$JSON_DIR/metrics.prom" >&2
+    exit 1
+}
+target/release/duplo metrics --addr "$SERVE_ADDR" --json > "$JSON_DIR/metrics.json"
+cargo run -q --release --offline -p duplo-bench --bin json_check -- \
+    "$JSON_DIR/metrics.json"
+grep -q '"duplo_sm_cycles"' "$JSON_DIR/metrics.json" || {
+    echo "JSON scrape lacks the SM-loop profile gauges:" >&2
+    cat "$JSON_DIR/metrics.json" >&2
     exit 1
 }
 target/release/duplo submit --addr "$SERVE_ADDR" --shutdown > /dev/null
